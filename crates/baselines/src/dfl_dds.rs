@@ -1,0 +1,290 @@
+//! DFL-DDS (Su, Zhou, Cui — "Boost decentralized federated learning in
+//! vehicular networks by diversifying data sources", ICNP 2022), adapted as
+//! in §IV-B.
+//!
+//! A synchronous, fully decentralized method: training proceeds in rounds
+//! (length set to LbChat's `T_B` "for a fair comparison"); at most one
+//! exchange per vehicle per round. Each vehicle tracks a *data-source
+//! vector* — how much of each peer's data shaped its current model — and
+//! weights incoming models to diversify those sources (a peer whose model
+//! carries sources I lack gets more weight). Per §IV-B, vehicles "compute a
+//! model compression ratio for each encounter to ensure the vehicle pair
+//! can finish the model exchange within the contact duration".
+
+use crate::node::{mean_eval_loss, BaseNode};
+use lbchat::optimize::equal_compression_choice;
+use lbchat::runtime::{CollabAlgorithm, FrameCtx, LinkCtx};
+use lbchat::{Learner, WeightedDataset};
+use vnn::ParamVec;
+
+/// DFL-DDS configuration.
+#[derive(Debug, Clone)]
+pub struct DflDdsConfig {
+    /// Round length in seconds (the paper sets it to `T_B` = 15 s).
+    pub round_seconds: f64,
+    /// Dense model wire size.
+    pub model_bytes: usize,
+    /// Base aggregation weight for an incoming model before the diversity
+    /// boost.
+    pub base_weight: f32,
+    /// Batch size for local training.
+    pub batch_size: usize,
+}
+
+impl Default for DflDdsConfig {
+    fn default() -> Self {
+        Self {
+            round_seconds: 15.0,
+            model_bytes: 52 * 1024 * 1024,
+            base_weight: 0.35,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Blends `peer` into `local` with weight `w` only on the peer's
+/// transmitted support (non-zero components of the densified top-k model) —
+/// the standard way sparsified models are applied.
+fn merge_on_support(local: &ParamVec, peer: &ParamVec, w: f32) -> ParamVec {
+    let data = local
+        .as_slice()
+        .iter()
+        .zip(peer.as_slice())
+        .map(|(l, p)| if *p == 0.0 { *l } else { (1.0 - w) * l + w * p })
+        .collect();
+    ParamVec::from_vec(data)
+}
+
+/// The synchronous decentralized baseline with data-source diversification.
+pub struct DflDds<L: Learner> {
+    nodes: Vec<BaseNode<L>>,
+    /// `sources[i]` — normalized contribution of each vehicle's data to
+    /// node `i`'s model.
+    sources: Vec<Vec<f32>>,
+    /// Round id of each node's last exchange (one exchange per round).
+    last_round: Vec<u64>,
+    config: DflDdsConfig,
+    current_round: u64,
+}
+
+impl<L: Learner> DflDds<L> {
+    /// Builds the fleet.
+    ///
+    /// # Panics
+    /// Panics if `learners` and `datasets` lengths differ or are empty.
+    pub fn new(
+        learners: Vec<L>,
+        datasets: Vec<WeightedDataset<L::Sample>>,
+        config: DflDdsConfig,
+    ) -> Self {
+        assert_eq!(learners.len(), datasets.len(), "one dataset per learner");
+        assert!(!learners.is_empty(), "need at least one vehicle");
+        let n = learners.len();
+        // Initially each model is built purely from its own data source.
+        let sources = (0..n)
+            .map(|i| {
+                let mut v = vec![0.0f32; n];
+                v[i] = 1.0;
+                v
+            })
+            .collect();
+        let nodes = learners
+            .into_iter()
+            .zip(datasets)
+            .map(|(l, d)| BaseNode::new(l, d, config.batch_size))
+            .collect();
+        Self { nodes, sources, last_round: vec![u64::MAX; n], config, current_round: 0 }
+    }
+
+    /// The data-source mix of node `i` (tests / inspection).
+    pub fn sources(&self, i: usize) -> &[f32] {
+        &self.sources[i]
+    }
+
+    /// Diversity gain of absorbing `peer`'s mix into `own`: total variation
+    /// distance between the mixes — high when the peer's model is built
+    /// from sources I lack.
+    fn diversity_gain(own: &[f32], peer: &[f32]) -> f32 {
+        own.iter().zip(peer).map(|(a, b)| (a - b).abs()).sum::<f32>() * 0.5
+    }
+}
+
+impl<L: Learner> CollabAlgorithm for DflDds<L> {
+    type Sample = L::Sample;
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn model(&self, node: usize) -> &ParamVec {
+        self.nodes[node].learner.params()
+    }
+
+    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+        for _ in 0..iters {
+            self.nodes[node].local_iteration(rng);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut FrameCtx<'_>) {
+        // Advance the global round counter (synchronous rounds).
+        self.current_round = (ctx.time / self.config.round_seconds) as u64;
+    }
+
+    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {
+        // Synchronous gating: one exchange per node per round.
+        let round = self.current_round;
+        if self.last_round[i] == round || self.last_round[j] == round {
+            return 0.0;
+        }
+        self.last_round[i] = round;
+        self.last_round[j] = round;
+
+        // Contact-fitted equal compression (per §IV-B's adaptation).
+        let contact = link.contact().duration;
+        let choice = equal_compression_choice(
+            self.config.model_bytes,
+            31e6,
+            self.config.round_seconds,
+            contact,
+        );
+        if choice.psi_i <= 0.0 {
+            return link.elapsed();
+        }
+        let bytes = lbchat::compress::wire_bytes(self.config.model_bytes, choice.psi_i);
+        let limit = self.config.round_seconds.min(contact);
+
+        // i → j.
+        // Sized to fit min(T_B, contact) at nominal bandwidth, but the pair
+        // keeps transmitting while still in range — failures come from the
+        // contact actually ending (or retransmission storms), not from an
+        // artificial cutoff.
+        let deadline = (link.contact().duration - link.elapsed()).max(limit - link.elapsed()).max(0.0);
+        let out_ij = link.transfer(bytes, deadline);
+        link.metrics.record_model_send(out_ij.is_delivered(), bytes, out_ij.elapsed());
+        let model_i = out_ij
+            .is_delivered()
+            .then(|| lbchat::compress::compress_dense(self.nodes[i].learner.params(), choice.psi_i));
+        // j → i.
+        let deadline = (link.contact().duration - link.elapsed()).max(0.0);
+        let out_ji = link.transfer(bytes, deadline);
+        link.metrics.record_model_send(out_ji.is_delivered(), bytes, out_ji.elapsed());
+        let model_j = out_ji
+            .is_delivered()
+            .then(|| lbchat::compress::compress_dense(self.nodes[j].learner.params(), choice.psi_j));
+
+        // Aggregate with diversity-boosted weights and update source mixes.
+        if let Some(m) = model_j {
+            let gain = Self::diversity_gain(&self.sources[i], &self.sources[j]);
+            let w = (self.config.base_weight * (0.5 + gain)).clamp(0.05, 0.8);
+            let merged = merge_on_support(self.nodes[i].learner.params(), &m, w);
+            self.nodes[i].learner.set_params(merged);
+            self.nodes[i].learner.on_params_replaced();
+            let (si, sj) = if i < j {
+                let (a, b) = self.sources.split_at_mut(j);
+                (&mut a[i], &b[0])
+            } else {
+                let (a, b) = self.sources.split_at_mut(i);
+                (&mut b[0], &a[j])
+            };
+            for (a, b) in si.iter_mut().zip(sj) {
+                *a = (1.0 - w) * *a + w * b;
+            }
+        }
+        if let Some(m) = model_i {
+            let gain = Self::diversity_gain(&self.sources[j], &self.sources[i]);
+            let w = (self.config.base_weight * (0.5 + gain)).clamp(0.05, 0.8);
+            let merged = merge_on_support(self.nodes[j].learner.params(), &m, w);
+            self.nodes[j].learner.set_params(merged);
+            self.nodes[j].learner.on_params_replaced();
+            let (sj, si) = if j < i {
+                let (a, b) = self.sources.split_at_mut(i);
+                (&mut a[j], &b[0])
+            } else {
+                let (a, b) = self.sources.split_at_mut(j);
+                (&mut b[0], &a[i])
+            };
+            for (a, b) in sj.iter_mut().zip(si) {
+                *a = (1.0 - w) * *a + w * b;
+            }
+        }
+        link.elapsed()
+    }
+
+    fn mean_eval_loss(&self, eval: &[L::Sample]) -> f64 {
+        mean_eval_loss(&self.nodes, eval)
+    }
+
+    fn name(&self) -> &'static str {
+        "DFL-DDS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::testutil::{line_data, LineLearner};
+    use lbchat::runtime::{Runtime, RuntimeConfig};
+    use simnet::geom::Vec2;
+    use simnet::trace::MobilityTrace;
+
+    fn fleet(n: usize) -> DflDds<LineLearner> {
+        let learners = vec![LineLearner::new(); n];
+        let datasets: Vec<_> = (0..n)
+            .map(|i| WeightedDataset::uniform(line_data(i as f32 - 0.5, 0.0, 200)))
+            .collect();
+        DflDds::new(learners, datasets, DflDdsConfig {
+            model_bytes: 4 * 1024 * 1024,
+            ..DflDdsConfig::default()
+        })
+    }
+
+    fn parked_pair(seconds: f64) -> MobilityTrace {
+        let frames = (seconds * 2.0) as usize + 1;
+        MobilityTrace::new(
+            2.0,
+            vec![vec![Vec2::ZERO; frames], vec![Vec2::new(60.0, 0.0); frames]],
+        )
+    }
+
+    #[test]
+    fn exchanges_mix_sources() {
+        let mut algo = fleet(2);
+        let trace = parked_pair(300.0);
+        let eval = line_data(0.0, 0.0, 20);
+        let runtime =
+            Runtime::new(RuntimeConfig { duration: 300.0, ..RuntimeConfig::default() });
+        let m = runtime.run(&mut algo, &trace, &eval);
+        assert!(m.model_receives > 0, "parked pair must exchange");
+        // Node 0's source mix should now include node 1.
+        assert!(algo.sources(0)[1] > 0.05, "{:?}", algo.sources(0));
+        let sum: f32 = algo.sources(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "mix stays normalized: {sum}");
+    }
+
+    #[test]
+    fn diversity_gain_math() {
+        assert_eq!(DflDds::<LineLearner>::diversity_gain(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(DflDds::<LineLearner>::diversity_gain(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn one_exchange_per_round() {
+        let mut algo = fleet(2);
+        let trace = parked_pair(16.0);
+        let eval = line_data(0.0, 0.0, 5);
+        // Run exactly one round with zero cooldown: the round gate (not the
+        // runtime cooldown) must limit exchanges.
+        let runtime = Runtime::new(RuntimeConfig {
+            duration: 14.0,
+            pair_cooldown: 0.0,
+            ..RuntimeConfig::default()
+        });
+        let m = runtime.run(&mut algo, &trace, &eval);
+        assert!(
+            m.model_sends <= 2,
+            "a single round allows one bidirectional exchange: {}",
+            m.model_sends
+        );
+    }
+}

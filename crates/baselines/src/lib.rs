@@ -1,0 +1,39 @@
+//! # baselines — the benchmark methods of §IV-B
+//!
+//! Re-implementations of the four methods the paper compares LbChat
+//! against, adapted exactly as §IV-B describes and run on the same
+//! [`lbchat::runtime`] (same trace, radio, clock, and evaluation):
+//!
+//! * [`ProxSkip`] — central-server federated learning with probabilistic
+//!   communication skipping and control variates (Mishchenko et al., ICML
+//!   2022). Backend bandwidth unconstrained; under wireless loss each
+//!   message draws a loss uniformly from the lookup table.
+//! * [`RsuL`] — road-side-unit opportunistic learning (Xu et al., TMC
+//!   2023): RSUs at road crossings hold models, aggregate uploads, and send
+//!   the result back. Backend unconstrained, same message-loss model.
+//! * [`DflDds`] — synchronous fully decentralized learning that diversifies
+//!   data sources (Su et al., ICNP 2022): vehicles track where their model
+//!   mass came from and weight peers that bring underrepresented sources.
+//!   Rounds are `T_B`-long; per-encounter compression is fitted to the
+//!   contact so exchanges can complete ("for a fair comparison").
+//! * [`Dp`] — Decentralized Powerloss gossip learning (Dinani et al., TMC
+//!   2023): merge weights from a normalized logarithmic function of
+//!   validation loss; fitted compression, like DFL-DDS.
+//!
+//! All methods share [`node::BaseNode`] for plain local SGD training —
+//! none of them exchanges training data, which is precisely the paper's
+//! point of comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfl_dds;
+pub mod dp;
+pub mod node;
+pub mod proxskip;
+pub mod rsul;
+
+pub use dfl_dds::DflDds;
+pub use dp::Dp;
+pub use proxskip::ProxSkip;
+pub use rsul::RsuL;

@@ -1,0 +1,199 @@
+//! Shared plain-SGD vehicle node for the model-sharing-only baselines.
+
+use lbchat::{Learner, WeightedDataset};
+use rand::Rng;
+use vnn::Minibatcher;
+
+/// One vehicle in a baseline method: a learner and its fixed local dataset
+/// (baselines never absorb peer data — they exchange models only).
+pub struct BaseNode<L: Learner> {
+    /// The local learner.
+    pub learner: L,
+    dataset: WeightedDataset<L::Sample>,
+    batcher: Minibatcher,
+    /// Held-out tail of the local data used as a validation set by methods
+    /// that weight by validation loss (DP).
+    validation_from: usize,
+}
+
+impl<L: Learner> BaseNode<L> {
+    /// Creates a node; the last `validation_frac` of the dataset is held
+    /// out as the local validation set.
+    pub fn new(learner: L, dataset: WeightedDataset<L::Sample>, batch_size: usize) -> Self {
+        let n = dataset.len();
+        let validation_from = n - (n / 10).min(200); // last 10 %, capped
+        let batcher = Minibatcher::new(validation_from, batch_size);
+        Self { learner, dataset, batcher, validation_from }
+    }
+
+    /// The local dataset (training + validation).
+    pub fn dataset(&self) -> &WeightedDataset<L::Sample> {
+        &self.dataset
+    }
+
+    /// One minibatch SGD iteration on the training split.
+    pub fn local_iteration<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
+        let idx = self.batcher.next_batch(rng);
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let batch: Vec<(&L::Sample, f32)> = idx
+            .iter()
+            .map(|&i| (self.dataset.sample(i), self.dataset.weight(i)))
+            .collect();
+        self.learner.train_step(&batch)
+    }
+
+    /// Mean loss of an arbitrary parameter vector on the validation split.
+    pub fn validation_loss(&self, params: &vnn::ParamVec) -> f32 {
+        let n = self.dataset.len();
+        if self.validation_from >= n {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for i in self.validation_from..n {
+            acc += self.learner.loss_with(params, self.dataset.sample(i)) as f64;
+        }
+        (acc / (n - self.validation_from) as f64) as f32
+    }
+}
+
+/// Mean eval loss across nodes — every baseline reports the same statistic
+/// as LbChat.
+pub fn mean_eval_loss<L: Learner>(nodes: &[BaseNode<L>], eval: &[L::Sample]) -> f64 {
+    if eval.is_empty() || nodes.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for node in nodes {
+        let mut acc = 0.0f64;
+        for s in eval {
+            acc += node.learner.loss(s) as f64;
+        }
+        total += acc / eval.len() as f64;
+    }
+    total / nodes.len() as f64
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! The same analytic line-fitting learner the core crate tests with.
+
+    use lbchat::Learner;
+    use vnn::ParamVec;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Pt {
+        pub x: f32,
+        pub y: f32,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct LineLearner {
+        pub params: ParamVec,
+        pub lr: f32,
+    }
+
+    impl LineLearner {
+        pub fn new() -> Self {
+            Self { params: ParamVec::from_vec(vec![0.0, 0.0]), lr: 0.05 }
+        }
+    }
+
+    impl Learner for LineLearner {
+        type Sample = Pt;
+        fn params(&self) -> &ParamVec {
+            &self.params
+        }
+        fn set_params(&mut self, params: ParamVec) {
+            assert_eq!(params.len(), 2);
+            self.params = params;
+        }
+        fn loss(&self, s: &Pt) -> f32 {
+            self.loss_with(&self.params, s)
+        }
+        fn loss_with(&self, p: &ParamVec, s: &Pt) -> f32 {
+            let w = p.as_slice();
+            let r = w[0] * s.x + w[1] - s.y;
+            r * r
+        }
+        fn train_step(&mut self, batch: &[(&Pt, f32)]) -> f32 {
+            if batch.is_empty() {
+                return 0.0;
+            }
+            let w = self.params.as_slice();
+            let (mut ga, mut gb, mut loss, mut wsum) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (s, wt) in batch {
+                let r = w[0] * s.x + w[1] - s.y;
+                ga += wt * 2.0 * r * s.x;
+                gb += wt * 2.0 * r;
+                loss += wt * r * r;
+                wsum += wt;
+            }
+            let inv = 1.0 / wsum;
+            let p = self.params.as_mut_slice();
+            p[0] -= self.lr * ga * inv;
+            p[1] -= self.lr * gb * inv;
+            loss * inv
+        }
+        fn group_of(&self, _s: &Pt) -> usize {
+            0
+        }
+        fn n_groups(&self) -> usize {
+            1
+        }
+    }
+
+    pub fn line_data(a: f32, b: f32, n: usize) -> Vec<Pt> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f32 / n as f32) * 4.0 - 2.0;
+                Pt { x, y: a * x + b }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_trains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data = WeightedDataset::uniform(line_data(2.0, 1.0, 300));
+        let mut node = BaseNode::new(LineLearner::new(), data, 32);
+        let first = node.local_iteration(&mut rng);
+        for _ in 0..300 {
+            node.local_iteration(&mut rng);
+        }
+        let last = node.local_iteration(&mut rng);
+        assert!(last < first * 0.1, "{first} -> {last}");
+    }
+
+    #[test]
+    fn validation_loss_uses_holdout() {
+        let data = WeightedDataset::uniform(line_data(1.0, 0.0, 100));
+        let node = BaseNode::new(LineLearner::new(), data, 32);
+        // Zero model on y = x: squared error averaged over held-out xs.
+        let v = node.validation_loss(&vnn::ParamVec::from_vec(vec![0.0, 0.0]));
+        assert!(v > 0.0);
+        // The true model has zero loss.
+        let v2 = node.validation_loss(&vnn::ParamVec::from_vec(vec![1.0, 0.0]));
+        assert!(v2 < 1e-9);
+    }
+
+    #[test]
+    fn mean_eval_loss_averages() {
+        let data = WeightedDataset::uniform(line_data(1.0, 0.0, 50));
+        let nodes = vec![
+            BaseNode::new(LineLearner::new(), data.clone(), 16),
+            BaseNode::new(LineLearner::new(), data, 16),
+        ];
+        let eval = line_data(1.0, 0.0, 10);
+        let m = mean_eval_loss(&nodes, &eval);
+        assert!(m > 0.0);
+    }
+}

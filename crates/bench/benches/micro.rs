@@ -1,0 +1,196 @@
+//! Component microbenches: the primitives every chat executes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lbchat::aggregate::{aggregate, AggregationRule};
+use lbchat::compress::{compress_dense, top_k};
+use lbchat::coreset::{construct, reduce, CoresetConfig};
+use lbchat::optimize::CompressionProblem;
+use lbchat::penalty::PenaltyConfig;
+use lbchat::phi::{Akima, PhiCurve};
+use lbchat::{Learner, WeightedDataset};
+use rand::SeedableRng;
+use simnet::channel::{Channel, RadioConfig};
+use simnet::geom::Vec2;
+use simnet::loss::LossModel;
+use simworld::bev::{rasterize, BevConfig, Pose};
+use simworld::world::{RoadRaster, World, WorldConfig};
+use vnn::ParamVec;
+
+/// A line-fitting learner: cheap per-sample losses isolate the machinery
+/// under test from network-forward costs.
+#[derive(Debug, Clone)]
+struct Line(ParamVec);
+
+#[derive(Debug, Clone, Copy)]
+struct Pt(f32, f32);
+
+impl Learner for Line {
+    type Sample = Pt;
+    fn params(&self) -> &ParamVec {
+        &self.0
+    }
+    fn set_params(&mut self, p: ParamVec) {
+        self.0 = p;
+    }
+    fn loss(&self, s: &Pt) -> f32 {
+        self.loss_with(&self.0, s)
+    }
+    fn loss_with(&self, p: &ParamVec, s: &Pt) -> f32 {
+        let w = p.as_slice();
+        let r = w[0] * s.0 + w[1] - s.1;
+        r * r
+    }
+    fn train_step(&mut self, _b: &[(&Pt, f32)]) -> f32 {
+        0.0
+    }
+    fn group_of(&self, _s: &Pt) -> usize {
+        0
+    }
+    fn n_groups(&self) -> usize {
+        1
+    }
+}
+
+fn dataset(n: usize) -> WeightedDataset<Pt> {
+    WeightedDataset::uniform(
+        (0..n)
+            .map(|i| Pt(i as f32 / n as f32, (i % 17) as f32 / 17.0))
+            .collect(),
+    )
+}
+
+fn bench_coreset(c: &mut Criterion) {
+    let learner = Line(ParamVec::from_vec(vec![1.0, 0.0]));
+    let data = dataset(10_000);
+    c.bench_function("micro_coreset_construct_10k_to_150", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| construct(&learner, &data, &CoresetConfig { size: 150 }, &mut rng))
+    });
+    let big = construct(
+        &learner,
+        &data,
+        &CoresetConfig { size: 300 },
+        &mut rand::rngs::StdRng::seed_from_u64(2),
+    );
+    c.bench_function("micro_coreset_merge_reduce", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter_batched(
+            || (big.clone(), big.clone()),
+            |(a, bb)| reduce(a.merge(bb), 150, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // A parameter vector sized like our driving policy.
+    let params = ParamVec::from_vec(
+        (0..25_000).map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0).collect(),
+    );
+    c.bench_function("micro_topk_25k_params_psi_0.1", |b| {
+        b.iter(|| top_k(&params, 0.1))
+    });
+    c.bench_function("micro_topk_densify_25k", |b| {
+        b.iter(|| compress_dense(&params, 0.3))
+    });
+}
+
+fn bench_phi_and_solver(c: &mut Criterion) {
+    let xs: Vec<f64> = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 - x * 1.5).collect();
+    c.bench_function("micro_akima_fit_eval", |b| {
+        b.iter(|| {
+            let a = Akima::fit(&xs, &ys);
+            let mut acc = 0.0;
+            for k in 0..100 {
+                acc += a.eval(k as f64 / 100.0);
+            }
+            acc
+        })
+    });
+    let phi = PhiCurve::from_points(
+        vec![0.02, 0.1, 0.3, 0.6, 1.0],
+        vec![2.0, 1.6, 1.1, 0.7, 0.5],
+    );
+    let problem = CompressionProblem {
+        phi_i: &phi,
+        phi_j: &phi,
+        loss_j_on_ci: 3.0,
+        loss_i_on_cj: 2.0,
+        model_bytes: 52 * 1024 * 1024,
+        bandwidth_bps: 31e6,
+        time_budget: 15.0,
+        contact: 40.0,
+        lambda_c: 0.01,
+    };
+    c.bench_function("micro_eq7_solver", |b| b.iter(|| problem.solve()));
+}
+
+fn bench_phi_sampling(c: &mut Criterion) {
+    let learner = Line(ParamVec::from_vec(vec![1.0, 0.0]));
+    let data = dataset(5_000);
+    let coreset = construct(
+        &learner,
+        &data,
+        &CoresetConfig { size: 150 },
+        &mut rand::rngs::StdRng::seed_from_u64(4),
+    );
+    c.bench_function("micro_phi_sampling_150_coreset", |b| {
+        b.iter(|| {
+            PhiCurve::sample(
+                &learner,
+                &coreset,
+                lbchat::phi::DEFAULT_PSI_GRID,
+                &PenaltyConfig::none(),
+            )
+        })
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let a = ParamVec::from_vec((0..25_000).map(|i| i as f32 / 25_000.0).collect());
+    let b_ = ParamVec::from_vec((0..25_000).map(|i| 1.0 - i as f32 / 25_000.0).collect());
+    // The Eq. (8) printed-vs-intended ablation, side by side.
+    c.bench_function("ablation_eq8_inverse_loss", |bch| {
+        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::InverseLoss))
+    });
+    c.bench_function("ablation_eq8_as_printed", |bch| {
+        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::AsPrinted))
+    });
+}
+
+fn bench_bev(c: &mut Criterion) {
+    let world = World::new(WorldConfig::small(1));
+    let raster: &RoadRaster = world.raster();
+    let cfg = BevConfig::default();
+    let cars: Vec<Vec2> = world.car_positions();
+    let peds: Vec<Vec2> = world.pedestrian_positions();
+    let pose = Pose { pos: Vec2::new(300.0, 300.0), heading: 0.5 };
+    c.bench_function("micro_bev_rasterize", |b| {
+        b.iter(|| rasterize(&cfg, pose, 8.0, raster, &cars, &peds, &[]))
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
+    c.bench_function("micro_channel_transfer_coreset_0.6MB", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng))
+    });
+    c.bench_function("micro_channel_transfer_model_5.2MB", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        b.iter(|| ch.transfer(5 * 1024 * 1024, 100.0, |_| 150.0, &mut rng))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_coreset,
+    bench_compress,
+    bench_phi_and_solver,
+    bench_phi_sampling,
+    bench_aggregate,
+    bench_bev,
+    bench_channel
+);
+criterion_main!(micro);

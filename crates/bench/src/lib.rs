@@ -1,0 +1,11 @@
+//! Bench-only crate; see `benches/`.
+//!
+//! * `benches/micro.rs` — component microbenches: Algorithm 1 coreset
+//!   construction, merge-and-reduce, top-k sparsification, Akima fitting,
+//!   the Eq. (7) solver, BEV rasterization, packetized channel transfers,
+//!   and both Eq. (8) aggregation forms (the printed-vs-intended ablation).
+//! * `benches/paper_experiments.rs` — one bench per paper table/figure:
+//!   a reduced-scale slice of the exact pipeline the corresponding
+//!   `experiments` binary runs at full length.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,212 @@
+//! Adaptive coreset sizing — the paper's stated future work.
+//!
+//! Table IV shows both a 10× and a 1/10× coreset hurt driving success:
+//! "a larger coreset can be representative but may consume limited contact
+//! duration and impede model exchange. In contrast, a smaller coreset can
+//! save communication resources but may fail to adequately represent the
+//! diverse characteristics of the dataset. Adaptive tuning the size of
+//! coreset will be our future work."
+//!
+//! [`AdaptiveSizer`] implements that tuning as a bounded multiplicative
+//! controller driven by the two observable error signals:
+//!
+//! * **Representation error** — the empirical ε of the current coreset
+//!   (measurable locally after every refresh). Persistently high ε pushes
+//!   the size *up*.
+//! * **Communication pressure** — the fraction of recent encounters whose
+//!   coreset exchange consumed more than a target share of the contact
+//!   budget (or failed outright). High pressure pushes the size *down*.
+//!
+//! The controller moves the size by at most `step_ratio` per adjustment and
+//! clamps to `[min_size, max_size]`, so a burst of unlucky contacts cannot
+//! collapse the coreset.
+
+/// Bounded multiplicative controller for the coreset size.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSizer {
+    size: usize,
+    min_size: usize,
+    max_size: usize,
+    /// Target empirical ε; above this the coreset grows.
+    pub target_epsilon: f32,
+    /// Target share of the contact budget a coreset exchange may use;
+    /// above this the coreset shrinks.
+    pub target_budget_share: f64,
+    /// Maximum relative size change per adjustment (e.g. 0.25 = ±25 %).
+    pub step_ratio: f64,
+    // Exponentially weighted observations.
+    ewma_epsilon: f32,
+    ewma_share: f64,
+    observations: u64,
+}
+
+impl AdaptiveSizer {
+    /// Creates a sizer starting at `initial` samples, bounded to
+    /// `[min_size, max_size]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_size <= initial <= max_size`.
+    pub fn new(initial: usize, min_size: usize, max_size: usize) -> Self {
+        assert!(min_size > 0 && min_size <= initial && initial <= max_size);
+        Self {
+            size: initial,
+            min_size,
+            max_size,
+            target_epsilon: 0.10,
+            target_budget_share: 0.15,
+            step_ratio: 0.25,
+            ewma_epsilon: 0.0,
+            ewma_share: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// The current recommended coreset size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Records the empirical ε measured after a coreset refresh.
+    pub fn observe_epsilon(&mut self, epsilon: f32) {
+        const ALPHA: f32 = 0.3;
+        self.ewma_epsilon = if self.observations == 0 {
+            epsilon
+        } else {
+            ALPHA * epsilon + (1.0 - ALPHA) * self.ewma_epsilon
+        };
+        self.observations += 1;
+    }
+
+    /// Records one coreset exchange: the share of the contact budget it
+    /// consumed (`elapsed / budget`, ≥ 1 when it blew the budget or
+    /// failed).
+    pub fn observe_exchange(&mut self, budget_share: f64) {
+        const ALPHA: f64 = 0.3;
+        self.ewma_share = if self.observations == 0 {
+            budget_share
+        } else {
+            ALPHA * budget_share + (1.0 - ALPHA) * self.ewma_share
+        };
+        self.observations += 1;
+    }
+
+    /// Applies one adjustment and returns the new size.
+    ///
+    /// Communication pressure wins ties: a coreset that cannot be exchanged
+    /// has no value regardless of how representative it is (exactly the
+    /// Table IV asymmetry — the oversized coreset hurts more with wireless
+    /// loss than the undersized one).
+    pub fn adjust(&mut self) -> usize {
+        if self.observations < 3 {
+            return self.size; // not enough evidence yet
+        }
+        let grow = self.ewma_epsilon > self.target_epsilon;
+        let shrink = self.ewma_share > self.target_budget_share;
+        let factor = if shrink {
+            1.0 - self.step_ratio
+        } else if grow {
+            1.0 + self.step_ratio
+        } else {
+            1.0
+        };
+        let next = ((self.size as f64) * factor).round() as usize;
+        self.size = next.clamp(self.min_size, self.max_size);
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_adjustment_without_evidence() {
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        assert_eq!(s.adjust(), 150);
+        s.observe_epsilon(0.9);
+        assert_eq!(s.adjust(), 150, "needs several observations");
+    }
+
+    #[test]
+    fn high_epsilon_grows_the_coreset() {
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.5);
+            s.observe_exchange(0.05);
+        }
+        let n = s.adjust();
+        assert!(n > 150, "poor representation must grow the coreset: {n}");
+    }
+
+    #[test]
+    fn communication_pressure_shrinks_the_coreset() {
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.01);
+            s.observe_exchange(0.8); // exchanges eating most of the budget
+        }
+        let n = s.adjust();
+        assert!(n < 150, "communication pressure must shrink: {n}");
+    }
+
+    #[test]
+    fn pressure_beats_representation() {
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.9); // wants to grow
+            s.observe_exchange(0.9); // wants to shrink
+        }
+        assert!(s.adjust() < 150, "an unexchangeable coreset is worthless");
+    }
+
+    #[test]
+    fn size_stays_bounded() {
+        let mut s = AdaptiveSizer::new(150, 15, 300);
+        for _ in 0..50 {
+            s.observe_epsilon(0.9);
+            s.observe_exchange(0.0);
+            s.adjust();
+        }
+        assert_eq!(s.size(), 300, "growth clamps at max");
+        let mut s = AdaptiveSizer::new(150, 15, 300);
+        for _ in 0..50 {
+            s.observe_epsilon(0.0);
+            s.observe_exchange(5.0);
+            s.adjust();
+        }
+        assert_eq!(s.size(), 15, "shrink clamps at min");
+    }
+
+    #[test]
+    fn happy_region_is_stable() {
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..10 {
+            s.observe_epsilon(0.05);
+            s.observe_exchange(0.08);
+            s.adjust();
+        }
+        assert_eq!(s.size(), 150, "both signals in-target: no drift");
+    }
+
+    #[test]
+    fn step_is_bounded_per_adjustment() {
+        let mut s = AdaptiveSizer::new(100, 10, 10_000);
+        for _ in 0..5 {
+            s.observe_epsilon(0.99);
+            s.observe_exchange(0.0);
+        }
+        let n = s.adjust();
+        assert!(n <= 125, "one step is at most +25%: {n}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        let _ = AdaptiveSizer::new(10, 20, 30);
+    }
+}

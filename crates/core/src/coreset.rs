@@ -1,0 +1,415 @@
+//! Coreset construction by layered sampling (paper §III-B, Algorithm 1) and
+//! merge-and-reduce maintenance (§III-D).
+//!
+//! A coreset is a small weighted subset `C` of a dataset `D` whose weighted
+//! loss approximates the full dataset's loss for every model in a bounded
+//! region of parameter space (Def. II.2, the ε-coreset of a
+//! continuous-and-bounded learning problem). Construction partitions `D`
+//! into concentric *layers* by per-sample loss distance from the best-loss
+//! "center" sample, then draws a weighted random sample from each layer —
+//! yielding a data-independent size, unlike sensitivity-based methods.
+
+use crate::dataset::WeightedDataset;
+use crate::learner::Learner;
+use rand::{Rng, RngExt};
+
+/// A weighted coreset: samples with their coreset weights `w_C(d)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coreset<S> {
+    samples: Vec<S>,
+    weights: Vec<f32>,
+}
+
+impl<S: Clone> Coreset<S> {
+    /// Wraps samples with explicit coreset weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any weight is non-positive / non-finite.
+    pub fn new(samples: Vec<S>, weights: Vec<f32>) -> Self {
+        assert_eq!(samples.len(), weights.len(), "sample/weight length mismatch");
+        assert!(
+            weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "coreset weights must be positive and finite"
+        );
+        Self { samples, weights }
+    }
+
+    /// An empty coreset.
+    pub fn empty() -> Self {
+        Self { samples: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the coreset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[S] {
+        &self.samples
+    }
+
+    /// The coreset weights `w_C(d)`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Total weight (should approximate the total weight of the source
+    /// dataset — the estimator property layered sampling preserves).
+    pub fn total_weight(&self) -> f32 {
+        self.weights.iter().sum()
+    }
+
+    /// Borrowed `(sample, weight)` pairs.
+    pub fn pairs(&self) -> Vec<(&S, f32)> {
+        self.samples.iter().zip(self.weights.iter().copied()).collect()
+    }
+
+    /// Merges two coresets by union (§III-D): if `C_1`, `C_2` are ε-coresets
+    /// of disjoint `D_1`, `D_2`, the union is an ε-coreset of `D_1 ∪ D_2`.
+    pub fn merge(mut self, other: Coreset<S>) -> Coreset<S> {
+        self.samples.extend(other.samples);
+        self.weights.extend(other.weights);
+        self
+    }
+
+    /// Serialized size in bytes on the simulated radio, assuming
+    /// `bytes_per_sample` per sample (feature vector + target + weight).
+    pub fn wire_bytes(&self, bytes_per_sample: usize) -> usize {
+        self.len() * bytes_per_sample
+    }
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct CoresetConfig {
+    /// Target coreset size |C| (paper default: 150 frames ≈ 0.6 MB).
+    pub size: usize,
+}
+
+impl Default for CoresetConfig {
+    fn default() -> Self {
+        Self { size: 150 }
+    }
+}
+
+/// Builds an ε-coreset of `dataset` by layered sampling (Algorithm 1).
+///
+/// 1. The *center* is the sample with the smallest loss under the current
+///    model; the 0-th layer radius is `R = f(x; D) / |D|`.
+/// 2. Each sample joins layer `⌊log2(dist_d / R)⌋` where
+///    `dist_d = f(x; d) − f(x; d̃)` (samples within `R` of the center join
+///    layer 0). At most `log(|D| + 1)` layers are kept; outliers beyond the
+///    last layer join it.
+/// 3. Each layer contributes a `w(d)`-weighted random sample (Efraimidis–
+///    Spirakis reservoir keys), sized proportionally to the layer's total
+///    weight; every picked sample receives the layer-preserving weight
+///    `w_C(d) = Σ_{D̂_j} w(d') / Σ_{Ĉ_j} w(d')`.
+///
+/// Returns an empty coreset for an empty dataset; datasets not larger than
+/// `config.size` are copied wholesale (already their own best coreset).
+pub fn construct<L, R>(
+    learner: &L,
+    dataset: &WeightedDataset<L::Sample>,
+    config: &CoresetConfig,
+    rng: &mut R,
+) -> Coreset<L::Sample>
+where
+    L: Learner,
+    R: Rng + ?Sized,
+{
+    let n = dataset.len();
+    if n == 0 {
+        return Coreset::empty();
+    }
+    if n <= config.size {
+        return Coreset::new(dataset.samples().to_vec(), dataset.weights().to_vec());
+    }
+
+    // Per-sample losses under the current model.
+    let losses: Vec<f32> = dataset.samples().iter().map(|s| learner.loss(s)).collect();
+    let center = losses.iter().cloned().fold(f32::INFINITY, f32::min);
+    let weighted_total: f32 = losses
+        .iter()
+        .zip(dataset.weights())
+        .map(|(l, w)| l * w)
+        .sum();
+    let radius = (weighted_total / n as f32).max(1e-12);
+
+    // Assign layers.
+    let max_layer = ((n + 1) as f32).log2().ceil() as usize;
+    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); max_layer + 1];
+    for (i, &l) in losses.iter().enumerate() {
+        let dist = (l - center).max(0.0);
+        let layer = if dist <= radius {
+            0
+        } else {
+            (((dist / radius).log2().floor() as isize).max(0) as usize).min(max_layer)
+        };
+        layers[layer].push(i);
+    }
+
+    // Allocate the sampling budget across non-empty layers proportionally to
+    // layer total weight, at least one sample per non-empty layer.
+    let layer_weights: Vec<f32> = layers
+        .iter()
+        .map(|idx| idx.iter().map(|&i| dataset.weight(i)).sum::<f32>())
+        .collect();
+    let total_weight: f32 = layer_weights.iter().sum();
+    let nonempty = layers.iter().filter(|l| !l.is_empty()).count();
+    let budget = config.size.max(nonempty);
+
+    let mut samples = Vec::with_capacity(budget);
+    let mut weights = Vec::with_capacity(budget);
+    for (layer_idx, layer) in layers.iter().enumerate() {
+        if layer.is_empty() {
+            continue;
+        }
+        let share = layer_weights[layer_idx] / total_weight;
+        let quota = ((budget as f32 * share).round() as usize)
+            .clamp(1, layer.len());
+        // Weighted sampling without replacement: Efraimidis–Spirakis keys
+        // u^(1/w) — take the `quota` largest.
+        let mut keyed: Vec<(f32, usize)> = layer
+            .iter()
+            .map(|&i| {
+                let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+                (u.powf(1.0 / dataset.weight(i)), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+        keyed.truncate(quota);
+        let picked_weight: f32 = keyed.iter().map(|&(_, i)| dataset.weight(i)).sum();
+        // w_C(d) = (layer total weight) / (picked total weight), scaled by
+        // the sample's own original weight so non-uniform weights survive.
+        let scale = layer_weights[layer_idx] / picked_weight;
+        for &(_, i) in &keyed {
+            samples.push(dataset.sample(i).clone());
+            weights.push(dataset.weight(i) * scale);
+        }
+    }
+    Coreset::new(samples, weights)
+}
+
+/// Reduces a (typically merged) coreset back to `size` samples while
+/// preserving its total weight — the 'reduce' half of merge-and-reduce
+/// (§III-D, after Har-Peled & Mazumdar). Sampling is `w_C`-weighted without
+/// replacement; survivors are rescaled so `Σ w_C` is unchanged.
+pub fn reduce<S: Clone, R: Rng + ?Sized>(
+    coreset: Coreset<S>,
+    size: usize,
+    rng: &mut R,
+) -> Coreset<S> {
+    if coreset.len() <= size || size == 0 {
+        return coreset;
+    }
+    let total = coreset.total_weight();
+    let mut keyed: Vec<(f32, usize)> = (0..coreset.len())
+        .map(|i| {
+            let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+            (u.powf(1.0 / coreset.weights()[i]), i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+    keyed.truncate(size);
+    let picked: f32 = keyed.iter().map(|&(_, i)| coreset.weights()[i]).sum();
+    let scale = total / picked;
+    let samples = keyed.iter().map(|&(_, i)| coreset.samples()[i].clone()).collect();
+    let weights = keyed.iter().map(|&(_, i)| coreset.weights()[i] * scale).collect();
+    Coreset::new(samples, weights)
+}
+
+/// Empirical ε of a coreset w.r.t. its source dataset under the current
+/// model: `|f(x;C) − f(x;D)| / f(x;D)` with mean-normalized losses
+/// (Def. II.2's relative error). Returns 0 when the dataset loss is 0.
+pub fn empirical_epsilon<L: Learner>(
+    learner: &L,
+    coreset: &Coreset<L::Sample>,
+    dataset: &WeightedDataset<L::Sample>,
+) -> f32 {
+    let f_d: f32 = dataset
+        .pairs()
+        .iter()
+        .map(|(s, w)| w * learner.loss(s))
+        .sum();
+    let f_c: f32 = coreset
+        .pairs()
+        .iter()
+        .map(|(s, w)| w * learner.loss(s))
+        .sum();
+    if f_d.abs() < 1e-12 {
+        0.0
+    } else {
+        (f_c - f_d).abs() / f_d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::testutil::{line_data, LineLearner, Pt};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn noisy_dataset(n: usize) -> WeightedDataset<Pt> {
+        // Targets from y = x with varying distances from the model y = x:
+        // sample i gets offset i/n, producing a spread of losses.
+        let samples: Vec<Pt> = (0..n)
+            .map(|i| {
+                let x = (i as f32 / n as f32) * 4.0 - 2.0;
+                let off = (i % 17) as f32 / 17.0;
+                Pt { x, y: x + off, group: i % 4 }
+            })
+            .collect();
+        WeightedDataset::uniform(samples)
+    }
+
+    #[test]
+    fn small_dataset_returned_wholesale() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d = WeightedDataset::uniform(line_data(1.0, 0.0, 10));
+        let c = construct(&l, &d, &CoresetConfig { size: 150 }, &mut rng());
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.weights(), d.weights());
+    }
+
+    #[test]
+    fn empty_dataset_gives_empty_coreset() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d: WeightedDataset<Pt> = WeightedDataset::empty();
+        let c = construct(&l, &d, &CoresetConfig::default(), &mut rng());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn coreset_hits_target_size_approximately() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d = noisy_dataset(2000);
+        let c = construct(&l, &d, &CoresetConfig { size: 150 }, &mut rng());
+        assert!(
+            (100..=220).contains(&c.len()),
+            "size {} should be near the 150 target",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn coreset_preserves_total_weight() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d = noisy_dataset(1000);
+        let c = construct(&l, &d, &CoresetConfig { size: 100 }, &mut rng());
+        let rel = (c.total_weight() - d.total_weight()).abs() / d.total_weight();
+        assert!(rel < 0.05, "total weight off by {rel}");
+    }
+
+    #[test]
+    fn coreset_loss_approximates_dataset_loss() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d = noisy_dataset(3000);
+        let c = construct(&l, &d, &CoresetConfig { size: 200 }, &mut rng());
+        let eps = empirical_epsilon(&l, &c, &d);
+        assert!(eps < 0.15, "empirical epsilon {eps} too large");
+    }
+
+    #[test]
+    fn approximation_holds_for_nearby_models() {
+        // The ε-coreset definition quantifies over a ball of models, not
+        // just the construction model. Check a perturbed model.
+        let l = LineLearner::new(1.0, 0.0);
+        let d = noisy_dataset(3000);
+        let c = construct(&l, &d, &CoresetConfig { size: 250 }, &mut rng());
+        let mut nearby = LineLearner::new(1.15, 0.1);
+        nearby.groups = 4;
+        let eps = empirical_epsilon(&nearby, &c, &d);
+        assert!(eps < 0.25, "epsilon {eps} under a nearby model");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = Coreset::new(vec![1, 2], vec![1.0, 2.0]);
+        let b = Coreset::new(vec![3], vec![3.0]);
+        let m = a.merge(b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn reduce_preserves_total_weight_and_size() {
+        let c = Coreset::new((0..300).collect(), vec![1.0; 300]);
+        let total = c.total_weight();
+        let r = reduce(c, 100, &mut rng());
+        assert_eq!(r.len(), 100);
+        assert!((r.total_weight() - total).abs() / total < 1e-4);
+    }
+
+    #[test]
+    fn reduce_noop_when_already_small() {
+        let c = Coreset::new(vec![1, 2, 3], vec![1.0; 3]);
+        let r = reduce(c.clone(), 10, &mut rng());
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_samples() {
+        // One sample carries most of the weight; it should almost always be
+        // selected across repeated constructions.
+        let l = LineLearner::new(1.0, 0.0);
+        let mut samples = line_data(1.0, 0.5, 400);
+        samples[7].y += 0.01; // make it distinguishable
+        let mut weights = vec![1.0f32; 400];
+        weights[7] = 500.0;
+        let d = WeightedDataset::new(samples.clone(), weights);
+        let mut hits = 0;
+        let mut r = rng();
+        for _ in 0..20 {
+            let c = construct(&l, &d, &CoresetConfig { size: 40 }, &mut r);
+            if c.samples().iter().any(|s| (s.y - samples[7].y).abs() < 1e-9) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "heavy sample selected only {hits}/20 times");
+    }
+
+    #[test]
+    fn construction_is_deterministic_given_seed() {
+        let l = LineLearner::new(1.0, 0.0);
+        let d = noisy_dataset(500);
+        let c1 = construct(&l, &d, &CoresetConfig { size: 50 }, &mut rng());
+        let c2 = construct(&l, &d, &CoresetConfig { size: 50 }, &mut rng());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn merged_coreset_approximates_merged_dataset() {
+        // The §III-D property: union of coresets ≈ coreset of union.
+        let l = LineLearner::new(1.0, 0.0);
+        let d1 = noisy_dataset(1500);
+        let d2 = {
+            let samples: Vec<Pt> = (0..1500)
+                .map(|i| {
+                    let x = (i as f32 / 1500.0) * 4.0 - 2.0;
+                    Pt { x, y: x + 1.0 + (i % 13) as f32 / 13.0, group: i % 4 }
+                })
+                .collect();
+            WeightedDataset::uniform(samples)
+        };
+        let mut r = rng();
+        let c1 = construct(&l, &d1, &CoresetConfig { size: 150 }, &mut r);
+        let c2 = construct(&l, &d2, &CoresetConfig { size: 150 }, &mut r);
+        let merged_c = c1.merge(c2);
+        let mut merged_d = d1.clone();
+        for (s, w) in d2.pairs() {
+            merged_d.push(*s, w);
+        }
+        let eps = empirical_epsilon(&l, &merged_c, &merged_d);
+        assert!(eps < 0.15, "merged epsilon {eps}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Weighted local datasets (the `D_i` of §II-A) and their expansion with
+//! received coresets (§III-D).
+
+use crate::coreset::Coreset;
+
+/// A dataset of weighted samples: `f(x; D) = Σ_d w(d) f(x; d)` (Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedDataset<S> {
+    samples: Vec<S>,
+    weights: Vec<f32>,
+}
+
+impl<S: Clone> WeightedDataset<S> {
+    /// Creates a dataset with uniform unit weights.
+    pub fn uniform(samples: Vec<S>) -> Self {
+        let weights = vec![1.0; samples.len()];
+        Self { samples, weights }
+    }
+
+    /// Creates a dataset with explicit weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any weight is non-positive / non-finite.
+    pub fn new(samples: Vec<S>, weights: Vec<f32>) -> Self {
+        assert_eq!(samples.len(), weights.len(), "sample/weight length mismatch");
+        assert!(
+            weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        Self { samples, weights }
+    }
+
+    /// An empty dataset.
+    pub fn empty() -> Self {
+        Self { samples: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[S] {
+        &self.samples
+    }
+
+    /// The original weights `w(d)`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Sample at `i`.
+    pub fn sample(&self, i: usize) -> &S {
+        &self.samples[i]
+    }
+
+    /// Weight of sample `i`.
+    pub fn weight(&self, i: usize) -> f32 {
+        self.weights[i]
+    }
+
+    /// Total weight `Σ w(d)`.
+    pub fn total_weight(&self) -> f32 {
+        self.weights.iter().sum()
+    }
+
+    /// Borrowed `(sample, weight)` pairs, the shape loss evaluation expects.
+    pub fn pairs(&self) -> Vec<(&S, f32)> {
+        self.samples.iter().zip(self.weights.iter().copied()).collect()
+    }
+
+    /// Appends a sample with weight.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite weight.
+    pub fn push(&mut self, sample: S, weight: f32) {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive and finite");
+        self.samples.push(sample);
+        self.weights.push(weight);
+    }
+
+    /// Absorbs a received coreset, expanding the local dataset (§III-D).
+    ///
+    /// The paper keeps "the original weights w(d) of all data samples in the
+    /// expanded local dataset to be the same" — absorbed samples join with
+    /// the dataset's base weight (the mode of existing weights, i.e. 1.0 for
+    /// uniformly weighted datasets), *not* their coreset weights `w_C`.
+    pub fn absorb_coreset(&mut self, coreset: &Coreset<S>) {
+        let base = 1.0;
+        for s in coreset.samples() {
+            self.samples.push(s.clone());
+            self.weights.push(base);
+        }
+    }
+}
+
+impl<S: Clone> Default for WeightedDataset<S> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreset::Coreset;
+
+    #[test]
+    fn uniform_weights_are_one() {
+        let d = WeightedDataset::uniform(vec![10, 20, 30]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.weights(), &[1.0, 1.0, 1.0]);
+        assert_eq!(d.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn absorb_coreset_keeps_uniform_base_weight() {
+        let mut d = WeightedDataset::uniform(vec![1, 2]);
+        let c = Coreset::new(vec![7, 8, 9], vec![5.0, 5.0, 5.0]);
+        d.absorb_coreset(&c);
+        assert_eq!(d.len(), 5);
+        // Absorbed samples get base weight 1.0, not their coreset weight.
+        assert_eq!(d.weights(), &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(d.samples()[2..], [7, 8, 9]);
+    }
+
+    #[test]
+    fn pairs_zip_samples_and_weights() {
+        let d = WeightedDataset::new(vec!["a", "b"], vec![2.0, 3.0]);
+        let p = d.pairs();
+        assert_eq!(p.len(), 2);
+        assert_eq!(*p[0].0, "a");
+        assert_eq!(p[1].1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = WeightedDataset::new(vec![1], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_rejected() {
+        let _ = WeightedDataset::new(vec![1, 2], vec![1.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Training metrics: loss-vs-time curves (Fig. 2 / Fig. 3) and the
+//! successful model receiving rate (§IV-C).
+
+/// Metrics collected over one collaborative-training run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// `(sim_time_s, mean_eval_loss)` samples — the Fig. 2/3 curves.
+    pub loss_curve: Vec<(f64, f64)>,
+    /// Model transfers attempted (per direction).
+    pub model_sends: u64,
+    /// Model transfers fully delivered.
+    pub model_receives: u64,
+    /// Coreset transfers attempted.
+    pub coreset_sends: u64,
+    /// Coreset transfers fully delivered.
+    pub coreset_receives: u64,
+    /// Pairwise sessions started.
+    pub sessions: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Total simulated seconds spent in pairwise communication.
+    pub comm_seconds: f64,
+    /// Local training iterations performed across all nodes.
+    pub train_iterations: u64,
+}
+
+impl Metrics {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a loss-curve point.
+    pub fn record_loss(&mut self, time: f64, loss: f64) {
+        self.loss_curve.push((time, loss));
+    }
+
+    /// Records a model transfer attempt.
+    pub fn record_model_send(&mut self, delivered: bool, bytes: usize, seconds: f64) {
+        self.model_sends += 1;
+        if delivered {
+            self.model_receives += 1;
+            self.bytes_delivered += bytes as u64;
+        }
+        self.comm_seconds += seconds;
+    }
+
+    /// Records a coreset transfer attempt.
+    pub fn record_coreset_send(&mut self, delivered: bool, bytes: usize, seconds: f64) {
+        self.coreset_sends += 1;
+        if delivered {
+            self.coreset_receives += 1;
+            self.bytes_delivered += bytes as u64;
+        }
+        self.comm_seconds += seconds;
+    }
+
+    /// The §IV-C "successful model receiving rate": delivered / attempted.
+    /// Returns 1.0 when nothing was attempted.
+    pub fn model_receiving_rate(&self) -> f64 {
+        if self.model_sends == 0 {
+            1.0
+        } else {
+            self.model_receives as f64 / self.model_sends as f64
+        }
+    }
+
+    /// Final loss of the curve, if any point was recorded.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.loss_curve.last().map(|&(_, l)| l)
+    }
+
+    /// First time the loss curve dips below `threshold` — the convergence
+    ///-time measure behind Fig. 3's "1.5×–1.8× longer to converge".
+    pub fn time_to_loss(&self, threshold: f64) -> Option<f64> {
+        self.loss_curve
+            .iter()
+            .find(|&&(_, l)| l <= threshold)
+            .map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiving_rate_counts_correctly() {
+        let mut m = Metrics::new();
+        m.record_model_send(true, 100, 1.0);
+        m.record_model_send(false, 100, 0.5);
+        m.record_model_send(true, 100, 1.0);
+        assert!((m.model_receiving_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.bytes_delivered, 200);
+        assert!((m.comm_seconds - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_one() {
+        assert_eq!(Metrics::new().model_receiving_rate(), 1.0);
+    }
+
+    #[test]
+    fn time_to_loss_finds_first_crossing() {
+        let mut m = Metrics::new();
+        m.record_loss(0.0, 1.0);
+        m.record_loss(10.0, 0.6);
+        m.record_loss(20.0, 0.4);
+        m.record_loss(30.0, 0.45);
+        assert_eq!(m.time_to_loss(0.5), Some(20.0));
+        assert_eq!(m.time_to_loss(0.1), None);
+        assert_eq!(m.final_loss(), Some(0.45));
+    }
+}

@@ -1,0 +1,658 @@
+//! The LbChat vehicle node and the full Algorithm 2 protocol.
+//!
+//! [`LbChatNode`] owns one vehicle's learner, weighted local dataset, and
+//! cached coreset. [`LbChatAlgorithm`] holds all nodes and implements the
+//! shared [`CollabAlgorithm`] runtime interface: local iterations every
+//! frame, and on every encounter the full chat — coreset exchange, mutual
+//! valuation, Eq. (7) compression optimization, model exchange, Eq. (8)
+//! aggregation, and dataset expansion.
+
+use crate::adaptive::AdaptiveSizer;
+use crate::aggregate::aggregate_sparse_aware;
+
+use crate::config::LbChatConfig;
+use crate::coreset::{construct, reduce, Coreset, CoresetConfig};
+use crate::dataset::WeightedDataset;
+use crate::learner::Learner;
+use crate::optimize::{equal_compression_choice, CompressionChoice, CompressionProblem};
+use crate::penalty::penalized_loss;
+use crate::phi::PhiCurve;
+use crate::runtime::{CollabAlgorithm, LinkCtx};
+use crate::valuation::coreset_loss;
+use rand::Rng;
+use simnet::contact::ContactEstimate;
+use vnn::{Minibatcher, ParamVec};
+
+/// Below this ψ a model transfer is skipped entirely (sending a handful of
+/// components is pure overhead).
+const PSI_MIN: f32 = 0.01;
+
+/// One vehicle's LbChat state.
+pub struct LbChatNode<L: Learner> {
+    /// The local learner (model + optimizer).
+    pub learner: L,
+    dataset: WeightedDataset<L::Sample>,
+    coreset: Coreset<L::Sample>,
+    batcher: Minibatcher,
+    iters_since_refresh: usize,
+    coreset_stale: bool,
+    config: LbChatConfig,
+    sizer: Option<AdaptiveSizer>,
+}
+
+impl<L: Learner> LbChatNode<L> {
+    /// Creates a node and builds its initial coreset.
+    pub fn new<R: Rng + ?Sized>(
+        learner: L,
+        dataset: WeightedDataset<L::Sample>,
+        config: LbChatConfig,
+        rng: &mut R,
+    ) -> Self {
+        let coreset = construct(
+            &learner,
+            &dataset,
+            &CoresetConfig { size: config.coreset_size },
+            rng,
+        );
+        let batcher = Minibatcher::new(dataset.len(), config.batch_size);
+        let sizer = config.adaptive_coreset.then(|| {
+            AdaptiveSizer::new(
+                config.coreset_size,
+                (config.coreset_size / 10).max(5),
+                config.coreset_size * 10,
+            )
+        });
+        Self {
+            learner,
+            dataset,
+            coreset,
+            batcher,
+            iters_since_refresh: 0,
+            coreset_stale: false,
+            config,
+            sizer,
+        }
+    }
+
+    /// The adaptive sizer, when enabled.
+    pub fn sizer(&self) -> Option<&AdaptiveSizer> {
+        self.sizer.as_ref()
+    }
+
+    /// Records a coreset-exchange observation for adaptive sizing.
+    pub fn observe_exchange_share(&mut self, share: f64) {
+        if let Some(s) = self.sizer.as_mut() {
+            s.observe_exchange(share);
+        }
+    }
+
+    /// The local dataset.
+    pub fn dataset(&self) -> &WeightedDataset<L::Sample> {
+        &self.dataset
+    }
+
+    /// The current coreset.
+    pub fn coreset(&self) -> &Coreset<L::Sample> {
+        &self.coreset
+    }
+
+    /// Runs one weighted minibatch iteration; refreshes the coreset when it
+    /// has gone stale (every `coreset_refresh_iters` iterations, so the
+    /// coreset tracks the evolving model).
+    pub fn local_iteration<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
+        let idx = self.batcher.next_batch(rng);
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let batch: Vec<(&L::Sample, f32)> = idx
+            .iter()
+            .map(|&i| (self.dataset.sample(i), self.dataset.weight(i)))
+            .collect();
+        let loss = self.learner.train_step(&batch);
+        self.iters_since_refresh += 1;
+        if self.iters_since_refresh >= self.config.coreset_refresh_iters {
+            self.refresh_coreset(rng);
+        }
+        loss
+    }
+
+    /// Rebuilds the coreset from the (possibly expanded) dataset with the
+    /// current model (Algorithm 1). With adaptive sizing enabled, folds the
+    /// fresh coreset's empirical ε into the controller and adopts its next
+    /// recommended size.
+    pub fn refresh_coreset<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let size = match self.sizer.as_mut() {
+            Some(s) => s.adjust(),
+            None => self.config.coreset_size,
+        };
+        self.coreset = construct(
+            &self.learner,
+            &self.dataset,
+            &CoresetConfig { size },
+            rng,
+        );
+        if let Some(s) = self.sizer.as_mut() {
+            let eps =
+                crate::coreset::empirical_epsilon(&self.learner, &self.coreset, &self.dataset);
+            s.observe_epsilon(eps);
+        }
+        self.iters_since_refresh = 0;
+        self.coreset_stale = false;
+    }
+
+    /// Absorbs a received peer coreset: expands the local dataset (§III-D)
+    /// and maintains the local coreset — by merge-and-reduce when
+    /// configured (cheap, suits frequent encounters), otherwise by marking
+    /// it stale for the next scheduled rebuild.
+    pub fn absorb<R: Rng + ?Sized>(&mut self, peer_coreset: &Coreset<L::Sample>, rng: &mut R) {
+        self.dataset.absorb_coreset(peer_coreset);
+        self.batcher.grow(self.dataset.len());
+        if self.config.merge_reduce {
+            let merged = std::mem::replace(&mut self.coreset, Coreset::empty())
+                .merge(peer_coreset.clone());
+            self.coreset = reduce(merged, self.config.coreset_size, rng);
+        } else {
+            self.coreset_stale = true;
+        }
+    }
+
+    /// Replaces the model with an aggregated one and resets optimizer
+    /// momentum.
+    pub fn adopt_model(&mut self, params: ParamVec) {
+        self.learner.set_params(params);
+        self.learner.on_params_replaced();
+        self.coreset_stale = true;
+    }
+
+    /// Penalized loss of an arbitrary parameter vector on this node's
+    /// *joint* view `C_self ∪ C_peer` — the Eq. (8) weighting set,
+    /// approximating `D_i ∪ C_j` per §III-D.
+    fn joint_loss(&self, params: &ParamVec, peer: &Coreset<L::Sample>) -> f32 {
+        let mut pairs = self.coreset.pairs();
+        pairs.extend(peer.pairs());
+        penalized_loss(&self.learner, params, &pairs, &self.config.penalty)
+    }
+}
+
+/// All LbChat vehicles plus the protocol implementation.
+pub struct LbChatAlgorithm<L: Learner> {
+    nodes: Vec<LbChatNode<L>>,
+    config: LbChatConfig,
+    name: &'static str,
+}
+
+impl<L: Learner> LbChatAlgorithm<L> {
+    /// Builds the fleet from per-vehicle learners and datasets.
+    ///
+    /// # Panics
+    /// Panics if `learners` and `datasets` lengths differ or are empty.
+    pub fn new<R: Rng + ?Sized>(
+        learners: Vec<L>,
+        datasets: Vec<WeightedDataset<L::Sample>>,
+        config: LbChatConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(learners.len(), datasets.len(), "one dataset per learner");
+        assert!(!learners.is_empty(), "need at least one vehicle");
+        let name = if config.share_model { "LbChat" } else { "SCO" };
+        let nodes = learners
+            .into_iter()
+            .zip(datasets)
+            .map(|(l, d)| LbChatNode::new(l, d, config.clone(), rng))
+            .collect();
+        Self { nodes, config, name }
+    }
+
+    /// Access to a node (tests, inspection).
+    pub fn node(&self, i: usize) -> &LbChatNode<L> {
+        &self.nodes[i]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, i: usize) -> &mut LbChatNode<L> {
+        &mut self.nodes[i]
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LbChatConfig {
+        &self.config
+    }
+
+    /// Mutably borrows two distinct nodes.
+    fn two_nodes(&mut self, i: usize, j: usize) -> (&mut LbChatNode<L>, &mut LbChatNode<L>) {
+        assert_ne!(i, j, "a node cannot chat with itself");
+        if i < j {
+            let (a, b) = self.nodes.split_at_mut(j);
+            (&mut a[i], &mut b[0])
+        } else {
+            let (a, b) = self.nodes.split_at_mut(i);
+            (&mut b[0], &mut a[j])
+        }
+    }
+}
+
+impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
+    type Sample = L::Sample;
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn model(&self, node: usize) -> &ParamVec {
+        self.nodes[node].learner.params()
+    }
+
+    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+        for _ in 0..iters {
+            self.nodes[node].local_iteration(rng);
+        }
+    }
+
+    /// Eq. (5): `c = z · p · min(B_i, B_j)`. Bandwidths are homogeneous in
+    /// the paper's setup, so the runtime's min-bandwidth is a constant
+    /// factor — we use the radio bandwidth directly.
+    fn pair_priority(&self, _i: usize, _j: usize, est: &ContactEstimate) -> f64 {
+        est.z * est.p * 31e6
+    }
+
+    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {
+        let cfg = self.config.clone();
+        let time_limit = cfg.time_budget.min(link.contact().duration.max(0.0));
+
+        // --- 1. Assist messages (route + bandwidth, 184 B each way). ---
+        let assist = link.transfer(2 * 184, time_limit.max(1.0));
+        if !assist.is_delivered() {
+            return link.elapsed().max(0.1);
+        }
+
+        // --- 2. Coreset construction & exchange. ---
+        {
+            let (a, b) = self.two_nodes(i, j);
+            if a.coreset_stale {
+                a.refresh_coreset(link.rng());
+            }
+            if b.coreset_stale {
+                b.refresh_coreset(link.rng());
+            }
+        }
+        let coreset_bytes = cfg.coreset_wire_bytes();
+        let deadline = (time_limit - link.elapsed()).max(0.0);
+        let c_i_to_j = link.transfer(coreset_bytes, deadline);
+        link.metrics
+            .record_coreset_send(c_i_to_j.is_delivered(), coreset_bytes, c_i_to_j.elapsed());
+        let deadline = (time_limit - link.elapsed()).max(0.0);
+        let c_j_to_i = link.transfer(coreset_bytes, deadline);
+        link.metrics
+            .record_coreset_send(c_j_to_i.is_delivered(), coreset_bytes, c_j_to_i.elapsed());
+        if !c_i_to_j.is_delivered() || !c_j_to_i.is_delivered() {
+            // Without both coresets there is no valuation; end the session.
+            // A failed coreset exchange is the strongest oversize signal.
+            if cfg.adaptive_coreset {
+                self.nodes[i].observe_exchange_share(1.5);
+                self.nodes[j].observe_exchange_share(1.5);
+            }
+            return link.elapsed();
+        }
+        if cfg.adaptive_coreset && time_limit > 0.0 {
+            let share = link.elapsed() / time_limit;
+            self.nodes[i].observe_exchange_share(share);
+            self.nodes[j].observe_exchange_share(share);
+        }
+        let coreset_i = self.nodes[i].coreset.clone();
+        let coreset_j = self.nodes[j].coreset.clone();
+
+        // --- 3. Mutual valuation + φ sampling (computation, §IV-A: not
+        // charged to the simulated clock). ---
+        let pen = cfg.penalty;
+        let loss_i_on_cj = coreset_loss(
+            &self.nodes[i].learner,
+            self.nodes[i].learner.params(),
+            &coreset_j,
+            &pen,
+        );
+        let loss_j_on_ci = coreset_loss(
+            &self.nodes[j].learner,
+            self.nodes[j].learner.params(),
+            &coreset_i,
+            &pen,
+        );
+
+        // --- 4. Compression-ratio optimization (Eq. 7) or ablations. ---
+        let choice: CompressionChoice = if !cfg.share_model {
+            // SCO: no model exchange at all.
+            CompressionChoice { psi_i: 0.0, psi_j: 0.0, transfer_time: 0.0, objective: 0.0 }
+        } else if cfg.equal_compression {
+            let remaining = (time_limit - link.elapsed()).max(0.0);
+            equal_compression_choice(
+                cfg.model_wire_bytes,
+                link.contact().p.max(0.01) * 31e6, // effective rate under loss
+                cfg.time_budget,
+                remaining,
+            )
+        } else {
+            let phi_i = PhiCurve::sample(
+                &self.nodes[i].learner,
+                &coreset_i,
+                &cfg.psi_grid,
+                &pen,
+            );
+            let phi_j = PhiCurve::sample(
+                &self.nodes[j].learner,
+                &coreset_j,
+                &cfg.psi_grid,
+                &pen,
+            );
+            // Exchange of φ points + losses: negligible but real bytes.
+            let deadline = (time_limit - link.elapsed()).max(0.0);
+            let results = link.transfer(phi_i.wire_bytes() + phi_j.wire_bytes() + 16, deadline);
+            if !results.is_delivered() {
+                // Can't agree on ψ: absorb coresets and leave.
+                let (a, b) = self.two_nodes(i, j);
+                a.absorb(&coreset_j, link.rng());
+                b.absorb(&coreset_i, link.rng());
+                return link.elapsed();
+            }
+            let remaining = (time_limit - link.elapsed()).max(0.0);
+            // Budget against expected *goodput*: retransmissions inflate
+            // airtime by ~1/(1-PER), and the contact estimate's delivery
+            // probability p is exactly the link-quality signal the assist
+            // exchange bought us. Without this, transfers sized to the raw
+            // bandwidth overrun their deadline whenever the channel is
+            // lossy — the failure mode the paper's 87 % receiving rate
+            // shows LbChat avoiding.
+            let goodput = 31e6 * link.contact().p.clamp(0.05, 1.0);
+            CompressionProblem {
+                phi_i: &phi_i,
+                phi_j: &phi_j,
+                loss_j_on_ci,
+                loss_i_on_cj,
+                model_bytes: cfg.model_wire_bytes,
+                bandwidth_bps: goodput,
+                time_budget: remaining,
+                contact: (link.contact().duration - link.elapsed()).max(0.0),
+                lambda_c: cfg.lambda_c,
+            }
+            .solve()
+        };
+
+        // --- 5. Model exchange (top-k sparsified both ways). ---
+        let mut received_i: Option<ParamVec> = None; // what i receives from j
+        let mut received_j: Option<ParamVec> = None; // what j receives from i
+        if cfg.share_model {
+            if choice.psi_i >= PSI_MIN {
+                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, choice.psi_i);
+                let deadline = (time_limit - link.elapsed()).max(0.0);
+                let out = link.transfer(bytes, deadline);
+                link.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                if out.is_delivered() {
+                    received_j =
+                        Some(cfg.compression.apply(self.nodes[i].learner.params(), choice.psi_i));
+                }
+            }
+            if choice.psi_j >= PSI_MIN {
+                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, choice.psi_j);
+                let deadline = (time_limit - link.elapsed()).max(0.0);
+                let out = link.transfer(bytes, deadline);
+                link.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                if out.is_delivered() {
+                    received_i =
+                        Some(cfg.compression.apply(self.nodes[j].learner.params(), choice.psi_j));
+                }
+            }
+        }
+
+        // --- 6. Aggregation (Eq. 8) on the joint coreset view. ---
+        if let Some(peer_params) = received_i {
+            let node = &self.nodes[i];
+            let own_loss = node.joint_loss(node.learner.params(), &coreset_j);
+            let peer_loss = node.joint_loss(&peer_params, &coreset_j);
+            let merged = aggregate_sparse_aware(
+                node.learner.params(),
+                own_loss,
+                &peer_params,
+                peer_loss,
+                cfg.aggregation,
+            );
+            self.nodes[i].adopt_model(merged);
+        }
+        if let Some(peer_params) = received_j {
+            let node = &self.nodes[j];
+            let own_loss = node.joint_loss(node.learner.params(), &coreset_i);
+            let peer_loss = node.joint_loss(&peer_params, &coreset_i);
+            let merged = aggregate_sparse_aware(
+                node.learner.params(),
+                own_loss,
+                &peer_params,
+                peer_loss,
+                cfg.aggregation,
+            );
+            self.nodes[j].adopt_model(merged);
+        }
+
+        // --- 7. Dataset expansion with the received coresets (§III-D). ---
+        {
+            let (a, b) = self.two_nodes(i, j);
+            a.absorb(&coreset_j, link.rng());
+            b.absorb(&coreset_i, link.rng());
+        }
+
+        link.elapsed()
+    }
+
+    fn mean_eval_loss(&self, eval: &[L::Sample]) -> f64 {
+        if eval.is_empty() || self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for node in &self.nodes {
+            let mut acc = 0.0f64;
+            for s in eval {
+                acc += node.learner.loss(s) as f64;
+            }
+            total += acc / eval.len() as f64;
+        }
+        total / self.nodes.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::testutil::{line_data, LineLearner};
+    use crate::runtime::{Runtime, RuntimeConfig};
+    use rand::SeedableRng;
+    use simnet::geom::Vec2;
+    use simnet::trace::MobilityTrace;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn small_config() -> LbChatConfig {
+        LbChatConfig {
+            coreset_size: 30,
+            coreset_bytes_per_sample: 256,
+            model_wire_bytes: 4 * 1024 * 1024, // small model: fits contacts
+            coreset_refresh_iters: 20,
+            batch_size: 16,
+            ..LbChatConfig::default()
+        }
+    }
+
+    fn two_node_algo(cfg: LbChatConfig) -> LbChatAlgorithm<LineLearner> {
+        let mut r = rng();
+        let la = LineLearner::new(0.0, 0.0);
+        let lb = LineLearner::new(0.0, 0.0);
+        let da = WeightedDataset::uniform(line_data(2.0, -1.0, 300));
+        let db = WeightedDataset::uniform(line_data(-1.0, 2.0, 300));
+        LbChatAlgorithm::new(vec![la, lb], vec![da, db], cfg, &mut r)
+    }
+
+    fn parked_trace(seconds: f64) -> MobilityTrace {
+        let frames = (seconds * 2.0) as usize + 1;
+        MobilityTrace::new(
+            2.0,
+            vec![vec![Vec2::ZERO; frames], vec![Vec2::new(80.0, 0.0); frames]],
+        )
+    }
+
+    #[test]
+    fn node_trains_and_refreshes_coreset() {
+        let mut r = rng();
+        let node_cfg = small_config();
+        let mut node = LbChatNode::new(
+            LineLearner::new(0.0, 0.0),
+            WeightedDataset::uniform(line_data(1.0, 0.0, 200)),
+            node_cfg,
+            &mut r,
+        );
+        let initial_coreset = node.coreset().clone();
+        let first = node.local_iteration(&mut r);
+        for _ in 0..100 {
+            node.local_iteration(&mut r);
+        }
+        let last = node.local_iteration(&mut r);
+        assert!(last < first, "training must reduce loss: {first} -> {last}");
+        assert_ne!(
+            node.coreset(),
+            &initial_coreset,
+            "coreset must refresh as the model evolves"
+        );
+    }
+
+    #[test]
+    fn absorb_grows_dataset_and_keeps_coreset_size() {
+        let mut r = rng();
+        let mut node = LbChatNode::new(
+            LineLearner::new(0.0, 0.0),
+            WeightedDataset::uniform(line_data(1.0, 0.0, 200)),
+            small_config(),
+            &mut r,
+        );
+        let before = node.dataset().len();
+        let peer = Coreset::new(
+            line_data(3.0, 3.0, 40),
+            vec![5.0; 40],
+        );
+        node.absorb(&peer, &mut r);
+        assert_eq!(node.dataset().len(), before + 40);
+        assert!(node.coreset().len() <= 30, "merge-reduce keeps the size bound");
+    }
+
+    #[test]
+    fn chat_exchanges_models_and_data() {
+        let mut algo = two_node_algo(small_config());
+        let trace = parked_trace(600.0);
+        // Pre-train both so models differ meaningfully.
+        let mut r = rng();
+        for node in 0..2 {
+            algo.local_training(node, 200, &mut r);
+        }
+        let eval = line_data(2.0, -1.0, 50);
+        let runtime = Runtime::new(RuntimeConfig {
+            duration: 600.0,
+            eval_every: 100.0,
+            ..RuntimeConfig::default()
+        });
+        let before_a = algo.node(0).dataset().len();
+        let metrics = runtime.run(&mut algo, &trace, &eval);
+        assert!(metrics.sessions > 0, "parked in range: must chat");
+        assert!(metrics.coreset_receives > 0);
+        assert!(metrics.model_receives > 0, "models must flow on a clean channel");
+        assert!(
+            algo.node(0).dataset().len() > before_a,
+            "dataset must expand by absorbed coresets"
+        );
+    }
+
+    #[test]
+    fn collaboration_beats_isolation_on_foreign_data() {
+        // Node 0 trains on line A, node 1 on line B. After chatting, node 0
+        // must do better on B-data than an isolated twin.
+        let cfg = small_config();
+        let mut algo = two_node_algo(cfg.clone());
+        let trace = parked_trace(900.0);
+        let eval_b = line_data(-1.0, 2.0, 60);
+        let runtime = Runtime::new(RuntimeConfig {
+            duration: 900.0,
+            eval_every: 300.0,
+            ..RuntimeConfig::default()
+        });
+        runtime.run(&mut algo, &trace, &eval_b);
+        let chatty_loss: f64 = eval_b
+            .iter()
+            .map(|s| algo.node(0).learner.loss(s) as f64)
+            .sum::<f64>()
+            / eval_b.len() as f64;
+
+        // Isolated twin: same data, same training budget, no chats.
+        let mut r = rng();
+        let mut lonely = LbChatNode::new(
+            LineLearner::new(0.0, 0.0),
+            WeightedDataset::uniform(line_data(2.0, -1.0, 300)),
+            cfg,
+            &mut r,
+        );
+        for _ in 0..1800 {
+            lonely.local_iteration(&mut r);
+        }
+        let lonely_loss: f64 = eval_b
+            .iter()
+            .map(|s| lonely.learner.loss(s) as f64)
+            .sum::<f64>()
+            / eval_b.len() as f64;
+        assert!(
+            chatty_loss < lonely_loss * 0.8,
+            "chatting must help on foreign data: chatty {chatty_loss} vs lonely {lonely_loss}"
+        );
+    }
+
+    #[test]
+    fn sco_never_sends_models() {
+        let mut algo = two_node_algo(small_config().sco());
+        let trace = parked_trace(600.0);
+        let eval = line_data(2.0, -1.0, 20);
+        let runtime = Runtime::new(RuntimeConfig {
+            duration: 600.0,
+            ..RuntimeConfig::default()
+        });
+        let metrics = runtime.run(&mut algo, &trace, &eval);
+        assert!(metrics.sessions > 0);
+        assert_eq!(metrics.model_sends, 0, "SCO shares coresets only");
+        assert!(metrics.coreset_receives > 0);
+        assert_eq!(algo.name(), "SCO");
+    }
+
+    #[test]
+    fn equal_compression_still_exchanges() {
+        let mut algo = two_node_algo(small_config().with_equal_compression());
+        let trace = parked_trace(400.0);
+        let eval = line_data(2.0, -1.0, 20);
+        let runtime = Runtime::new(RuntimeConfig {
+            duration: 400.0,
+            ..RuntimeConfig::default()
+        });
+        let metrics = runtime.run(&mut algo, &trace, &eval);
+        assert!(metrics.model_sends > 0);
+    }
+
+    #[test]
+    fn two_nodes_split_borrows_correctly() {
+        let mut algo = two_node_algo(small_config());
+        let (a, b) = algo.two_nodes(1, 0);
+        // Just verify distinct addresses by mutating one side.
+        a.coreset_stale = true;
+        assert!(!b.coreset_stale || b.coreset_stale != a.coreset_stale || true);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot chat with itself")]
+    fn self_chat_panics() {
+        let mut algo = two_node_algo(small_config());
+        let _ = algo.two_nodes(1, 1);
+    }
+}

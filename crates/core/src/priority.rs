@@ -1,0 +1,151 @@
+//! Exchange-sequence determination (§III-A, Eq. 5).
+//!
+//! When a vehicle finds several neighbors in range it ranks them by the
+//! priority score `c_{i,j} = z_{i,j} · p_{i,j} · min(B_i, B_j)` built from
+//! the shared assist information (route, bandwidth): `z` is the truncated
+//! contact-duration ratio and `p` the predicted exchange-completion
+//! probability (both from [`simnet::contact`]). Vehicles chat pairwise in
+//! descending score order; a maximum waiting time breaks the rare deadlocks
+//! of asynchronous sequence choices.
+
+use simnet::contact::ContactPredictor;
+use simnet::geom::Vec2;
+
+/// A neighbor candidate with its shared assist information.
+#[derive(Debug, Clone)]
+pub struct Neighbor {
+    /// The neighbor's node index.
+    pub id: usize,
+    /// Its shared future route samples.
+    pub route: Vec<Vec2>,
+    /// Its available bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+}
+
+/// A scored neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredNeighbor {
+    /// The neighbor's node index.
+    pub id: usize,
+    /// The Eq. (5) priority score.
+    pub score: f64,
+    /// Predicted contact duration in seconds.
+    pub contact: f64,
+}
+
+/// Ranks neighbors by the Eq. (5) score, descending. `own_route` /
+/// `own_bandwidth` are the local vehicle's assist data; `dt` is the spacing
+/// of route samples in seconds.
+pub fn rank_neighbors(
+    predictor: &ContactPredictor,
+    own_route: &[Vec2],
+    own_bandwidth: f64,
+    neighbors: &[Neighbor],
+    dt: f64,
+) -> Vec<ScoredNeighbor> {
+    let mut scored: Vec<ScoredNeighbor> = neighbors
+        .iter()
+        .map(|n| {
+            let est = predictor.estimate(own_route, &n.route, dt);
+            ScoredNeighbor {
+                id: n.id,
+                score: est.z * est.p * own_bandwidth.min(n.bandwidth_bps),
+                contact: est.duration,
+            }
+        })
+        .collect();
+    scored.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    scored
+}
+
+/// Deadlock breaker for asynchronous sequence choices (§III-A): a vehicle
+/// waiting for a busy partner abandons the attempt after `max_wait`
+/// seconds and moves to its next-ranked neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitPolicy {
+    /// Maximum seconds a vehicle waits for a chosen partner.
+    pub max_wait: f64,
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        Self { max_wait: 5.0 }
+    }
+}
+
+impl WaitPolicy {
+    /// Whether a vehicle that started waiting at `since` should abandon the
+    /// partner at time `now`.
+    pub fn should_abandon(&self, since: f64, now: f64) -> bool {
+        now - since > self.max_wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::loss::LossModel;
+
+    fn predictor() -> ContactPredictor {
+        ContactPredictor::new(500.0, 3, LossModel::distance_default(), 30.0)
+    }
+
+    fn parked(at: Vec2, n: usize) -> Vec<Vec2> {
+        vec![at; n]
+    }
+
+    #[test]
+    fn closer_neighbor_ranks_first() {
+        let p = predictor();
+        let own = parked(Vec2::ZERO, 61);
+        let neighbors = vec![
+            Neighbor { id: 1, route: parked(Vec2::new(400.0, 0.0), 61), bandwidth_bps: 31e6 },
+            Neighbor { id: 2, route: parked(Vec2::new(60.0, 0.0), 61), bandwidth_bps: 31e6 },
+        ];
+        let ranked = rank_neighbors(&p, &own, 31e6, &neighbors, 0.5);
+        assert_eq!(ranked[0].id, 2, "nearer neighbor has higher p, ranks first");
+        assert!(ranked[0].score > ranked[1].score);
+    }
+
+    #[test]
+    fn low_bandwidth_neighbor_ranks_lower() {
+        let p = predictor();
+        let own = parked(Vec2::ZERO, 61);
+        let neighbors = vec![
+            Neighbor { id: 1, route: parked(Vec2::new(100.0, 0.0), 61), bandwidth_bps: 31e6 },
+            Neighbor { id: 2, route: parked(Vec2::new(100.0, 0.0), 61), bandwidth_bps: 5e6 },
+        ];
+        let ranked = rank_neighbors(&p, &own, 31e6, &neighbors, 0.5);
+        assert_eq!(ranked[0].id, 1);
+        assert!((ranked[0].score / ranked[1].score - 31.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn departing_neighbor_ranks_below_staying_one() {
+        let p = predictor();
+        let own = parked(Vec2::ZERO, 121);
+        let stays = Neighbor { id: 1, route: parked(Vec2::new(150.0, 0.0), 121), bandwidth_bps: 31e6 };
+        let leaves = Neighbor {
+            id: 2,
+            route: (0..121)
+                .map(|k| Vec2::new(150.0 + k as f32 * 0.5 * 25.0, 0.0))
+                .collect(),
+            bandwidth_bps: 31e6,
+        };
+        let ranked = rank_neighbors(&p, &own, 31e6, &[stays, leaves], 0.5);
+        assert_eq!(ranked[0].id, 1, "the staying neighbor should win");
+    }
+
+    #[test]
+    fn empty_neighbor_list_is_fine() {
+        let p = predictor();
+        assert!(rank_neighbors(&p, &parked(Vec2::ZERO, 10), 31e6, &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn wait_policy_abandons_after_max_wait() {
+        let w = WaitPolicy { max_wait: 5.0 };
+        assert!(!w.should_abandon(100.0, 104.0));
+        assert!(w.should_abandon(100.0, 105.5));
+    }
+}

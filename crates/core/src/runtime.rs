@@ -1,0 +1,555 @@
+//! The shared asynchronous simulation runtime.
+//!
+//! Every method in the paper's evaluation — LbChat, SCO, and all four
+//! benchmarks — runs inside the same loop: a mobility trace is played back
+//! at the world frame rate; free vehicles train local iterations; vehicles
+//! within radio range start pairwise sessions (or talk to infrastructure);
+//! every transfer is charged real airtime on the simulated radio. Methods
+//! differ only in the [`CollabAlgorithm`] implementation, so comparisons
+//! are apples-to-apples.
+
+use crate::metrics::Metrics;
+use rand::SeedableRng;
+use simnet::channel::{Channel, RadioConfig, TransferOutcome};
+use simnet::contact::{ContactEstimate, ContactPredictor};
+use simnet::loss::LossModel;
+use simnet::trace::MobilityTrace;
+use vnn::ParamVec;
+
+/// Runtime parameters shared by all methods.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Total simulated training time `T` in seconds.
+    pub duration: f64,
+    /// Training iterations a free vehicle performs per simulated second
+    /// (models the paper's "except for the local training time, we ignore
+    /// time for computation").
+    pub train_iters_per_second: f64,
+    /// Radio parameters (packet size, bandwidth, range, retransmissions).
+    pub radio: RadioConfig,
+    /// Wireless loss model (None for Fig. 2(a)/Table II, distance-based for
+    /// Fig. 2(b)/Table III).
+    pub loss_model: LossModel,
+    /// Seconds between loss-curve evaluations.
+    pub eval_every: f64,
+    /// After a pairwise session, the same pair won't start another until
+    /// this many seconds pass (they must gather new data / models to make a
+    /// re-exchange useful).
+    pub pair_cooldown: f64,
+    /// Reference exchange time for the truncated contact ratio `z`.
+    pub contact_reference_time: f64,
+    /// Number of future route samples shared in assist messages (at the
+    /// trace frame spacing).
+    pub route_share_samples: usize,
+    /// RNG seed for communication randomness.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            duration: 3600.0,
+            train_iters_per_second: 2.0,
+            radio: RadioConfig::default(),
+            loss_model: LossModel::None,
+            eval_every: 120.0,
+            pair_cooldown: 60.0,
+            contact_reference_time: 30.0,
+            route_share_samples: 240,
+            seed: 0,
+        }
+    }
+}
+
+/// A pairwise radio link during one session, advancing its own elapsed time
+/// as transfers are charged. Algorithms call [`LinkCtx::transfer`] for every
+/// payload they move; the runtime uses the accumulated time to mark both
+/// endpoints busy.
+pub struct LinkCtx<'a> {
+    /// Session start in simulated seconds.
+    start: f64,
+    /// Node ids at the endpoints.
+    pub i: usize,
+    /// Second endpoint.
+    pub j: usize,
+    trace: &'a MobilityTrace,
+    channel: &'a Channel,
+    rng: &'a mut rand::rngs::StdRng,
+    /// Metrics sink for this run.
+    pub metrics: &'a mut Metrics,
+    est: ContactEstimate,
+    elapsed: f64,
+}
+
+impl LinkCtx<'_> {
+    /// The contact estimate (duration, z, p) computed from shared routes.
+    pub fn contact(&self) -> ContactEstimate {
+        self.est
+    }
+
+    /// Seconds already consumed in this session.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Current simulated time inside the session.
+    pub fn now(&self) -> f64 {
+        self.start + self.elapsed
+    }
+
+    /// Transfers `bytes` over the link with `deadline` seconds of session
+    /// time remaining allowed (measured from now). Advances the session
+    /// clock by the airtime consumed and returns whether the payload fully
+    /// arrived. Distance-based loss follows the live trace positions.
+    pub fn transfer(&mut self, bytes: usize, deadline: f64) -> TransferOutcome {
+        let t0 = self.now();
+        let trace = self.trace;
+        let (i, j) = (self.i, self.j);
+        let out = self.channel.transfer(
+            bytes,
+            deadline,
+            |t| trace.distance(i, j, t0 + t) ,
+            self.rng,
+        );
+        self.elapsed += out.elapsed();
+        out
+    }
+
+    /// Charges airtime without moving payload (e.g. waiting on the peer's
+    /// computation in a strictly alternating protocol).
+    pub fn charge(&mut self, seconds: f64) {
+        self.elapsed += seconds.max(0.0);
+    }
+
+    /// The RNG for protocol-level randomness.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.rng
+    }
+}
+
+/// Per-frame context for infrastructure-based methods (central server,
+/// RSUs): gives access to vehicle positions, a loss-model channel for
+/// backend messages, and the metrics sink.
+pub struct FrameCtx<'a> {
+    /// Current simulated time.
+    pub time: f64,
+    /// The mobility trace (positions of all learning vehicles).
+    pub trace: &'a MobilityTrace,
+    /// The radio (used by RSU links; backend links use
+    /// [`FrameCtx::backend_message`]).
+    pub channel: &'a Channel,
+    /// Busy-until times per node — infrastructure exchanges must respect
+    /// ongoing V2V sessions.
+    pub busy_until: &'a [f64],
+    rng: &'a mut rand::rngs::StdRng,
+    /// Metrics sink.
+    pub metrics: &'a mut Metrics,
+    loss_model: &'a LossModel,
+}
+
+impl FrameCtx<'_> {
+    /// The RNG for protocol-level randomness.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.rng
+    }
+
+    /// Simulates one backend (cellular) message of a model-sized payload:
+    /// the paper assumes *no bandwidth constraint* to the backend but, under
+    /// wireless loss, draws a loss "uniformly sampled from the distance-loss
+    /// lookup table" per communication. Returns whether the message got
+    /// through; records it as a model send.
+    pub fn backend_message(&mut self, bytes: usize) -> bool {
+        use rand::RngExt as _;
+        let per = self.loss_model.sample_uniform_per(self.rng);
+        // Message-level Bernoulli: a single end-to-end success draw (the
+        // backend is not packetized by the paper's model).
+        let delivered = per <= 0.0 || self.rng.random::<f32>() >= per;
+        self.metrics.record_model_send(delivered, bytes, 0.0);
+        delivered
+    }
+}
+
+/// A collaborative-training method runnable by the [`Runtime`].
+pub trait CollabAlgorithm {
+    /// The task sample type (evaluation needs a held-out set of these).
+    type Sample;
+
+    /// Number of participating vehicles.
+    fn n_nodes(&self) -> usize;
+
+    /// The current model of a node (for inspection / driving evaluation).
+    fn model(&self, node: usize) -> &ParamVec;
+
+    /// Performs `iters` local training iterations on `node`.
+    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng);
+
+    /// Handles a pairwise encounter; returns the session duration in
+    /// seconds (both nodes stay busy that long). Use `link.transfer` for
+    /// every payload so airtime and receiving rates are accounted.
+    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64;
+
+    /// Ranks a potential encounter for greedy pair matching (higher =
+    /// served first). The default is 0 — no prioritization; pairs are
+    /// served in arbitrary (encounter-enumeration) order, which is what the
+    /// model-sharing-only baselines do. LbChat overrides this with the
+    /// Eq. (5) score computed from shared routes — its route-sharing
+    /// advantage. Return `-inf` to opt out of V2V pairing entirely
+    /// (infrastructure-only methods).
+    fn pair_priority(&self, _i: usize, _j: usize, _est: &ContactEstimate) -> f64 {
+        0.0
+    }
+
+    /// Per-frame hook for infrastructure communication (server rounds,
+    /// RSUs). Default: nothing.
+    fn on_frame(&mut self, _ctx: &mut FrameCtx<'_>) {}
+
+    /// Mean evaluation loss across all nodes on a held-out sample set.
+    fn mean_eval_loss(&self, eval: &[Self::Sample]) -> f64;
+
+    /// Display name (table headers).
+    fn name(&self) -> &'static str;
+}
+
+/// The shared simulation loop.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Runs `algo` over `trace` for the configured duration, evaluating on
+    /// `eval` along the way. Returns the collected metrics.
+    ///
+    /// # Panics
+    /// Panics if the trace has fewer agents than the algorithm has nodes.
+    pub fn run<A: CollabAlgorithm>(
+        &self,
+        algo: &mut A,
+        trace: &MobilityTrace,
+        eval: &[A::Sample],
+    ) -> Metrics {
+        let n = algo.n_nodes();
+        assert!(
+            trace.n_agents() >= n,
+            "trace has {} agents but the algorithm needs {}",
+            trace.n_agents(),
+            n
+        );
+        let cfg = &self.config;
+        let dt = 1.0 / trace.fps();
+        let channel = Channel::new(cfg.radio.clone(), cfg.loss_model.clone());
+        let predictor = ContactPredictor::new(
+            cfg.radio.range_m,
+            cfg.radio.max_retx,
+            cfg.loss_model.clone(),
+            cfg.contact_reference_time,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE));
+        let mut metrics = Metrics::new();
+        let mut busy_until = vec![0.0f64; n];
+        let mut pair_cooldown_until = vec![0.0f64; n * n];
+        let mut train_debt = vec![0.0f64; n];
+        let mut next_eval = 0.0f64;
+        let active: Vec<usize> = (0..n).collect();
+
+        let mut time = 0.0f64;
+        while time < cfg.duration {
+            // 1. Infrastructure hook.
+            {
+                let mut fctx = FrameCtx {
+                    time,
+                    trace,
+                    channel: &channel,
+                    busy_until: &busy_until,
+                    rng: &mut rng,
+                    metrics: &mut metrics,
+                    loss_model: &cfg.loss_model,
+                };
+                algo.on_frame(&mut fctx);
+            }
+
+            // 2. Encounters among free vehicles.
+            let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
+            for e in trace.encounters_at(time, cfg.radio.range_m, &active) {
+                let (i, j) = (e.a, e.b);
+                if busy_until[i] > time || busy_until[j] > time {
+                    continue;
+                }
+                if pair_cooldown_until[i * n + j] > time {
+                    continue;
+                }
+                let fut_i = trace.future(i, time, dt, cfg.route_share_samples);
+                let fut_j = trace.future(j, time, dt, cfg.route_share_samples);
+                let est = predictor.estimate(&fut_i, &fut_j, dt);
+                let score = algo.pair_priority(i, j, &est);
+                if !score.is_finite() {
+                    continue; // method opted out of this pairing
+                }
+                candidates.push((score, i, j, est));
+            }
+            // Greedy matching by descending priority — each vehicle serves
+            // its best-scored neighbor first (§III-A).
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite priorities"));
+            let mut taken = vec![false; n];
+            for (_, i, j, est) in candidates {
+                if taken[i] || taken[j] {
+                    continue;
+                }
+                taken[i] = true;
+                taken[j] = true;
+                metrics.sessions += 1;
+                let mut link = LinkCtx {
+                    start: time,
+                    i,
+                    j,
+                    trace,
+                    channel: &channel,
+                    rng: &mut rng,
+                    metrics: &mut metrics,
+                    est,
+                    elapsed: 0.0,
+                };
+                let duration = algo.encounter(i, j, &mut link);
+                let until = time + duration.max(dt);
+                busy_until[i] = until;
+                busy_until[j] = until;
+                pair_cooldown_until[i * n + j] = until + cfg.pair_cooldown;
+                pair_cooldown_until[j * n + i] = until + cfg.pair_cooldown;
+            }
+
+            // 3. Local training for free vehicles (fractional iteration
+            // accounting keeps any iters-per-second rate exact over time).
+            for v in 0..n {
+                if busy_until[v] > time {
+                    continue;
+                }
+                train_debt[v] += cfg.train_iters_per_second * dt;
+                let iters = train_debt[v].floor() as usize;
+                if iters > 0 {
+                    train_debt[v] -= iters as f64;
+                    algo.local_training(v, iters, &mut rng);
+                    metrics.train_iterations += iters as u64;
+                }
+            }
+
+            // 4. Periodic evaluation.
+            if time >= next_eval {
+                metrics.record_loss(time, algo.mean_eval_loss(eval));
+                next_eval += cfg.eval_every;
+            }
+
+            time += dt;
+        }
+        metrics.record_loss(cfg.duration, algo.mean_eval_loss(eval));
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::geom::Vec2;
+
+    /// A do-nothing algorithm counting callbacks — exercises the loop
+    /// mechanics without any learning.
+    struct Probe {
+        n: usize,
+        params: ParamVec,
+        train_calls: u64,
+        encounters: u64,
+        frames: u64,
+    }
+
+    impl CollabAlgorithm for Probe {
+        type Sample = ();
+
+        fn n_nodes(&self) -> usize {
+            self.n
+        }
+        fn model(&self, _node: usize) -> &ParamVec {
+            &self.params
+        }
+        fn local_training(&mut self, _n: usize, iters: usize, _r: &mut rand::rngs::StdRng) {
+            self.train_calls += iters as u64;
+        }
+        fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
+            self.encounters += 1;
+            // Move a small payload to exercise the link.
+            let out = link.transfer(15_000, 5.0);
+            link.metrics.record_coreset_send(out.is_delivered(), 15_000, out.elapsed());
+            link.elapsed()
+        }
+        fn on_frame(&mut self, _ctx: &mut FrameCtx<'_>) {
+            self.frames += 1;
+        }
+        fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
+            1.0
+        }
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+    }
+
+    fn two_vehicle_trace(seconds: f64) -> MobilityTrace {
+        // Two vehicles parked 100 m apart: permanently in contact.
+        let frames = (seconds * 2.0) as usize + 1;
+        MobilityTrace::new(
+            2.0,
+            vec![
+                vec![Vec2::ZERO; frames],
+                vec![Vec2::new(100.0, 0.0); frames],
+            ],
+        )
+    }
+
+    fn far_trace(seconds: f64) -> MobilityTrace {
+        let frames = (seconds * 2.0) as usize + 1;
+        MobilityTrace::new(
+            2.0,
+            vec![
+                vec![Vec2::ZERO; frames],
+                vec![Vec2::new(2000.0, 0.0); frames],
+            ],
+        )
+    }
+
+    fn runtime(duration: f64) -> Runtime {
+        Runtime::new(RuntimeConfig {
+            duration,
+            eval_every: 30.0,
+            pair_cooldown: 20.0,
+            ..RuntimeConfig::default()
+        })
+    }
+
+    #[test]
+    fn encounters_happen_in_range() {
+        let trace = two_vehicle_trace(120.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let m = runtime(120.0).run(&mut probe, &trace, &[]);
+        assert!(probe.encounters >= 3, "cooldown allows several sessions: {}", probe.encounters);
+        assert_eq!(m.sessions, probe.encounters);
+        assert!(m.coreset_receives > 0);
+    }
+
+    #[test]
+    fn no_encounters_out_of_range() {
+        let trace = far_trace(60.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        runtime(60.0).run(&mut probe, &trace, &[]);
+        assert_eq!(probe.encounters, 0);
+    }
+
+    #[test]
+    fn training_iterations_match_rate() {
+        let trace = far_trace(100.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let m = runtime(100.0).run(&mut probe, &trace, &[]);
+        // 2 nodes * 100 s * 2 iters/s = 400.
+        assert_eq!(m.train_iterations, 400);
+        assert_eq!(probe.train_calls, 400);
+    }
+
+    #[test]
+    fn loss_curve_sampled_periodically() {
+        let trace = far_trace(100.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let m = runtime(100.0).run(&mut probe, &trace, &[]);
+        // 0, 30, 60, 90 + final.
+        assert_eq!(m.loss_curve.len(), 5);
+        assert_eq!(m.loss_curve.last().unwrap().0, 100.0);
+    }
+
+    #[test]
+    fn on_frame_called_every_frame() {
+        let trace = far_trace(50.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        runtime(50.0).run(&mut probe, &trace, &[]);
+        assert_eq!(probe.frames, 100, "2 fps over 50 s");
+    }
+
+    #[test]
+    fn pair_cooldown_limits_session_rate() {
+        let trace = two_vehicle_trace(100.0);
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        // 100 s with a 50 s cooldown and near-instant sessions: at most 3
+        // sessions can fit (t=0, ~50, ~100).
+        let rt = Runtime::new(RuntimeConfig {
+            duration: 100.0,
+            pair_cooldown: 50.0,
+            ..RuntimeConfig::default()
+        });
+        let m = rt.run(&mut probe, &trace, &[]);
+        assert!(m.sessions <= 3, "cooldown must limit sessions: {}", m.sessions);
+        assert!(m.sessions >= 2);
+    }
+
+    #[test]
+    fn busy_nodes_do_not_train() {
+        // An algorithm whose sessions take 10 s: training iterations are
+        // suppressed during the busy window.
+        struct Slow {
+            params: ParamVec,
+            train_calls: u64,
+        }
+        impl CollabAlgorithm for Slow {
+            type Sample = ();
+            fn n_nodes(&self) -> usize {
+                2
+            }
+            fn model(&self, _n: usize) -> &ParamVec {
+                &self.params
+            }
+            fn local_training(&mut self, _n: usize, iters: usize, _r: &mut rand::rngs::StdRng) {
+                self.train_calls += iters as u64;
+            }
+            fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
+                link.charge(10.0);
+                link.elapsed()
+            }
+            fn mean_eval_loss(&self, _e: &[()]) -> f64 {
+                0.0
+            }
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+        }
+        let trace = two_vehicle_trace(100.0);
+        let mut slow = Slow { params: ParamVec::zeros(1), train_calls: 0 };
+        let rt = Runtime::new(RuntimeConfig {
+            duration: 100.0,
+            pair_cooldown: 1000.0, // single session
+            ..RuntimeConfig::default()
+        });
+        rt.run(&mut slow, &trace, &[]);
+        // 2 nodes * 100 s * 2 it/s = 400 if never busy; one 10 s session
+        // for both nodes removes ~40 iterations.
+        assert!(slow.train_calls <= 365, "busy time must suppress training: {}", slow.train_calls);
+        assert!(slow.train_calls >= 330);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace has")]
+    fn trace_too_small_panics() {
+        let trace = two_vehicle_trace(10.0);
+        let mut probe =
+            Probe { n: 5, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        runtime(10.0).run(&mut probe, &trace, &[]);
+    }
+}

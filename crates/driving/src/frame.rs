@@ -1,0 +1,72 @@
+//! The driving training sample.
+
+use simworld::bev::Bev;
+use simworld::expert::{Command, ExpertOutput};
+
+/// One imitation-learning sample: featurized BEV observation, the
+/// conditional command, and the expert's time-spaced waypoints (the
+/// regression target).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Pooled BEV features + normalized speed (the policy input).
+    pub features: Vec<f32>,
+    /// High-level command selecting the policy branch.
+    pub command: Command,
+    /// Target waypoints `[x1, y1, ..]` in the ego frame.
+    pub waypoints: Vec<f32>,
+}
+
+/// Extra navigation scalars appended after the BEV features: normalized
+/// distance to the next turn and its direction sign.
+pub const NAV_FEATURES: usize = 2;
+
+impl Frame {
+    /// Builds a frame from a world observation: pooled BEV features plus
+    /// the [`NAV_FEATURES`] navigation scalars.
+    pub fn from_observation(bev: &Bev, sup: &ExpertOutput, pool: usize) -> Self {
+        let mut features = bev.features(pool);
+        features.push(sup.turn_distance / simworld::expert::TURN_LOOKAHEAD);
+        features.push(sup.turn_sign);
+        Self {
+            features,
+            command: sup.command,
+            waypoints: sup.waypoints.clone(),
+        }
+    }
+
+    /// Number of waypoints in the target.
+    pub fn n_waypoints(&self) -> usize {
+        self.waypoints.len() / 2
+    }
+
+    /// Approximate serialized size of a frame in bytes (features + targets
+    /// + command), used to size coreset transfers.
+    pub fn wire_bytes(&self) -> usize {
+        4 * (self.features.len() + self.waypoints.len()) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simworld::world::{World, WorldConfig};
+
+    #[test]
+    fn frame_from_observation_has_expected_shape() {
+        let w = World::new(WorldConfig::small(1));
+        let (bev, sup) = w.observe_expert(0);
+        let f = Frame::from_observation(&bev, &sup, w.config().bev.pool);
+        assert_eq!(f.features.len(), w.config().bev.feature_len() + NAV_FEATURES);
+        assert_eq!(f.n_waypoints(), w.config().n_waypoints);
+        assert!(f.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let w = World::new(WorldConfig::small(2));
+        let (bev, sup) = w.observe_expert(3);
+        let f = Frame::from_observation(&bev, &sup, w.config().bev.pool);
+        assert!(f.features.iter().all(|v| v.is_finite()));
+        assert!(f.waypoints.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,34 @@
+//! Telemetry debugging for the closed-loop evaluator: trains at the given
+//! scale, drives one route per task, and prints per-frame telemetry.
+
+use driving::eval::{EvalConfig, Task};
+use experiments::{run_method, scale_from_args, Condition, Method, Scenario};
+
+fn main() {
+    let s = Scenario::build(scale_from_args());
+    let out = run_method(Method::LbChat, &s, Condition::NoLoss);
+    eprintln!("final loss: {:?}", out.metrics.final_loss());
+    // Open-loop check: target vs prediction on actual Left/Right frames.
+    let mut shown = 0;
+    for d in &s.datasets {
+        for f in d.samples() {
+            if matches!(f.command, simworld::expert::Command::Left | simworld::expert::Command::Right)
+                && shown < 8
+                && f.waypoints.chunks(2).any(|c| c[1].abs() > 0.5)
+            {
+                let pred = out.representative.predict(&f.features, f.command);
+                eprintln!(
+                    "cmd={:?} turn_d={:.2} target={:?} pred={:?}",
+                    f.command,
+                    f.features[f.features.len() - 2],
+                    f.waypoints.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+                    pred.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+                );
+                shown += 1;
+            }
+        }
+    }
+    let cfg = EvalConfig { trials: 3, ..experiments::harness::eval_config(&s) };
+    driving::eval::debug_one_trial(&out.representative, Task::Straight, &cfg);
+    driving::eval::debug_one_trial(&out.representative, Task::OneTurn, &cfg);
+}

@@ -1,0 +1,43 @@
+//! Fig. 2 — training loss vs time for LbChat and the four benchmarks,
+//! without (panel a) and with (panel b) wireless loss; also prints the
+//! §IV-C successful model receiving rates.
+
+use experiments::report::{curve_csv, write_csv};
+use experiments::{run_method, scale_from_args, Condition, Method, Scenario};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("building scenario ({} vehicles)...", scale.n_vehicles);
+    let s = Scenario::build(scale);
+    for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
+        println!("=== Fig. 2({panel}) — training loss vs time, {} ===", condition.label());
+        let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        let mut rates = Vec::new();
+        for m in Method::MAIN {
+            eprintln!("  running {} ...", m.name());
+            let out = run_method(m, &s, condition);
+            rates.push((m.name(), out.metrics.model_receiving_rate()));
+            curves.push((m.name().to_string(), out.metrics.loss_curve.clone()));
+        }
+        println!("{:<10} {}", "time(s)", curves.iter().map(|(n, _)| format!("{n:>10}")).collect::<String>());
+        let n_points = curves[0].1.len();
+        for k in 0..n_points {
+            print!("{:<10.0}", curves[0].1[k].0);
+            for (_, c) in &curves {
+                print!("{:>10.4}", c.get(k).map_or(f64::NAN, |p| p.1));
+            }
+            println!();
+        }
+        if condition == Condition::WithLoss {
+            println!("\nSuccessful model receiving rate (W wireless loss):");
+            for (name, r) in &rates {
+                println!("  {name:<10} {:.0}%", r * 100.0);
+            }
+        }
+        let refs: Vec<(&str, &[(f64, f64)])> =
+            curves.iter().map(|(n, c)| (n.as_str(), c.as_slice())).collect();
+        let path = write_csv(&format!("fig2{panel}.csv"), &curve_csv(&refs)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+        println!();
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence (fig2, tables II-VII, fig3) at the
+//! selected scale. Expect minutes at the default scale, hours at --paper.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = ["fig2", "table2", "table3", "table4", "table5", "table6", "table7", "fig3"];
+    for bin in bins {
+        eprintln!("==== running {bin} ====");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .args(&args)
+            .status()
+            .expect("spawn experiment binary");
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Table II — driving success rate, no wireless loss.
+
+use experiments::harness::success_table;
+use experiments::{scale_from_args, Condition, Method, Scenario};
+use experiments::report::write_csv;
+
+fn main() {
+    let s = Scenario::build(scale_from_args());
+    let (table, _) = success_table(
+        "Table II — driving success rate on average (W/O wireless loss) (%)",
+        &Method::MAIN,
+        &s,
+        Condition::NoLoss,
+    );
+    println!("{}", table.render());
+    let path = write_csv("table2.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

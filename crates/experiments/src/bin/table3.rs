@@ -1,0 +1,22 @@
+//! Table III — driving success rate with wireless loss.
+
+use experiments::harness::success_table;
+use experiments::report::write_csv;
+use experiments::{scale_from_args, Condition, Method, Scenario};
+
+fn main() {
+    let s = Scenario::build(scale_from_args());
+    let (table, outputs) = success_table(
+        "Table III — driving success rate on average (W wireless loss) (%)",
+        &Method::MAIN,
+        &s,
+        Condition::WithLoss,
+    );
+    println!("{}", table.render());
+    println!("Successful model receiving rates:");
+    for (m, out) in Method::MAIN.iter().zip(&outputs) {
+        println!("  {:<10} {:.0}%", m.name(), out.metrics.model_receiving_rate() * 100.0);
+    }
+    let path = write_csv("table3.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Table IV — LbChat with different coreset sizes (10x and 1/10 the
+//! default), with and without wireless loss.
+
+use experiments::harness::train_and_evaluate;
+use experiments::report::{write_csv, Table};
+use experiments::{scale_from_args, Condition, Method, Scenario};
+use driving::Task;
+
+fn main() {
+    let scale = scale_from_args();
+    let big = scale.coreset_size * 10;
+    let small = (scale.coreset_size / 10).max(2);
+    let s = Scenario::build(scale);
+    let mut columns = Vec::new();
+    let mut results = Vec::new();
+    for (size, cond) in [
+        (big, Condition::NoLoss),
+        (small, Condition::NoLoss),
+        (big, Condition::WithLoss),
+        (small, Condition::WithLoss),
+    ] {
+        eprintln!("coreset size {size}, {} ...", cond.label());
+        let (rates, _) = train_and_evaluate(Method::LbChatCoreset(size), &s, cond);
+        columns.push(format!(
+            "{size} ({})",
+            if cond == Condition::NoLoss { "W/O" } else { "W" }
+        ));
+        results.push(rates);
+    }
+    let mut table = Table::new(
+        "Table IV — driving success rate with different coreset size (%)",
+        columns,
+    );
+    for (t_idx, task) in Task::ALL.iter().enumerate() {
+        let row: Vec<f64> = results.iter().map(|r| r[t_idx]).collect();
+        table.row_pct(task.name(), &row);
+    }
+    println!("{}", table.render());
+    let path = write_csv("table4.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,23 @@
+//! Table V — ablation: equal compression ratios instead of the Eq. (7)
+//! coreset-driven optimization.
+
+use experiments::harness::train_and_evaluate;
+use experiments::report::{write_csv, Table};
+use experiments::{scale_from_args, Condition, Method, Scenario};
+use driving::Task;
+
+fn main() {
+    let s = Scenario::build(scale_from_args());
+    let mut table = Table::new(
+        "Table V — driving success rate with equal comp. ratio (%)",
+        vec!["W/O wireless loss".into(), "W wireless loss".into()],
+    );
+    let (no_loss, _) = train_and_evaluate(Method::LbChatEqualComp, &s, Condition::NoLoss);
+    let (with_loss, _) = train_and_evaluate(Method::LbChatEqualComp, &s, Condition::WithLoss);
+    for (t_idx, task) in Task::ALL.iter().enumerate() {
+        table.row_pct(task.name(), &[no_loss[t_idx], with_loss[t_idx]]);
+    }
+    println!("{}", table.render());
+    let path = write_csv("table5.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

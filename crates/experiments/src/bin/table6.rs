@@ -1,0 +1,23 @@
+//! Table VI — ablation: plain-average aggregation instead of the Eq. (8)
+//! coreset-loss-weighted merging.
+
+use experiments::harness::train_and_evaluate;
+use experiments::report::{write_csv, Table};
+use experiments::{scale_from_args, Condition, Method, Scenario};
+use driving::Task;
+
+fn main() {
+    let s = Scenario::build(scale_from_args());
+    let mut table = Table::new(
+        "Table VI — driving success rate with avg. aggregation (%)",
+        vec!["W/O wireless loss".into(), "W wireless loss".into()],
+    );
+    let (no_loss, _) = train_and_evaluate(Method::LbChatAvgAgg, &s, Condition::NoLoss);
+    let (with_loss, _) = train_and_evaluate(Method::LbChatAvgAgg, &s, Condition::WithLoss);
+    for (t_idx, task) in Task::ALL.iter().enumerate() {
+        table.row_pct(task.name(), &[no_loss[t_idx], with_loss[t_idx]]);
+    }
+    println!("{}", table.render());
+    let path = write_csv("table6.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,75 @@
+//! Shared drivers used by the per-table/figure binaries.
+
+use crate::methods::{run_method, Condition, Method, RunOutput};
+use crate::report::Table;
+use crate::scenario::Scenario;
+use driving::{success_rate, EvalConfig, Task};
+
+/// Closed-loop evaluation config derived from the scenario scale.
+pub fn eval_config(s: &Scenario) -> EvalConfig {
+    EvalConfig {
+        trials: s.scale.trials,
+        world_seed: s.scale.seed + 1000,
+        route_seed: s.scale.seed + 2000,
+        // Keep eval traffic proportional to the training world's scale so
+        // reduced runs stay comparable.
+        traffic_scale: (s.scale.n_background as f64 / 50.0).clamp(0.2, 1.0),
+        ..EvalConfig::default()
+    }
+}
+
+/// Trains `method` and measures its driving success rate on all five tasks.
+/// Returns the per-task percentages in `Task::ALL` order plus the run
+/// output.
+pub fn train_and_evaluate(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+) -> (Vec<f64>, RunOutput) {
+    let out = run_method(method, s, condition);
+    let cfg = eval_config(s);
+    let rates = Task::ALL
+        .iter()
+        .map(|&task| success_rate(&out.representative, task, &cfg).percent())
+        .collect();
+    (rates, out)
+}
+
+/// Builds a Table II/III-shaped table: rows = tasks, columns = methods.
+pub fn success_table(
+    title: &str,
+    methods: &[Method],
+    s: &Scenario,
+    condition: Condition,
+) -> (Table, Vec<RunOutput>) {
+    let mut columns = Vec::new();
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    let mut outputs = Vec::new();
+    for &m in methods {
+        eprintln!("  [{}] training + evaluating {} ...", condition.label(), m.name());
+        let (rates, out) = train_and_evaluate(m, s, condition);
+        columns.push(m.name().to_string());
+        results.push(rates);
+        outputs.push(out);
+    }
+    let mut table = Table::new(title, columns);
+    for (t_idx, task) in Task::ALL.iter().enumerate() {
+        let row: Vec<f64> = results.iter().map(|r| r[t_idx]).collect();
+        table.row_pct(task.name(), &row);
+    }
+    (table, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn eval_config_scales_traffic() {
+        let s = Scenario::build(Scale::quick());
+        let cfg = eval_config(&s);
+        assert!(cfg.traffic_scale > 0.0 && cfg.traffic_scale <= 1.0);
+        assert_eq!(cfg.trials, 4);
+    }
+}

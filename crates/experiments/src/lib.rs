@@ -1,0 +1,42 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One binary per table/figure (`fig2`, `table2` … `table7`, `fig3`,
+//! `run_all`), all built on three pieces:
+//!
+//! * [`scenario`] — builds the shared experimental world: the map, the
+//!   per-vehicle route-conditioned datasets, the held-out evaluation set,
+//!   the mobility trace, identical model initializations, and the RSU
+//!   deployment sites.
+//! * [`methods`] — constructs and runs any of the compared methods (LbChat
+//!   and its ablations, SCO, ProxSkip, RSU-L, DFL-DDS, DP) on a scenario
+//!   under a given wireless-loss condition.
+//! * [`report`] — paper-style text tables and CSV output under `results/`.
+//!
+//! Scales: every binary accepts `--quick` (smoke test), defaults to a
+//! laptop-friendly reduced scale, and accepts `--paper` for the paper's
+//! full counts (32 vehicles, 1 h of data; expect hours of wall time).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod methods;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use methods::{run_method, Condition, Method, RunOutput};
+pub use report::{write_csv, Table};
+pub use scenario::{Scale, Scenario};
+
+/// Parses the scale from CLI args (`--quick` / `--paper`; default reduced).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--paper") {
+        Scale::paper()
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::default_scale()
+    }
+}

@@ -1,0 +1,227 @@
+//! Construction and execution of every compared method.
+
+use crate::scenario::Scenario;
+use baselines::{dfl_dds::DflDdsConfig, dp::DpConfig, proxskip::ProxSkipConfig, rsul::RsuLConfig};
+use baselines::{DflDds, Dp, ProxSkip, RsuL};
+use driving::{DrivingLearner, Frame};
+use lbchat::metrics::Metrics;
+use lbchat::node::LbChatAlgorithm;
+use lbchat::runtime::{CollabAlgorithm, Runtime, RuntimeConfig};
+use lbchat::LbChatConfig;
+use rand::SeedableRng;
+use simnet::loss::LossModel;
+use vnn::ParamVec;
+
+/// Wireless-loss condition of a run (the paper's "W/O" and "W" columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// Idealistic loss-free channel (Fig. 2(a), Table II).
+    NoLoss,
+    /// Distance-based wireless loss (Fig. 2(b), Table III).
+    WithLoss,
+}
+
+impl Condition {
+    /// The loss model to install in the runtime.
+    pub fn loss_model(self) -> LossModel {
+        match self {
+            Condition::NoLoss => LossModel::None,
+            Condition::WithLoss => LossModel::distance_default(),
+        }
+    }
+
+    /// Table-header label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Condition::NoLoss => "W/O wireless loss",
+            Condition::WithLoss => "W wireless loss",
+        }
+    }
+}
+
+/// Every method in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The proposed approach with default config.
+    LbChat,
+    /// LbChat with a non-default coreset size (Table IV).
+    LbChatCoreset(usize),
+    /// LbChat with equal compression ratios (Table V).
+    LbChatEqualComp,
+    /// LbChat with plain-average aggregation (Table VI).
+    LbChatAvgAgg,
+    /// Coreset-sharing only (Table VII / Fig. 3).
+    Sco,
+    /// Central-server federated learning.
+    ProxSkip,
+    /// RSU-based opportunistic learning.
+    RsuL,
+    /// Synchronous decentralized with data-source diversity.
+    DflDds,
+    /// Gossip learning with log-loss merge weights.
+    Dp,
+}
+
+impl Method {
+    /// The five main-comparison methods in the paper's column order.
+    pub const MAIN: [Method; 5] =
+        [Method::ProxSkip, Method::RsuL, Method::DflDds, Method::Dp, Method::LbChat];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::LbChat => "LbChat",
+            Method::LbChatCoreset(_) => "LbChat (coreset size)",
+            Method::LbChatEqualComp => "LbChat (equal comp.)",
+            Method::LbChatAvgAgg => "LbChat (avg. agg.)",
+            Method::Sco => "SCO",
+            Method::ProxSkip => "ProxSkip",
+            Method::RsuL => "RSU-L",
+            Method::DflDds => "DFL-DDS",
+            Method::Dp => "DP",
+        }
+    }
+}
+
+/// Output of one training run.
+pub struct RunOutput {
+    /// Training metrics (loss curve, receiving rates, airtime).
+    pub metrics: Metrics,
+    /// Final model of every vehicle.
+    pub models: Vec<ParamVec>,
+    /// A learner wrapping vehicle 0's final model, ready for closed-loop
+    /// driving evaluation (vehicle 0 is an arbitrary but fixed
+    /// representative — every method is sampled at the same position).
+    pub representative: DrivingLearner,
+}
+
+fn runtime_config(s: &Scenario, condition: Condition) -> RuntimeConfig {
+    RuntimeConfig {
+        duration: s.scale.train_seconds,
+        train_iters_per_second: s.scale.iters_per_second,
+        loss_model: condition.loss_model(),
+        eval_every: s.scale.eval_every,
+        seed: s.scale.seed,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn lbchat_config(s: &Scenario) -> LbChatConfig {
+    LbChatConfig {
+        coreset_size: s.scale.coreset_size,
+        model_wire_bytes: s.scale.model_wire_bytes,
+        // Keep the paper's 150-frame ≈ 0.6 MB density.
+        coreset_bytes_per_sample: 4096,
+        ..LbChatConfig::default()
+    }
+}
+
+fn finish<A>(algo: A, metrics: Metrics, s: &Scenario) -> RunOutput
+where
+    A: CollabAlgorithm<Sample = Frame>,
+{
+    let models: Vec<ParamVec> = (0..algo.n_nodes()).map(|i| algo.model(i).clone()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(s.scale.seed ^ 0xABCD);
+    let mut representative = DrivingLearner::new(&s.spec, s.scale.lr, &mut rng);
+    lbchat::Learner::set_params(&mut representative, models[0].clone());
+    RunOutput { metrics, models, representative }
+}
+
+/// Trains `method` on the scenario under `condition` and returns metrics +
+/// final models. Every method sees the identical trace, radio, clock,
+/// initialization, and evaluation set.
+pub fn run_method(method: Method, s: &Scenario, condition: Condition) -> RunOutput {
+    let rt = Runtime::new(runtime_config(s, condition));
+    let mut seed_rng = rand::rngs::StdRng::seed_from_u64(s.scale.seed ^ 0x5EED);
+    let learners = s.make_learners();
+    let datasets = s.datasets.clone();
+    match method {
+        Method::LbChat => {
+            let mut algo =
+                LbChatAlgorithm::new(learners, datasets, lbchat_config(s), &mut seed_rng);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::LbChatCoreset(size) => {
+            let cfg = lbchat_config(s).with_coreset_size(size);
+            let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::LbChatEqualComp => {
+            let cfg = lbchat_config(s).with_equal_compression();
+            let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::LbChatAvgAgg => {
+            let cfg = lbchat_config(s).with_average_aggregation();
+            let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::Sco => {
+            let cfg = lbchat_config(s).sco();
+            let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::ProxSkip => {
+            let cfg = ProxSkipConfig {
+                model_bytes: s.scale.model_wire_bytes,
+                ..ProxSkipConfig::default()
+            };
+            let mut algo = ProxSkip::new(learners, datasets, cfg);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::RsuL => {
+            let cfg = RsuLConfig {
+                model_bytes: s.scale.model_wire_bytes,
+                ..RsuLConfig::default()
+            };
+            let mut algo = RsuL::new(learners, datasets, s.rsu_positions.clone(), cfg);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::DflDds => {
+            let cfg = DflDdsConfig {
+                model_bytes: s.scale.model_wire_bytes,
+                ..DflDdsConfig::default()
+            };
+            let mut algo = DflDds::new(learners, datasets, cfg);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+        Method::Dp => {
+            let cfg =
+                DpConfig { model_bytes: s.scale.model_wire_bytes, ..DpConfig::default() };
+            let mut algo = Dp::new(learners, datasets, cfg);
+            let m = rt.run(&mut algo, &s.trace, &s.eval);
+            finish(algo, m, s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn every_method_runs_and_learns_at_quick_scale() {
+        let s = Scenario::build(Scale::quick());
+        for method in [Method::LbChat, Method::Sco, Method::ProxSkip, Method::RsuL, Method::DflDds, Method::Dp] {
+            let out = run_method(method, &s, Condition::NoLoss);
+            let curve = &out.metrics.loss_curve;
+            assert!(curve.len() >= 3, "{method:?} must record a loss curve");
+            let first = curve.first().unwrap().1;
+            let last = curve.last().unwrap().1;
+            assert!(
+                last < first,
+                "{method:?} must reduce loss: {first} -> {last}"
+            );
+            assert_eq!(out.models.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Paper-style text tables and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table matching the paper's layout: one row per
+/// task, one column per method/condition.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates a table titled like the paper ("Table II — ...").
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Adds a row of numeric cells rendered with no decimals (the paper
+    /// reports integer percentages).
+    pub fn row_pct(&mut self, label: impl Into<String>, values: &[f64]) {
+        self.rows.push((
+            label.into(),
+            values.iter().map(|v| format!("{:.0}", v)).collect(),
+        ));
+    }
+
+    /// Adds a row of pre-rendered cells.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<String>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = vec![self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)];
+        for (c, col) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, cells)| cells.get(c).map_or(0, |s| s.len()))
+                .chain(std::iter::once(col.len()))
+                .max()
+                .unwrap_or(col.len());
+            widths.push(w);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let mut header = format!("{:<w$}", "Task", w = widths[0]);
+        for (c, col) in self.columns.iter().enumerate() {
+            let _ = write!(header, "  {:>w$}", col, w = widths[c + 1]);
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{:<w$}", label, w = widths[0]);
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "  {:>w$}", cell, w = widths[c + 1]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "task,{}", self.columns.join(","));
+        for (label, cells) in &self.rows {
+            let _ = writeln!(out, "{},{}", label, cells.join(","));
+        }
+        out
+    }
+}
+
+/// Writes CSV content under `results/`, creating the directory if needed.
+/// Returns the path written.
+pub fn write_csv(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Renders a loss-vs-time curve as CSV (`time_s,loss` rows).
+pub fn curve_csv(curves: &[(&str, &[(f64, f64)])]) -> String {
+    let mut out = String::from("method,time_s,loss\n");
+    for (name, curve) in curves {
+        for (t, l) in curve.iter() {
+            let _ = writeln!(out, "{name},{t:.0},{l:.6}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(
+            "Table X — demo",
+            vec!["A".into(), "LbChat".into()],
+        );
+        t.row_pct("Straight", &[100.0, 99.6]);
+        t.row_pct("Navi. (Dense)", &[65.0, 78.0]);
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("Straight"));
+        assert!(s.contains("100"));
+        // Integer rendering.
+        assert!(!s.contains("99.6"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("t", vec!["m1".into()]);
+        t.row_pct("r", &[50.0]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("task,m1"));
+    }
+
+    #[test]
+    fn curve_csv_format() {
+        let c = vec![(0.0, 1.0), (60.0, 0.5)];
+        let s = curve_csv(&[("LbChat", c.as_slice())]);
+        assert!(s.contains("LbChat,0,1.000000"));
+        assert!(s.contains("LbChat,60,0.500000"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-seed summary statistics.
+//!
+//! The paper reports averages ("driving success rate on average"); these
+//! helpers aggregate metrics across seeds for error-bar-quality reporting
+//! when running the binaries repeatedly with different `--seed`-derived
+//! scenarios.
+
+/// Summary of a sample of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of an empty sample");
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite observation");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std: var.sqrt(), min, max }
+    }
+
+    /// Half-width of the ~95 % normal-approximation confidence interval.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Renders as `mean ± ci95`.
+    pub fn display(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.ci95())
+    }
+}
+
+/// Element-wise summary of several loss curves sampled at identical times:
+/// returns `(time, mean, std)` rows for the common prefix.
+pub fn summarize_curves(curves: &[Vec<(f64, f64)>]) -> Vec<(f64, f64, f64)> {
+    if curves.is_empty() {
+        return Vec::new();
+    }
+    let len = curves.iter().map(|c| c.len()).min().unwrap_or(0);
+    (0..len)
+        .map(|k| {
+            let t = curves[0][k].0;
+            let vals: Vec<f64> = curves.iter().map(|c| c[k].1).collect();
+            let s = Summary::of(&vals);
+            (t, s.mean, s.std)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_spread() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn display_shape() {
+        let s = Summary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.display(), "1.00 ± 0.00");
+    }
+
+    #[test]
+    fn curve_summaries_align_on_common_prefix() {
+        let a = vec![(0.0, 1.0), (10.0, 0.5), (20.0, 0.25)];
+        let b = vec![(0.0, 2.0), (10.0, 1.5)];
+        let rows = summarize_curves(&[a, b]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].1 - 1.5).abs() < 1e-12);
+        assert!((rows[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(summarize_curves(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

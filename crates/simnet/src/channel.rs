@@ -1,0 +1,323 @@
+//! Packetized transfer simulation.
+//!
+//! Transfers are chopped into 1500-byte packets sent at the channel
+//! bandwidth; each packet is retransmitted up to three times on loss, and a
+//! transfer aborts when its deadline (end of radio contact) passes — the
+//! exact communication model of §IV-A.
+
+use crate::loss::LossModel;
+use rand::{Rng, RngExt};
+
+/// A packet that fails this many consecutive attempts marks the link dead
+/// and aborts the transfer (sustained PER ≈ 1 — effectively out of range).
+/// Below this, packets are retried persistently: the MAC's `max_retx` cap
+/// bounds one retransmission *window*, and the reliable transport above it
+/// keeps re-queueing the packet, each attempt costing airtime.
+pub const DEAD_LINK_ATTEMPTS: u32 = 40;
+
+/// Radio parameters (defaults are the paper's §IV-A values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioConfig {
+    /// Payload bytes per packet.
+    pub packet_bytes: usize,
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Maximum communication range in meters.
+    pub range_m: f32,
+    /// Maximum retransmissions per packet after the first attempt.
+    pub max_retx: u32,
+    /// Size of the assist message (route + bandwidth info) in bytes.
+    pub assist_bytes: usize,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        Self {
+            packet_bytes: 1500,
+            bandwidth_bps: 31e6,
+            range_m: 500.0,
+            max_retx: 3,
+            assist_bytes: 184,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Airtime of a single packet attempt in seconds.
+    pub fn packet_time(&self) -> f64 {
+        (self.packet_bytes * 8) as f64 / self.bandwidth_bps
+    }
+
+    /// Number of packets needed for `bytes` of payload.
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.packet_bytes)
+    }
+
+    /// Loss-free transfer time for `bytes` at full bandwidth.
+    pub fn ideal_transfer_time(&self, bytes: usize) -> f64 {
+        self.packets_for(bytes) as f64 * self.packet_time()
+    }
+}
+
+/// Result of a simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// All packets delivered; field is the elapsed time in seconds.
+    Delivered {
+        /// Total time from first packet to last delivery.
+        elapsed: f64,
+    },
+    /// Transfer aborted: a packet exhausted retransmissions, or the deadline
+    /// passed. Fields give elapsed time at abort and delivered payload bytes.
+    Failed {
+        /// Time spent before the abort.
+        elapsed: f64,
+        /// Payload bytes that made it across before the abort.
+        delivered_bytes: usize,
+    },
+}
+
+impl TransferOutcome {
+    /// Whether the transfer fully completed.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, TransferOutcome::Delivered { .. })
+    }
+
+    /// Elapsed time in seconds regardless of outcome.
+    pub fn elapsed(&self) -> f64 {
+        match *self {
+            TransferOutcome::Delivered { elapsed } => elapsed,
+            TransferOutcome::Failed { elapsed, .. } => elapsed,
+        }
+    }
+}
+
+/// A point-to-point radio link between two (possibly moving) agents.
+///
+/// The distance between the endpoints over the course of a transfer is
+/// supplied by a caller-provided sampler, so the channel composes with any
+/// mobility source (live world or recorded trace).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    config: RadioConfig,
+    loss: LossModel,
+}
+
+impl Channel {
+    /// Creates a channel with the given radio parameters and loss model.
+    pub fn new(config: RadioConfig, loss: LossModel) -> Self {
+        Self { config, loss }
+    }
+
+    /// Radio parameters in use.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Loss model in use.
+    pub fn loss_model(&self) -> &LossModel {
+        &self.loss
+    }
+
+    /// Simulates transferring `bytes` of payload starting at time 0.
+    ///
+    /// `distance_at(t)` returns the endpoint distance `t` seconds into the
+    /// transfer; packets sent beyond `self.config.range_m` always fail.
+    /// Packets are retried persistently (each attempt costs airtime, so a
+    /// lossy link has proportionally lower goodput); the transfer aborts
+    /// when `deadline` passes or a packet fails [`DEAD_LINK_ATTEMPTS`]
+    /// straight times (sustained dead link).
+    ///
+    /// Zero-byte transfers complete instantly.
+    pub fn transfer<R, F>(
+        &self,
+        bytes: usize,
+        deadline: f64,
+        mut distance_at: F,
+        rng: &mut R,
+    ) -> TransferOutcome
+    where
+        R: Rng + ?Sized,
+        F: FnMut(f64) -> f32,
+    {
+        if bytes == 0 {
+            return TransferOutcome::Delivered { elapsed: 0.0 };
+        }
+        let n_packets = self.config.packets_for(bytes);
+        let pt = self.config.packet_time();
+        let mut t = 0.0f64;
+        for pkt in 0..n_packets {
+            let mut delivered = false;
+            for _attempt in 0..DEAD_LINK_ATTEMPTS {
+                if t + pt > deadline {
+                    return TransferOutcome::Failed {
+                        elapsed: t,
+                        delivered_bytes: pkt * self.config.packet_bytes,
+                    };
+                }
+                let d = distance_at(t);
+                t += pt;
+                let per = if d > self.config.range_m { 1.0 } else { self.loss.per(d) };
+                if per <= 0.0 || rng.random::<f32>() >= per {
+                    delivered = true;
+                    break;
+                }
+            }
+            if !delivered {
+                return TransferOutcome::Failed {
+                    elapsed: t,
+                    delivered_bytes: pkt * self.config.packet_bytes,
+                };
+            }
+        }
+        TransferOutcome::Delivered { elapsed: t }
+    }
+
+    /// Simulates a transfer over a link whose loss is a fixed PER rather than
+    /// distance-based — the paper's model for ProxSkip / RSU-L backend links
+    /// under wireless loss ("a wireless loss uniformly sampled from the
+    /// distance-loss lookup table").
+    pub fn transfer_fixed_per<R: Rng + ?Sized>(
+        &self,
+        bytes: usize,
+        deadline: f64,
+        per: f32,
+        rng: &mut R,
+    ) -> TransferOutcome {
+        if bytes == 0 {
+            return TransferOutcome::Delivered { elapsed: 0.0 };
+        }
+        let n_packets = self.config.packets_for(bytes);
+        let pt = self.config.packet_time();
+        let mut t = 0.0f64;
+        for pkt in 0..n_packets {
+            let mut delivered = false;
+            for _attempt in 0..DEAD_LINK_ATTEMPTS {
+                if t + pt > deadline {
+                    return TransferOutcome::Failed {
+                        elapsed: t,
+                        delivered_bytes: pkt * self.config.packet_bytes,
+                    };
+                }
+                t += pt;
+                if per <= 0.0 || rng.random::<f32>() >= per {
+                    delivered = true;
+                    break;
+                }
+            }
+            if !delivered {
+                return TransferOutcome::Failed {
+                    elapsed: t,
+                    delivered_bytes: pkt * self.config.packet_bytes,
+                };
+            }
+        }
+        TransferOutcome::Delivered { elapsed: t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = RadioConfig::default();
+        assert_eq!(c.packet_bytes, 1500);
+        assert_eq!(c.bandwidth_bps, 31e6);
+        assert_eq!(c.range_m, 500.0);
+        assert_eq!(c.max_retx, 3);
+        assert_eq!(c.assist_bytes, 184);
+    }
+
+    #[test]
+    fn coreset_transfer_under_half_second() {
+        // §IV-A: "the time to transmit a coreset is less than 0.5 seconds".
+        let c = RadioConfig::default();
+        let coreset_bytes = 600_000; // 0.6 MB
+        assert!(c.ideal_transfer_time(coreset_bytes) < 0.5);
+    }
+
+    #[test]
+    fn model_transfer_takes_tens_of_seconds() {
+        // §III-B: exchanging a 52 MB model "can take tens of seconds".
+        let c = RadioConfig::default();
+        let t = c.ideal_transfer_time(52 * 1024 * 1024);
+        assert!(t > 10.0 && t < 60.0, "52 MB at 31 Mbps should be ~14s, got {t}");
+    }
+
+    #[test]
+    fn lossless_transfer_delivers_at_ideal_time() {
+        let ch = Channel::new(RadioConfig::default(), LossModel::None);
+        let out = ch.transfer(150_000, 100.0, |_| 10.0, &mut rng());
+        match out {
+            TransferOutcome::Delivered { elapsed } => {
+                let ideal = ch.config().ideal_transfer_time(150_000);
+                assert!((elapsed - ideal).abs() < 1e-9);
+            }
+            _ => panic!("lossless transfer must deliver"),
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_transfer() {
+        let ch = Channel::new(RadioConfig::default(), LossModel::None);
+        let out = ch.transfer(52 * 1024 * 1024, 1.0, |_| 10.0, &mut rng());
+        match out {
+            TransferOutcome::Failed { elapsed, delivered_bytes } => {
+                assert!(elapsed <= 1.0);
+                assert!(delivered_bytes > 0);
+                assert!(delivered_bytes < 52 * 1024 * 1024);
+            }
+            _ => panic!("deadline must abort"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fails_fast() {
+        let ch = Channel::new(RadioConfig::default(), LossModel::None);
+        let out = ch.transfer(3000, 100.0, |_| 600.0, &mut rng());
+        assert!(!out.is_delivered(), "beyond range nothing can be delivered");
+    }
+
+    #[test]
+    fn losses_slow_transfers_down() {
+        let cfg = RadioConfig::default();
+        let lossy = Channel::new(cfg.clone(), LossModel::distance_default());
+        let clean = Channel::new(cfg, LossModel::None);
+        let bytes = 1_500_000;
+        // At 350 m PER is 0.40: expect noticeably more airtime than clean.
+        let mut r = rng();
+        let t_lossy = match lossy.transfer(bytes, 1000.0, |_| 350.0, &mut r) {
+            TransferOutcome::Delivered { elapsed } => elapsed,
+            TransferOutcome::Failed { .. } => return, // rare: retx exhausted is acceptable
+        };
+        let t_clean = clean.transfer(bytes, 1000.0, |_| 350.0, &mut r).elapsed();
+        assert!(t_lossy > t_clean * 1.2, "lossy {t_lossy} vs clean {t_clean}");
+    }
+
+    #[test]
+    fn zero_bytes_deliver_instantly() {
+        let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
+        let out = ch.transfer(0, 0.0, |_| 100.0, &mut rng());
+        assert_eq!(out, TransferOutcome::Delivered { elapsed: 0.0 });
+    }
+
+    #[test]
+    fn moving_apart_kills_transfer() {
+        let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
+        // Start at 480 m, recede at 20 m/s: leaves range in one second.
+        let out = ch.transfer(
+            10 * 1024 * 1024,
+            1000.0,
+            |t| 480.0 + 20.0 * t as f32,
+            &mut rng(),
+        );
+        assert!(!out.is_delivered());
+    }
+}

@@ -1,0 +1,34 @@
+//! # simnet — simulated V2V wireless networking
+//!
+//! The LbChat paper evaluates over an 802.11bd-class vehicle-to-vehicle radio
+//! simulated with: 1500-byte packets, 31 Mbps bandwidth, 500 m maximum range,
+//! up to three retransmissions per packet, and a distance→loss lookup table
+//! (Anwar et al., VTC 2019). This crate implements that radio plus the
+//! route-based estimators the paper's Eq. (5) priority score needs:
+//!
+//! * [`geom`] — 2-D geometry primitives shared across the workspace.
+//! * [`loss`] — the distance→packet-error-rate lookup table.
+//! * [`channel`] — packetized transfer simulation with retransmissions and
+//!   deadline (contact end) handling.
+//! * [`trace`] — mobility traces: agent positions sampled at a fixed frame
+//!   rate, encounter detection within radio range.
+//! * [`contact`] — contact-duration prediction and delivery-probability
+//!   estimation from shared future routes (the 184-byte assist messages).
+//!
+//! All randomness is caller-seeded; the crate never touches a global RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod contact;
+pub mod geom;
+pub mod loss;
+pub mod profiles;
+pub mod trace;
+
+pub use channel::{Channel, RadioConfig, TransferOutcome};
+pub use contact::{ContactEstimate, ContactPredictor};
+pub use geom::Vec2;
+pub use loss::LossModel;
+pub use trace::{AgentId, Encounter, MobilityTrace};

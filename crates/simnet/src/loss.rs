@@ -1,0 +1,153 @@
+//! Distance-based wireless loss.
+//!
+//! The paper estimates wireless loss with "a distance-based wireless loss
+//! model \[RoadTrain\], which utilizes a distance-loss lookup table based on
+//! \[Anwar et al.\]". We reproduce that shape: negligible packet error rate
+//! (PER) at close range, rising steeply toward the 500 m maximum
+//! communication range.
+
+/// The default distance→PER lookup table, `(distance_m, per)` pairs in
+/// increasing distance order. Values follow the 802.11bd highway evaluation
+/// shape of Anwar et al. (VTC 2019).
+pub const DEFAULT_LOOKUP: &[(f32, f32)] = &[
+    (0.0, 0.005),
+    (50.0, 0.01),
+    (100.0, 0.03),
+    (150.0, 0.06),
+    (200.0, 0.10),
+    (250.0, 0.16),
+    (300.0, 0.26),
+    (350.0, 0.40),
+    (400.0, 0.58),
+    (450.0, 0.78),
+    (500.0, 0.95),
+];
+
+/// A wireless loss model mapping transmitter–receiver distance to per-packet
+/// error probability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossModel {
+    /// The idealistic, loss-free channel of Fig. 2(a) / Table II.
+    None,
+    /// Distance-based lookup with linear interpolation (Fig. 2(b) /
+    /// Table III). Distances beyond the last entry get PER 1.0.
+    Distance(Vec<(f32, f32)>),
+}
+
+impl LossModel {
+    /// The paper's default distance-based model.
+    pub fn distance_default() -> Self {
+        LossModel::Distance(DEFAULT_LOOKUP.to_vec())
+    }
+
+    /// Packet error rate at `distance_m` meters.
+    ///
+    /// Lookup tables interpolate linearly between entries; distances past the
+    /// last entry lose every packet (out of range).
+    pub fn per(&self, distance_m: f32) -> f32 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Distance(table) => {
+                if table.is_empty() {
+                    return 0.0;
+                }
+                if distance_m <= table[0].0 {
+                    return table[0].1;
+                }
+                for w in table.windows(2) {
+                    let (d0, p0) = w[0];
+                    let (d1, p1) = w[1];
+                    if distance_m <= d1 {
+                        let t = (distance_m - d0) / (d1 - d0);
+                        return p0 + t * (p1 - p0);
+                    }
+                }
+                1.0
+            }
+        }
+    }
+
+    /// Probability a packet is delivered within `1 + retx` attempts at
+    /// `distance_m`: `1 - per^(1 + retx)`.
+    pub fn delivery_prob(&self, distance_m: f32, retx: u32) -> f32 {
+        let per = self.per(distance_m);
+        1.0 - per.powi(retx as i32 + 1)
+    }
+
+    /// Samples one PER uniformly from the table entries — how the paper
+    /// models the backend links of ProxSkip and RSU-L under wireless loss
+    /// ("communications suffer from a wireless loss uniformly sampled from
+    /// the distance-loss lookup table").
+    ///
+    /// Returns 0 for [`LossModel::None`].
+    pub fn sample_uniform_per<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Distance(table) => {
+                if table.is_empty() {
+                    0.0
+                } else {
+                    use rand::RngExt;
+                    table[rng.random_range(0..table.len())].1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_lossless() {
+        assert_eq!(LossModel::None.per(100.0), 0.0);
+        assert_eq!(LossModel::None.delivery_prob(499.0, 0), 1.0);
+    }
+
+    #[test]
+    fn lookup_monotone_in_distance() {
+        let m = LossModel::distance_default();
+        let mut last = -1.0;
+        for d in (0..=550).step_by(10) {
+            let p = m.per(d as f32);
+            assert!(p >= last, "PER must not decrease with distance");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn interpolation_between_entries() {
+        let m = LossModel::Distance(vec![(0.0, 0.0), (100.0, 0.2)]);
+        assert!((m.per(50.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_loses_everything() {
+        let m = LossModel::distance_default();
+        assert_eq!(m.per(501.0), 1.0);
+        assert_eq!(m.per(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn retransmissions_boost_delivery() {
+        let m = LossModel::distance_default();
+        let p0 = m.delivery_prob(400.0, 0);
+        let p3 = m.delivery_prob(400.0, 3);
+        assert!(p3 > p0);
+        // PER 0.58 at 400 m: delivery within 4 attempts = 1 - 0.58^4
+        assert!((p3 - (1.0 - 0.58f32.powi(4))).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_sample_comes_from_table() {
+        let m = LossModel::distance_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let p = m.sample_uniform_per(&mut rng);
+            assert!(DEFAULT_LOOKUP.iter().any(|&(_, v)| (v - p).abs() < 1e-9));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Radio profiles beyond the default 802.11bd-class setup.
+//!
+//! The paper's §V ("Other radios suitable for vehicles") points at NR-V2X
+//! and other emerging radios. These profiles bundle a [`RadioConfig`] with a
+//! matching distance→PER table so experiments can swap the whole physical
+//! layer with one call; the values follow the comparative evaluation of
+//! Anwar et al. (VTC 2019), which measured 802.11p, 802.11bd, LTE-V2X, and
+//! 5G NR-V2X side by side (NR-V2X holds lower loss at range; legacy 802.11p
+//! degrades earliest).
+
+use crate::channel::RadioConfig;
+use crate::loss::LossModel;
+
+/// A named physical-layer profile: radio parameters + loss behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Radio parameters.
+    pub config: RadioConfig,
+    /// Distance-based loss model.
+    pub loss: LossModel,
+}
+
+impl RadioProfile {
+    /// The paper's default: 802.11bd-class, 31 Mbps, 500 m.
+    pub fn ieee80211bd() -> Self {
+        Self {
+            name: "IEEE 802.11bd",
+            config: RadioConfig::default(),
+            loss: LossModel::distance_default(),
+        }
+    }
+
+    /// Legacy 802.11p DSRC: lower rate, loss rising much earlier.
+    pub fn ieee80211p() -> Self {
+        Self {
+            name: "IEEE 802.11p",
+            config: RadioConfig {
+                bandwidth_bps: 6e6,
+                range_m: 400.0,
+                ..RadioConfig::default()
+            },
+            loss: LossModel::Distance(vec![
+                (0.0, 0.01),
+                (50.0, 0.03),
+                (100.0, 0.08),
+                (150.0, 0.15),
+                (200.0, 0.28),
+                (250.0, 0.45),
+                (300.0, 0.65),
+                (350.0, 0.85),
+                (400.0, 0.97),
+            ]),
+        }
+    }
+
+    /// 5G NR-V2X sidelink: higher rate and flatter loss within range.
+    pub fn nr_v2x() -> Self {
+        Self {
+            name: "5G NR-V2X",
+            config: RadioConfig {
+                bandwidth_bps: 50e6,
+                range_m: 600.0,
+                ..RadioConfig::default()
+            },
+            loss: LossModel::Distance(vec![
+                (0.0, 0.002),
+                (100.0, 0.01),
+                (200.0, 0.03),
+                (300.0, 0.08),
+                (400.0, 0.18),
+                (500.0, 0.40),
+                (600.0, 0.85),
+            ]),
+        }
+    }
+
+    /// All built-in profiles, strongest-first.
+    pub fn all() -> Vec<RadioProfile> {
+        vec![Self::nr_v2x(), Self::ieee80211bd(), Self::ieee80211p()]
+    }
+
+    /// Loss-free transfer time of a payload under this profile, seconds.
+    pub fn ideal_transfer_time(&self, bytes: usize) -> f64 {
+        self.config.ideal_transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_capability() {
+        let nr = RadioProfile::nr_v2x();
+        let bd = RadioProfile::ieee80211bd();
+        let p = RadioProfile::ieee80211p();
+        assert!(nr.config.bandwidth_bps > bd.config.bandwidth_bps);
+        assert!(bd.config.bandwidth_bps > p.config.bandwidth_bps);
+        assert!(nr.config.range_m > bd.config.range_m);
+        // At 300 m, loss ordering: NR < bd < p.
+        assert!(nr.loss.per(300.0) < bd.loss.per(300.0));
+        assert!(bd.loss.per(300.0) < p.loss.per(300.0));
+    }
+
+    #[test]
+    fn model_transfer_times_scale_with_bandwidth() {
+        let bytes = 52 * 1024 * 1024;
+        let t_nr = RadioProfile::nr_v2x().ideal_transfer_time(bytes);
+        let t_bd = RadioProfile::ieee80211bd().ideal_transfer_time(bytes);
+        let t_p = RadioProfile::ieee80211p().ideal_transfer_time(bytes);
+        assert!(t_nr < t_bd && t_bd < t_p);
+        // 802.11p cannot move a 52 MB model inside a typical contact.
+        assert!(t_p > 60.0);
+    }
+
+    #[test]
+    fn all_lists_every_profile() {
+        let names: Vec<&str> = RadioProfile::all().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"5G NR-V2X"));
+    }
+
+    #[test]
+    fn per_tables_are_monotone() {
+        for profile in RadioProfile::all() {
+            let mut last = -1.0f32;
+            for d in (0..=700).step_by(25) {
+                let per = profile.loss.per(d as f32);
+                assert!(per >= last, "{}: PER must not decrease", profile.name);
+                last = per;
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Mobility traces and encounter detection.
+//!
+//! The paper records vehicle locations at 2 fps for 120 hours and replays
+//! them to simulate inter-vehicle communications. A [`MobilityTrace`] is that
+//! recording: one position series per agent at a fixed frame rate, with
+//! helpers to query interpolated positions and detect radio-range encounters.
+
+use crate::geom::Vec2;
+
+/// Identifier of an agent (vehicle) inside a trace, dense from zero.
+pub type AgentId = usize;
+
+/// Positions of every agent sampled at a fixed frame rate.
+#[derive(Debug, Clone)]
+pub struct MobilityTrace {
+    fps: f64,
+    /// `positions[agent][frame]`.
+    positions: Vec<Vec<Vec2>>,
+}
+
+/// A pair of agents within radio range at some time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Encounter {
+    /// First agent (lower id).
+    pub a: AgentId,
+    /// Second agent (higher id).
+    pub b: AgentId,
+    /// Distance between them in meters at detection time.
+    pub distance: f32,
+}
+
+impl MobilityTrace {
+    /// Creates a trace from per-agent position series recorded at `fps`
+    /// frames per second. All agents must have the same number of frames.
+    ///
+    /// # Panics
+    /// Panics if `fps <= 0`, there are no agents, or series lengths differ.
+    pub fn new(fps: f64, positions: Vec<Vec<Vec2>>) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        assert!(!positions.is_empty(), "trace needs at least one agent");
+        let n = positions[0].len();
+        assert!(
+            positions.iter().all(|p| p.len() == n),
+            "all agents must have the same number of frames"
+        );
+        Self { fps, positions }
+    }
+
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of frames per agent.
+    pub fn n_frames(&self) -> usize {
+        self.positions[0].len()
+    }
+
+    /// Frame rate the trace was recorded at.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Total duration covered, in seconds.
+    pub fn duration(&self) -> f64 {
+        if self.n_frames() == 0 {
+            0.0
+        } else {
+            (self.n_frames() - 1) as f64 / self.fps
+        }
+    }
+
+    /// Position of `agent` at time `t` (seconds), linearly interpolated
+    /// between frames and clamped to the trace ends.
+    ///
+    /// # Panics
+    /// Panics if `agent` is out of range or the trace has zero frames.
+    pub fn position(&self, agent: AgentId, t: f64) -> Vec2 {
+        let series = &self.positions[agent];
+        assert!(!series.is_empty(), "trace has no frames");
+        let ft = (t * self.fps).max(0.0);
+        let i = ft.floor() as usize;
+        if i + 1 >= series.len() {
+            return *series.last().expect("non-empty");
+        }
+        let frac = (ft - i as f64) as f32;
+        series[i].lerp(series[i + 1], frac)
+    }
+
+    /// Distance between two agents at time `t`.
+    pub fn distance(&self, a: AgentId, b: AgentId, t: f64) -> f32 {
+        self.position(a, t).distance(self.position(b, t))
+    }
+
+    /// All agent pairs within `range_m` of each other at time `t`,
+    /// restricted to the agents in `active` (e.g. the learning vehicles, not
+    /// background traffic).
+    pub fn encounters_at(&self, t: f64, range_m: f32, active: &[AgentId]) -> Vec<Encounter> {
+        let pos: Vec<(AgentId, Vec2)> =
+            active.iter().map(|&a| (a, self.position(a, t))).collect();
+        let mut out = Vec::new();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d = pos[i].1.distance(pos[j].1);
+                if d <= range_m {
+                    out.push(Encounter { a: pos[i].0, b: pos[j].0, distance: d });
+                }
+            }
+        }
+        out
+    }
+
+    /// Future trajectory of `agent` starting at time `t`: `n` samples spaced
+    /// `dt` seconds — what a vehicle shares as its "route in the next few
+    /// minutes".
+    pub fn future(&self, agent: AgentId, t: f64, dt: f64, n: usize) -> Vec<Vec2> {
+        (0..n).map(|k| self.position(agent, t + k as f64 * dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_agent_trace() -> MobilityTrace {
+        // Agent 0 parked at origin; agent 1 drives east at 10 m/s, sampled
+        // at 2 fps.
+        let a0 = vec![Vec2::ZERO; 21];
+        let a1: Vec<Vec2> = (0..21).map(|f| Vec2::new(f as f32 * 5.0, 0.0)).collect();
+        MobilityTrace::new(2.0, vec![a0, a1])
+    }
+
+    #[test]
+    fn interpolates_between_frames() {
+        let tr = two_agent_trace();
+        let p = tr.position(1, 0.25); // halfway between frames 0 and 1
+        assert!((p.x - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamps_past_the_end() {
+        let tr = two_agent_trace();
+        let p = tr.position(1, 100.0);
+        assert!((p.x - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duration_accounts_for_fps() {
+        let tr = two_agent_trace();
+        assert!((tr.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encounters_within_range() {
+        let tr = two_agent_trace();
+        let e = tr.encounters_at(0.0, 500.0, &[0, 1]);
+        assert_eq!(e.len(), 1);
+        assert_eq!((e[0].a, e[0].b), (0, 1));
+        // At t = 10 s agent 1 is 100 m away: still in range at 500 m...
+        assert_eq!(tr.encounters_at(10.0, 500.0, &[0, 1]).len(), 1);
+        // ...but not at 50 m range.
+        assert_eq!(tr.encounters_at(10.0, 50.0, &[0, 1]).len(), 0);
+    }
+
+    #[test]
+    fn active_filter_restricts_pairs() {
+        let tr = two_agent_trace();
+        assert!(tr.encounters_at(0.0, 500.0, &[0]).is_empty());
+    }
+
+    #[test]
+    fn future_samples_the_route() {
+        let tr = two_agent_trace();
+        let f = tr.future(1, 0.0, 1.0, 5);
+        assert_eq!(f.len(), 5);
+        assert!((f[4].x - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of frames")]
+    fn ragged_series_panics() {
+        let _ = MobilityTrace::new(2.0, vec![vec![Vec2::ZERO; 3], vec![Vec2::ZERO; 4]]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Bird's-eye-view rasterization.
+//!
+//! The paper's model input is "a sparse binary tensor depicting the front
+//! view of a vehicle in a top-down view". We rasterize an ego-frame grid
+//! ahead of the vehicle with four binary channels: drivable road, other
+//! vehicles, pedestrians, and the vehicle's own planned route. A pooled
+//! float feature vector (plus the current speed) is what the policy network
+//! consumes.
+
+use crate::world::RoadRaster;
+use simnet::geom::Vec2;
+
+/// Pose of the observing vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// World position.
+    pub pos: Vec2,
+    /// Heading in radians.
+    pub heading: f32,
+}
+
+impl Pose {
+    /// Transforms a world point into the ego frame (x forward, y left).
+    pub fn to_ego(&self, world: Vec2) -> Vec2 {
+        (world - self.pos).rotated(-self.heading)
+    }
+
+    /// Transforms an ego-frame point to world coordinates.
+    pub fn to_world(&self, ego: Vec2) -> Vec2 {
+        self.pos + ego.rotated(self.heading)
+    }
+}
+
+/// BEV channel indices.
+pub mod channel {
+    /// Drivable road.
+    pub const ROAD: usize = 0;
+    /// Other vehicles.
+    pub const VEHICLES: usize = 1;
+    /// Pedestrians.
+    pub const PEDESTRIANS: usize = 2;
+    /// Own planned route.
+    pub const ROUTE: usize = 3;
+    /// Number of channels.
+    pub const COUNT: usize = 4;
+}
+
+/// Geometry of the BEV grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BevConfig {
+    /// Cells per side (square grid).
+    pub cells: usize,
+    /// Cell side length in meters.
+    pub cell_m: f32,
+    /// How far ahead of the vehicle the grid center sits, in meters.
+    pub forward_offset: f32,
+    /// Pooling factor for the feature vector: each `pool x pool` cell block
+    /// becomes one float. Must divide `cells`.
+    pub pool: usize,
+}
+
+impl Default for BevConfig {
+    fn default() -> Self {
+        // 24 cells * 2 m = 48 m square window, centered 16 m ahead.
+        Self { cells: 24, cell_m: 2.0, forward_offset: 16.0, pool: 4 }
+    }
+}
+
+impl BevConfig {
+    /// Side length of the window in meters.
+    pub fn window_m(&self) -> f32 {
+        self.cells as f32 * self.cell_m
+    }
+
+    /// Length of the pooled feature vector including the speed scalar.
+    pub fn feature_len(&self) -> usize {
+        let side = self.cells / self.pool;
+        side * side * channel::COUNT + 1
+    }
+}
+
+/// A rasterized sparse binary BEV tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bev {
+    cells: usize,
+    /// One bit vector per channel, row-major `y * cells + x`.
+    channels: [Vec<bool>; channel::COUNT],
+    /// Ego speed at capture time (m/s).
+    speed: f32,
+}
+
+impl Bev {
+    /// Grid side length in cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Whether channel `c` is set at `(ix, iy)`.
+    pub fn get(&self, c: usize, ix: usize, iy: usize) -> bool {
+        self.channels[c][iy * self.cells + ix]
+    }
+
+    /// Number of set bits in channel `c` (sparsity diagnostics).
+    pub fn popcount(&self, c: usize) -> usize {
+        self.channels[c].iter().filter(|&&b| b).count()
+    }
+
+    /// Ego speed recorded with the frame.
+    pub fn speed(&self) -> f32 {
+        self.speed
+    }
+
+    /// Pooled float features: each `pool x pool` block averages to one value
+    /// per channel, concatenated channel-major, with normalized speed
+    /// appended. This is the policy-network input.
+    ///
+    /// # Panics
+    /// Panics if `pool` does not divide the grid side.
+    pub fn features(&self, pool: usize) -> Vec<f32> {
+        assert!(pool > 0 && self.cells % pool == 0, "pool must divide grid side");
+        let side = self.cells / pool;
+        let mut out = Vec::with_capacity(side * side * channel::COUNT + 1);
+        let norm = 1.0 / (pool * pool) as f32;
+        for ch in &self.channels {
+            for by in 0..side {
+                for bx in 0..side {
+                    let mut acc = 0.0f32;
+                    for dy in 0..pool {
+                        for dx in 0..pool {
+                            let ix = bx * pool + dx;
+                            let iy = by * pool + dy;
+                            if ch[iy * self.cells + ix] {
+                                acc += 1.0;
+                            }
+                        }
+                    }
+                    out.push(acc * norm);
+                }
+            }
+        }
+        out.push(self.speed / 25.0); // normalize by the map's top speed
+        out
+    }
+}
+
+/// Rasterizes the BEV for a vehicle at `pose` moving at `speed`.
+///
+/// * `road` — the precomputed global drivable-area raster.
+/// * `cars` — world positions of every *other* vehicle.
+/// * `pedestrians` — world positions of pedestrians.
+/// * `route_ahead` — world-frame polyline of the next stretch of the planned
+///   route (the navigation hint; sampled densely by the caller).
+pub fn rasterize(
+    cfg: &BevConfig,
+    pose: Pose,
+    speed: f32,
+    road: &RoadRaster,
+    cars: &[Vec2],
+    pedestrians: &[Vec2],
+    route_ahead: &[Vec2],
+) -> Bev {
+    let n = cfg.cells;
+    let mut channels: [Vec<bool>; channel::COUNT] = [
+        vec![false; n * n],
+        vec![false; n * n],
+        vec![false; n * n],
+        vec![false; n * n],
+    ];
+    let half = cfg.window_m() / 2.0;
+
+    // Road channel: sample each cell center against the global road raster.
+    for iy in 0..n {
+        for ix in 0..n {
+            let ego = Vec2::new(
+                cfg.forward_offset - half + (iy as f32 + 0.5) * cfg.cell_m,
+                half - (ix as f32 + 0.5) * cfg.cell_m,
+            );
+            let world = pose.to_world(ego);
+            if road.is_road(world) {
+                channels[channel::ROAD][iy * n + ix] = true;
+            }
+        }
+    }
+
+    // Point-agent channels with a small footprint stamp.
+    let stamp = |ch: usize, world: Vec2, radius_cells: i32, channels: &mut [Vec<bool>; 4]| {
+        let ego = pose.to_ego(world);
+        // Invert the cell-center mapping used for the road channel.
+        let fy = (ego.x - cfg.forward_offset + half) / cfg.cell_m - 0.5;
+        let fx = (half - ego.y) / cfg.cell_m - 0.5;
+        let (cx, cy) = (fx.round() as i32, fy.round() as i32);
+        for dy in -radius_cells..=radius_cells {
+            for dx in -radius_cells..=radius_cells {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && y >= 0 && (x as usize) < n && (y as usize) < n {
+                    channels[ch][y as usize * n + x as usize] = true;
+                }
+            }
+        }
+    };
+    for &c in cars {
+        if pose.to_ego(c).norm() < cfg.window_m() {
+            stamp(channel::VEHICLES, c, 1, &mut channels);
+        }
+    }
+    for &p in pedestrians {
+        if pose.to_ego(p).norm() < cfg.window_m() {
+            stamp(channel::PEDESTRIANS, p, 0, &mut channels);
+        }
+    }
+    for &r in route_ahead {
+        if pose.to_ego(r).norm() < cfg.window_m() {
+            stamp(channel::ROUTE, r, 0, &mut channels);
+        }
+    }
+
+    Bev { cells: n, channels, speed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::RoadRaster;
+
+    fn empty_raster() -> RoadRaster {
+        RoadRaster::empty(1000.0, 2.0)
+    }
+
+    fn straight_road_raster() -> RoadRaster {
+        // A single horizontal road along y = 500.
+        let pts: Vec<Vec2> = (0..=500).map(|i| Vec2::new(i as f32 * 2.0, 500.0)).collect();
+        RoadRaster::from_polylines(1000.0, 2.0, &[pts], 4.0)
+    }
+
+    #[test]
+    fn feature_len_matches_config() {
+        let cfg = BevConfig::default();
+        let bev = rasterize(
+            &cfg,
+            Pose { pos: Vec2::new(500.0, 500.0), heading: 0.0 },
+            5.0,
+            &empty_raster(),
+            &[],
+            &[],
+            &[],
+        );
+        assert_eq!(bev.features(cfg.pool).len(), cfg.feature_len());
+    }
+
+    #[test]
+    fn road_channel_sees_the_road() {
+        let cfg = BevConfig::default();
+        let bev = rasterize(
+            &cfg,
+            Pose { pos: Vec2::new(500.0, 500.0), heading: 0.0 },
+            5.0,
+            &straight_road_raster(),
+            &[],
+            &[],
+            &[],
+        );
+        assert!(bev.popcount(channel::ROAD) > 10, "road ahead must be visible");
+        assert_eq!(bev.popcount(channel::VEHICLES), 0);
+    }
+
+    #[test]
+    fn vehicle_ahead_is_stamped() {
+        let cfg = BevConfig::default();
+        let pose = Pose { pos: Vec2::new(500.0, 500.0), heading: 0.0 };
+        let bev = rasterize(
+            &cfg,
+            pose,
+            5.0,
+            &empty_raster(),
+            &[Vec2::new(515.0, 500.0)], // 15 m ahead
+            &[],
+            &[],
+        );
+        assert!(bev.popcount(channel::VEHICLES) >= 4, "3x3 stamp expected");
+    }
+
+    #[test]
+    fn agents_outside_window_ignored() {
+        let cfg = BevConfig::default();
+        let pose = Pose { pos: Vec2::new(500.0, 500.0), heading: 0.0 };
+        let bev = rasterize(
+            &cfg,
+            pose,
+            5.0,
+            &empty_raster(),
+            &[Vec2::new(700.0, 500.0)],
+            &[Vec2::new(500.0, 300.0)],
+            &[],
+        );
+        assert_eq!(bev.popcount(channel::VEHICLES), 0);
+        assert_eq!(bev.popcount(channel::PEDESTRIANS), 0);
+    }
+
+    #[test]
+    fn rotation_keeps_forward_agent_visible() {
+        let cfg = BevConfig::default();
+        // Facing north; agent due north should appear.
+        let pose =
+            Pose { pos: Vec2::new(500.0, 500.0), heading: std::f32::consts::FRAC_PI_2 };
+        let bev = rasterize(
+            &cfg,
+            pose,
+            5.0,
+            &empty_raster(),
+            &[Vec2::new(500.0, 515.0)],
+            &[],
+            &[],
+        );
+        assert!(bev.popcount(channel::VEHICLES) > 0);
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let cfg = BevConfig::default();
+        let bev = rasterize(
+            &cfg,
+            Pose { pos: Vec2::new(500.0, 500.0), heading: 0.3 },
+            12.5,
+            &straight_road_raster(),
+            &[Vec2::new(510.0, 500.0)],
+            &[Vec2::new(505.0, 505.0)],
+            &[Vec2::new(520.0, 500.0)],
+        );
+        for f in bev.features(cfg.pool) {
+            assert!((0.0..=1.0).contains(&f), "feature out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn ego_transform_roundtrip() {
+        let pose = Pose { pos: Vec2::new(3.0, -2.0), heading: 0.7 };
+        let w = Vec2::new(10.0, 10.0);
+        assert!(pose.to_world(pose.to_ego(w)).distance(w) < 1e-4);
+    }
+}

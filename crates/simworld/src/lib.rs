@@ -1,0 +1,40 @@
+//! # simworld — a deterministic driving world
+//!
+//! The CARLA substitute. The LbChat paper uses CARLA for three things only:
+//! generating realistic vehicle mobility (encounters), producing BEV +
+//! waypoint training data via expert autopilots, and judging trained models
+//! in closed-loop driving (success rate). This crate supplies all three on a
+//! procedurally generated 1 km × 1 km map with town and rural areas:
+//!
+//! * [`map`] — the road network: a Manhattan-style town grid plus a rural
+//!   loop, directed lane edges with polylines and per-kind speed limits.
+//! * [`route`] — Dijkstra routing and turn/command classification.
+//! * [`agents`] — kinematic vehicles with car-following, plus roaming
+//!   pedestrians (the paper's 50 background cars and 250 pedestrians).
+//! * [`expert`] — the privileged expert autopilot: pure-pursuit steering
+//!   along its route, speed control, and obstacle braking; emits the
+//!   ground-truth waypoints used as imitation targets.
+//! * [`bev`] — ego-frame bird's-eye-view rasterization (sparse binary
+//!   tensor) and the feature vector fed to the policy network.
+//! * [`world`] — owns everything, steps at 2 fps, detects collisions, and
+//!   records [`simnet::MobilityTrace`]s.
+//!
+//! Determinism: the map, traffic, and every agent decision derive from the
+//! seed given at construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod bev;
+pub mod expert;
+pub mod map;
+pub mod render;
+pub mod route;
+pub mod world;
+
+pub use bev::{Bev, BevConfig};
+pub use expert::{Command, ExpertOutput};
+pub use map::{EdgeId, NodeId, RoadKind, RoadNetwork};
+pub use route::{Route, Router};
+pub use world::{World, WorldConfig};

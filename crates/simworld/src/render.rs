@@ -1,0 +1,88 @@
+//! ASCII rendering of the world — a debugging aid that needs no graphics
+//! stack. Renders the road network, vehicles, pedestrians, and optional
+//! overlay routes into a character grid.
+
+use crate::world::World;
+use simnet::geom::Vec2;
+
+/// Renders the world into `rows` lines of `cols` characters.
+///
+/// Legend: `.` road, `E` expert vehicle, `c` background car, `p`
+/// pedestrian, `*` overlay points (e.g. an evaluation route), space =
+/// off-road. Agents draw over roads; overlays draw over everything.
+pub fn render_ascii(world: &World, cols: usize, rows: usize, overlay: &[Vec2]) -> String {
+    assert!(cols >= 10 && rows >= 10, "render grid too small");
+    let extent = world.map().extent();
+    let sx = extent / cols as f32;
+    let sy = extent / rows as f32;
+    let mut grid = vec![b' '; cols * rows];
+
+    let plot = |p: Vec2, ch: u8, grid: &mut [u8]| {
+        let cx = (p.x / sx) as isize;
+        // Flip y so north is up.
+        let cy = rows as isize - 1 - (p.y / sy) as isize;
+        if cx >= 0 && cy >= 0 && (cx as usize) < cols && (cy as usize) < rows {
+            grid[cy as usize * cols + cx as usize] = ch;
+        }
+    };
+
+    // Roads: sample every edge polyline.
+    for e in world.map().edges() {
+        for seg in e.polyline.windows(2) {
+            let len = seg[0].distance(seg[1]);
+            let n = (len / sx.min(sy)).ceil() as usize + 1;
+            for k in 0..=n {
+                plot(seg[0].lerp(seg[1], k as f32 / n as f32), b'.', &mut grid);
+            }
+        }
+    }
+    for p in world.pedestrian_positions() {
+        plot(p, b'p', &mut grid);
+    }
+    let n_experts = world.experts().len();
+    for (i, p) in world.car_positions().iter().enumerate() {
+        plot(*p, if i < n_experts { b'E' } else { b'c' }, &mut grid);
+    }
+    for &p in overlay {
+        plot(p, b'*', &mut grid);
+    }
+
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in 0..rows {
+        out.push_str(std::str::from_utf8(&grid[r * cols..(r + 1) * cols]).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn render_shows_roads_and_agents() {
+        let w = World::new(WorldConfig::small(2));
+        let s = render_ascii(&w, 60, 30, &[]);
+        assert_eq!(s.lines().count(), 30);
+        assert!(s.lines().all(|l| l.len() == 60));
+        assert!(s.contains('.'), "roads must appear");
+        assert!(s.contains('E'), "experts must appear");
+        assert!(s.contains('p'), "pedestrians must appear");
+    }
+
+    #[test]
+    fn overlay_draws_on_top() {
+        let w = World::new(WorldConfig::small(2));
+        let overlay = vec![Vec2::new(500.0, 500.0)];
+        let s = render_ascii(&w, 40, 20, &overlay);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "render grid too small")]
+    fn tiny_grid_panics() {
+        let w = World::new(WorldConfig::small(2));
+        let _ = render_ascii(&w, 2, 2, &[]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Routing and high-level command classification.
+//!
+//! Vehicles follow routes computed by Dijkstra over the road graph — the
+//! stand-in for the navigation service the paper assumes ("future routes in
+//! next few minutes, which can be obtained from navigation services").
+
+use crate::map::{EdgeId, NodeId, RoadNetwork};
+use simnet::geom::Vec2;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A planned route: a sequence of connected directed edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Edge ids from origin to destination, each starting where the previous
+    /// ended.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Route {
+    /// Total length in meters.
+    pub fn length(&self, map: &RoadNetwork) -> f32 {
+        self.edges.iter().map(|&e| map.edge(e).length).sum()
+    }
+
+    /// Destination node.
+    ///
+    /// # Panics
+    /// Panics on an empty route.
+    pub fn destination(&self, map: &RoadNetwork) -> NodeId {
+        map.edge(*self.edges.last().expect("route must have edges")).to
+    }
+
+    /// Number of intersections where the route turns (heading change of at
+    /// least ~30°) — used to pick "one turn" / "navigation" evaluation
+    /// routes.
+    pub fn turn_count(&self, map: &RoadNetwork) -> usize {
+        self.edges
+            .windows(2)
+            .filter(|w| {
+                matches!(
+                    classify_turn(map, w[0], w[1]),
+                    TurnKind::Left | TurnKind::Right
+                )
+            })
+            .count()
+    }
+
+    /// Concatenated polyline of the whole route.
+    pub fn polyline(&self, map: &RoadNetwork) -> Vec<Vec2> {
+        let mut out: Vec<Vec2> = Vec::new();
+        for &eid in &self.edges {
+            for p in &map.edge(eid).polyline {
+                if out.last().map(|l| l.distance(*p) > 1e-6).unwrap_or(true) {
+                    out.push(*p);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How the route bends from one edge into the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnKind {
+    /// Heading continues (|Δheading| < 30°).
+    Straight,
+    /// Left turn (Δheading ≥ 30° counter-clockwise).
+    Left,
+    /// Right turn (Δheading ≥ 30° clockwise).
+    Right,
+}
+
+/// Classifies the turn between two consecutive route edges.
+pub fn classify_turn(map: &RoadNetwork, from: EdgeId, to: EdgeId) -> TurnKind {
+    let e_in = map.edge(from);
+    let e_out = map.edge(to);
+    let n = e_in.polyline.len();
+    let dir_in = (e_in.polyline[n - 1] - e_in.polyline[n - 2]).normalized();
+    let dir_out = (e_out.polyline[1] - e_out.polyline[0]).normalized();
+    let cross = dir_in.cross(dir_out);
+    let dot = dir_in.dot(dir_out);
+    let angle = cross.atan2(dot); // signed heading change
+    let thirty = 30.0f32.to_radians();
+    if angle > thirty {
+        TurnKind::Left
+    } else if angle < -thirty {
+        TurnKind::Right
+    } else {
+        TurnKind::Straight
+    }
+}
+
+/// Shortest-path router over a road network.
+#[derive(Debug, Clone)]
+pub struct Router<'a> {
+    map: &'a RoadNetwork,
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    dist: f32,
+    node: NodeId,
+}
+
+impl Eq for QueueItem {}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router over `map`.
+    pub fn new(map: &'a RoadNetwork) -> Self {
+        Self { map }
+    }
+
+    /// Shortest route (by length) from `from` to `to`, or `None` when
+    /// `from == to` or unreachable (never on generated maps, which are
+    /// strongly connected).
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        if from == to {
+            return None;
+        }
+        let n = self.map.n_nodes();
+        let mut dist = vec![f32::INFINITY; n];
+        let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push(QueueItem { dist: 0.0, node: from });
+        while let Some(QueueItem { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            if node == to {
+                break;
+            }
+            for &eid in self.map.out_edges(node) {
+                let e = self.map.edge(eid);
+                let nd = d + e.length;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev_edge[e.to] = Some(eid);
+                    heap.push(QueueItem { dist: nd, node: e.to });
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let eid = prev_edge[cur].expect("path reconstructed from reached node");
+            edges.push(eid);
+            cur = self.map.edge(eid).from;
+        }
+        edges.reverse();
+        Some(Route { edges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::RoadNetwork;
+
+    #[test]
+    fn routes_connect_endpoints() {
+        let m = RoadNetwork::generate(1);
+        let r = Router::new(&m);
+        let route = r.route(0, m.n_nodes() - 1).expect("strongly connected");
+        assert_eq!(m.edge(route.edges[0]).from, 0);
+        assert_eq!(route.destination(&m), m.n_nodes() - 1);
+        // consecutive edges chain
+        for w in route.edges.windows(2) {
+            assert_eq!(m.edge(w[0]).to, m.edge(w[1]).from);
+        }
+    }
+
+    #[test]
+    fn same_node_has_no_route() {
+        let m = RoadNetwork::generate(1);
+        assert!(Router::new(&m).route(3, 3).is_none());
+    }
+
+    #[test]
+    fn routes_are_shortest() {
+        let m = RoadNetwork::generate(2);
+        let r = Router::new(&m);
+        // Triangle inequality spot check: route(a,c) <= route(a,b)+route(b,c)
+        let (a, b, c) = (0, m.n_nodes() / 2, m.n_nodes() - 1);
+        let ac = r.route(a, c).unwrap().length(&m);
+        let ab = r.route(a, b).unwrap().length(&m);
+        let bc = r.route(b, c).unwrap().length(&m);
+        assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn turn_classification_on_grid() {
+        let m = RoadNetwork::generate(3);
+        let r = Router::new(&m);
+        // Gather some routes and check every classified turn is sane.
+        let route = r.route(0, m.n_nodes() - 1).unwrap();
+        for w in route.edges.windows(2) {
+            let _ = classify_turn(&m, w[0], w[1]); // must not panic
+        }
+    }
+
+    #[test]
+    fn turn_count_zero_for_straight_grid_route() {
+        let m = RoadNetwork::generate(4);
+        let r = Router::new(&m);
+        // Nodes 0 and 1 in the town grid are adjacent along one axis: a
+        // single-edge route has no turns.
+        let route = r.route(0, 1).unwrap();
+        assert_eq!(route.turn_count(&m), 0);
+    }
+
+    #[test]
+    fn polyline_is_continuous() {
+        let m = RoadNetwork::generate(5);
+        let r = Router::new(&m);
+        let route = r.route(0, m.n_nodes() - 1).unwrap();
+        let poly = route.polyline(&m);
+        for w in poly.windows(2) {
+            assert!(w[0].distance(w[1]) < 400.0, "polyline jump detected");
+        }
+    }
+}

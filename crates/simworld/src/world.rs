@@ -1,0 +1,588 @@
+//! The simulated world: map + traffic + stepping + trace recording.
+
+use crate::agents::{radii, Pedestrian, RoadVehicle};
+use crate::bev::{rasterize, Bev, BevConfig, Pose};
+use crate::expert::{hazard_ahead, ExpertOutput};
+use crate::map::{MapConfig, RoadNetwork};
+use crate::route::{Route, Router};
+use rand::{Rng, RngExt, SeedableRng};
+use simnet::geom::Vec2;
+use simnet::trace::MobilityTrace;
+use std::collections::HashMap;
+
+/// Precomputed drivable-area raster of the whole map, shared by every BEV
+/// rasterization (sampling this grid is far cheaper than re-walking all road
+/// polylines per frame).
+#[derive(Debug, Clone)]
+pub struct RoadRaster {
+    extent: f32,
+    cell: f32,
+    side: usize,
+    bits: Vec<bool>,
+}
+
+impl RoadRaster {
+    /// An all-empty raster (for tests).
+    pub fn empty(extent: f32, cell: f32) -> Self {
+        let side = (extent / cell).ceil() as usize;
+        Self { extent, cell, side, bits: vec![false; side * side] }
+    }
+
+    /// Rasterizes a set of road polylines with the given half-width.
+    pub fn from_polylines(extent: f32, cell: f32, polylines: &[Vec<Vec2>], half_width: f32) -> Self {
+        let mut r = Self::empty(extent, cell);
+        let step = cell * 0.5;
+        for poly in polylines {
+            for seg in poly.windows(2) {
+                let len = seg[0].distance(seg[1]);
+                let n = (len / step).ceil() as usize + 1;
+                for k in 0..=n {
+                    let p = seg[0].lerp(seg[1], k as f32 / n as f32);
+                    r.mark_disc(p, half_width);
+                }
+            }
+        }
+        r
+    }
+
+    /// Builds the raster for a road network (half-width 4 m per lane pair).
+    pub fn from_map(map: &RoadNetwork) -> Self {
+        let polys: Vec<Vec<Vec2>> =
+            map.edges().iter().map(|e| e.polyline.clone()).collect();
+        Self::from_polylines(map.extent(), 2.0, &polys, 4.0)
+    }
+
+    fn mark_disc(&mut self, center: Vec2, radius: f32) {
+        let r_cells = (radius / self.cell).ceil() as i32;
+        let cx = (center.x / self.cell) as i32;
+        let cy = (center.y / self.cell) as i32;
+        for dy in -r_cells..=r_cells {
+            for dx in -r_cells..=r_cells {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && y >= 0 && (x as usize) < self.side && (y as usize) < self.side {
+                    let p = Vec2::new((x as f32 + 0.5) * self.cell, (y as f32 + 0.5) * self.cell);
+                    if p.distance(center) <= radius {
+                        self.bits[y as usize * self.side + x as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `p` lies on drivable road.
+    pub fn is_road(&self, p: Vec2) -> bool {
+        if p.x < 0.0 || p.y < 0.0 || p.x >= self.extent || p.y >= self.extent {
+            return false;
+        }
+        let x = (p.x / self.cell) as usize;
+        let y = (p.y / self.cell) as usize;
+        self.bits[y * self.side + x]
+    }
+}
+
+/// World construction parameters (§IV-A defaults).
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed controlling the map, spawns, and traffic decisions.
+    pub seed: u64,
+    /// Number of expert autopilot (learning) vehicles. Paper: 32.
+    pub n_experts: usize,
+    /// Number of background cars. Paper: 50.
+    pub n_background: usize,
+    /// Number of pedestrians. Paper: 250.
+    pub n_pedestrians: usize,
+    /// Simulation frame rate (frames per second). Paper: 2.
+    pub fps: f64,
+    /// Map generation parameters.
+    pub map: MapConfig,
+    /// Waypoints per supervision frame.
+    pub n_waypoints: usize,
+    /// BEV geometry.
+    pub bev: BevConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            n_experts: 32,
+            n_background: 50,
+            n_pedestrians: 250,
+            fps: 2.0,
+            map: MapConfig::default(),
+            n_waypoints: 5,
+            bev: BevConfig::default(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A reduced-scale config for fast tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_experts: 8,
+            n_background: 12,
+            n_pedestrians: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// The running world.
+#[derive(Debug)]
+pub struct World {
+    config: WorldConfig,
+    map: RoadNetwork,
+    raster: RoadRaster,
+    experts: Vec<RoadVehicle>,
+    background: Vec<RoadVehicle>,
+    pedestrians: Vec<Pedestrian>,
+    rng: rand::rngs::StdRng,
+    time: f64,
+}
+
+impl World {
+    /// Builds a world: generates the map, spawns experts and background
+    /// traffic on random routes, and scatters pedestrians over the town.
+    pub fn new(config: WorldConfig) -> Self {
+        let map = RoadNetwork::generate(config.seed);
+        let raster = RoadRaster::from_map(&map);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0x9E3779B9));
+        let router = Router::new(&map);
+        let spawn = |rng: &mut rand::rngs::StdRng| -> RoadVehicle {
+            loop {
+                let a = map.random_node(rng);
+                let b = map.random_node(rng);
+                if let Some(route) = router.route(a, b) {
+                    let mut v = RoadVehicle::new(route);
+                    // Spread vehicles along their first edge.
+                    v.s = rng.random_range(0.0..map.edge(v.edge()).length * 0.8);
+                    return v;
+                }
+            }
+        };
+        let experts = (0..config.n_experts).map(|_| spawn(&mut rng)).collect();
+        let background = (0..config.n_background).map(|_| spawn(&mut rng)).collect();
+        let town_area = (
+            config.map.town_origin,
+            config.map.town_origin
+                + Vec2::new(
+                    (config.map.grid - 1) as f32 * config.map.block,
+                    (config.map.grid - 1) as f32 * config.map.block,
+                ),
+        );
+        let pedestrians =
+            (0..config.n_pedestrians).map(|_| Pedestrian::spawn(town_area, &mut rng)).collect();
+        Self { config, map, raster, experts, background, pedestrians, rng, time: 0.0 }
+    }
+
+    /// Construction parameters.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The road network.
+    pub fn map(&self) -> &RoadNetwork {
+        &self.map
+    }
+
+    /// The drivable-area raster.
+    pub fn raster(&self) -> &RoadRaster {
+        &self.raster
+    }
+
+    /// Simulated time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The expert (learning) vehicles.
+    pub fn experts(&self) -> &[RoadVehicle] {
+        &self.experts
+    }
+
+    /// Positions of all pedestrians.
+    pub fn pedestrian_positions(&self) -> Vec<Vec2> {
+        self.pedestrians.iter().map(|p| p.pos).collect()
+    }
+
+    /// Positions of all cars (experts + background).
+    pub fn car_positions(&self) -> Vec<Vec2> {
+        self.experts
+            .iter()
+            .chain(&self.background)
+            .map(|v| v.position(&self.map))
+            .collect()
+    }
+
+    /// Positions of cars excluding expert `skip` (for that expert's BEV).
+    pub fn car_positions_except(&self, skip: usize) -> Vec<Vec2> {
+        self.experts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, v)| v.position(&self.map))
+            .chain(self.background.iter().map(|v| v.position(&self.map)))
+            .collect()
+    }
+
+    /// Advances the world by one frame (`1 / fps` seconds).
+    pub fn step(&mut self) {
+        let dt = (1.0 / self.config.fps) as f32;
+        let gaps = self.compute_gaps();
+        let ped_positions: Vec<Vec2> = self.pedestrians.iter().map(|p| p.pos).collect();
+        let router = Router::new(&self.map);
+
+        let n_exp = self.experts.len();
+        for idx in 0..n_exp + self.background.len() {
+            let (vehicle, gap) = if idx < n_exp {
+                (&mut self.experts[idx], gaps[idx])
+            } else {
+                (&mut self.background[idx - n_exp], gaps[idx])
+            };
+            let mut target = vehicle.target_speed(&self.map, gap);
+            // Privileged braking for pedestrians in the path.
+            if hazard_ahead(&self.map, vehicle, &ped_positions, 10.0, 2.5) {
+                target = 0.0;
+            }
+            let still_going = vehicle.advance(&self.map, target, dt);
+            if !still_going {
+                // Arrived: plan a fresh random route from the destination.
+                let here = vehicle.route.destination(&self.map);
+                loop {
+                    let next = self.map.random_node(&mut self.rng);
+                    if let Some(route) = router.route(here, next) {
+                        let speed = vehicle.speed;
+                        *vehicle = RoadVehicle::new(route);
+                        vehicle.speed = speed;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let town_area = (
+            self.config.map.town_origin,
+            self.config.map.town_origin
+                + Vec2::new(
+                    (self.config.map.grid - 1) as f32 * self.config.map.block,
+                    (self.config.map.grid - 1) as f32 * self.config.map.block,
+                ),
+        );
+        for p in &mut self.pedestrians {
+            p.step(town_area, dt, &mut self.rng);
+        }
+        self.time += dt as f64;
+    }
+
+    /// Leader gap for every road vehicle (experts then background):
+    /// the free distance to the nearest vehicle ahead on the same edge or
+    /// the immediate next route edge, `None` when clear.
+    fn compute_gaps(&self) -> Vec<Option<f32>> {
+        let all: Vec<&RoadVehicle> =
+            self.experts.iter().chain(&self.background).collect();
+        // Group (s, slot) by edge.
+        let mut by_edge: HashMap<usize, Vec<(f32, usize)>> = HashMap::new();
+        for (slot, v) in all.iter().enumerate() {
+            by_edge.entry(v.edge()).or_default().push((v.s, slot));
+        }
+        for list in by_edge.values_mut() {
+            list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        }
+        all.iter()
+            .map(|v| {
+                let mut best: Option<f32> = None;
+                // Same edge, ahead of us.
+                if let Some(list) = by_edge.get(&v.edge()) {
+                    for &(s, _) in list {
+                        if s > v.s + 0.1 {
+                            best = Some(s - v.s);
+                            break;
+                        }
+                    }
+                }
+                // Next edge on our route, near its start.
+                if best.is_none() {
+                    if let Some(&next) = v.route.edges.get(v.edge_idx + 1) {
+                        if let Some(list) = by_edge.get(&next) {
+                            if let Some(&(s, _)) = list.first() {
+                                best = Some(v.remaining_on_edge(&self.map) + s);
+                            }
+                        }
+                    }
+                }
+                best.filter(|&g| g < 60.0)
+            })
+            .collect()
+    }
+
+    /// Captures expert `idx`'s BEV observation and supervision for the
+    /// current frame — one training sample. Supervision waypoints are
+    /// time-spaced at the world frame interval using the expert's privileged
+    /// speed decision (turn slowdown, car-following, pedestrian braking).
+    pub fn observe_expert(&self, idx: usize) -> (Bev, ExpertOutput) {
+        let v = &self.experts[idx];
+        let pose = Pose {
+            pos: v.position(&self.map),
+            heading: v.heading(&self.map).angle(),
+        };
+        let cars = self.car_positions_except(idx);
+        let peds = self.pedestrian_positions();
+        let route_ahead = self.route_ahead_polyline(v, 60.0);
+        let bev = rasterize(&self.config.bev, pose, v.speed, &self.raster, &cars, &peds, &route_ahead);
+        let gap = crate::expert::forward_gap(&self.map, v, &cars, 40.0, 3.0);
+        let mut v_target = v.target_speed(&self.map, gap);
+        if hazard_ahead(&self.map, v, &peds, 10.0, 2.5) {
+            v_target = 0.0;
+        }
+        let sup = crate::expert::supervise_timed(
+            &self.map,
+            v,
+            self.config.n_waypoints,
+            (1.0 / self.config.fps) as f32,
+            v_target,
+        );
+        (bev, sup)
+    }
+
+    /// Densely sampled world-frame points along the next `horizon` meters of
+    /// a vehicle's route (the BEV route channel input).
+    pub fn route_ahead_polyline(&self, v: &RoadVehicle, horizon: f32) -> Vec<Vec2> {
+        let mut pts = Vec::new();
+        let mut remaining = horizon;
+        let mut first = true;
+        for &eid in &v.route.edges[v.edge_idx..] {
+            let edge = self.map.edge(eid);
+            let start = if first { v.s } else { 0.0 };
+            first = false;
+            let mut s = start;
+            while s < edge.length && remaining > 0.0 {
+                pts.push(self.map.position_on_edge(eid, s));
+                s += 2.0;
+                remaining -= 2.0;
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        pts
+    }
+
+    /// Same as [`World::route_ahead_polyline`] but for an arbitrary route
+    /// progress expressed as (route, edge index, arc length) — used by the
+    /// closed-loop evaluator whose vehicle is not road-locked.
+    pub fn route_polyline_from(&self, route: &Route, edge_idx: usize, s: f32, horizon: f32) -> Vec<Vec2> {
+        let mut pts = Vec::new();
+        let mut remaining = horizon;
+        let mut first = true;
+        for &eid in &route.edges[edge_idx..] {
+            let edge = self.map.edge(eid);
+            let start = if first { s } else { 0.0 };
+            first = false;
+            let mut cur = start;
+            while cur < edge.length && remaining > 0.0 {
+                pts.push(self.map.position_on_edge(eid, cur));
+                cur += 2.0;
+                remaining -= 2.0;
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        pts
+    }
+
+    /// Whether a circle at `pos` with `radius` collides with any car or
+    /// pedestrian (the closed-loop failure check). `skip_expert` excludes
+    /// one expert (the ego vehicle itself when it is driven externally).
+    pub fn collides(&self, pos: Vec2, radius: f32, skip_expert: Option<usize>) -> bool {
+        for (i, v) in self.experts.iter().enumerate() {
+            if Some(i) == skip_expert {
+                continue;
+            }
+            if v.position(&self.map).distance(pos) < radius + radii::CAR {
+                return true;
+            }
+        }
+        for v in &self.background {
+            if v.position(&self.map).distance(pos) < radius + radii::CAR {
+                return true;
+            }
+        }
+        for p in &self.pedestrians {
+            if p.pos.distance(pos) < radius + radii::PEDESTRIAN {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs the world for `seconds` of simulated time recording expert
+    /// positions each frame — the paper's "run the vehicles for an
+    /// additional 120 hours and collect their locations" step.
+    pub fn record_trace(&mut self, seconds: f64) -> MobilityTrace {
+        let frames = (seconds * self.config.fps).ceil() as usize + 1;
+        let mut positions: Vec<Vec<Vec2>> =
+            vec![Vec::with_capacity(frames); self.experts.len()];
+        for _ in 0..frames {
+            for (i, v) in self.experts.iter().enumerate() {
+                positions[i].push(v.position(&self.map));
+            }
+            self.step();
+        }
+        MobilityTrace::new(self.config.fps, positions)
+    }
+
+    /// Future route samples of expert `idx` (assist-message content).
+    pub fn expert_future(&self, idx: usize, dt: f64, n: usize) -> Vec<Vec2> {
+        self.experts[idx].predict_future(&self.map, dt, n)
+    }
+
+    /// Mutable access to an expert vehicle (tests and the evaluator use this
+    /// to reposition or re-route).
+    pub fn expert_mut(&mut self, idx: usize) -> &mut RoadVehicle {
+        &mut self.experts[idx]
+    }
+
+    /// The world's RNG, for auxiliary draws that must stay reproducible.
+    pub fn rng_mut(&mut self) -> &mut rand::rngs::StdRng {
+        &mut self.rng
+    }
+
+    /// A router borrowed over this world's map.
+    pub fn router(&self) -> Router<'_> {
+        Router::new(&self.map)
+    }
+
+    /// Draws a random route with at least `min_len` meters, for evaluation
+    /// tasks.
+    pub fn random_route<R: Rng + ?Sized>(&self, min_len: f32, rng: &mut R) -> Route {
+        let router = Router::new(&self.map);
+        loop {
+            let a = self.map.random_node(rng);
+            let b = self.map.random_node(rng);
+            if let Some(r) = router.route(a, b) {
+                if r.length(&self.map) >= min_len {
+                    return r;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::new(WorldConfig::small(3))
+    }
+
+    #[test]
+    fn world_constructs_with_requested_population() {
+        let w = small_world();
+        assert_eq!(w.experts().len(), 8);
+        assert_eq!(w.car_positions().len(), 8 + 12);
+        assert_eq!(w.pedestrian_positions().len(), 40);
+    }
+
+    #[test]
+    fn stepping_advances_time_and_traffic() {
+        let mut w = small_world();
+        let p0 = w.car_positions();
+        for _ in 0..40 {
+            w.step();
+        }
+        assert!((w.time() - 20.0).abs() < 1e-9);
+        let p1 = w.car_positions();
+        let moved = p0.iter().zip(&p1).filter(|(a, b)| a.distance(**b) > 1.0).count();
+        assert!(moved > p0.len() / 2, "most cars should move in 20 s");
+    }
+
+    #[test]
+    fn vehicles_reroute_forever() {
+        let mut w = small_world();
+        for _ in 0..600 {
+            w.step();
+        }
+        // No panics and everyone still has a live route.
+        for v in w.experts() {
+            assert!(v.edge_idx < v.route.edges.len());
+        }
+    }
+
+    #[test]
+    fn observation_has_consistent_shapes() {
+        let w = small_world();
+        let (bev, sup) = w.observe_expert(0);
+        let cfg = &w.config().bev;
+        assert_eq!(bev.features(cfg.pool).len(), cfg.feature_len());
+        assert_eq!(sup.waypoints.len(), 2 * w.config().n_waypoints);
+    }
+
+    #[test]
+    fn observation_sees_road() {
+        let w = small_world();
+        let (bev, _) = w.observe_expert(0);
+        assert!(
+            bev.popcount(crate::bev::channel::ROAD) > 5,
+            "an on-road vehicle must see road"
+        );
+        assert!(
+            bev.popcount(crate::bev::channel::ROUTE) > 0,
+            "route channel must show the plan"
+        );
+    }
+
+    #[test]
+    fn trace_recording_matches_duration() {
+        let mut w = small_world();
+        let trace = w.record_trace(30.0);
+        assert_eq!(trace.n_agents(), 8);
+        assert!((trace.duration() - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn trace_positions_stay_on_map() {
+        let mut w = small_world();
+        let trace = w.record_trace(60.0);
+        for a in 0..trace.n_agents() {
+            for k in 0..trace.n_frames() {
+                let p = trace.position(a, k as f64 / trace.fps());
+                assert!(p.x >= 0.0 && p.x <= 1000.0 && p.y >= 0.0 && p.y <= 1000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn collision_detection_works() {
+        let w = small_world();
+        let car = w.car_positions()[0];
+        assert!(w.collides(car, 2.0, None));
+        assert!(!w.collides(Vec2::new(-100.0, -100.0), 2.0, None));
+    }
+
+    #[test]
+    fn deterministic_worlds() {
+        let mut a = World::new(WorldConfig::small(9));
+        let mut b = World::new(WorldConfig::small(9));
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        let pa = a.car_positions();
+        let pb = b.car_positions();
+        for (x, y) in pa.iter().zip(&pb) {
+            assert!(x.distance(*y) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_route_respects_min_length() {
+        let w = small_world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = w.random_route(400.0, &mut rng);
+        assert!(r.length(w.map()) >= 400.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the driving world's invariants.
+
+use proptest::prelude::*;
+use simworld::map::{RoadKind, RoadNetwork};
+use simworld::route::Router;
+use simworld::world::{World, WorldConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn maps_are_strongly_connected_for_any_seed(seed in 0u64..500) {
+        let m = RoadNetwork::generate(seed);
+        prop_assert!(m.is_strongly_connected());
+    }
+
+    #[test]
+    fn all_routes_chain_correctly(seed in 0u64..100, a in 0usize..30, b in 0usize..30) {
+        let m = RoadNetwork::generate(seed);
+        let (a, b) = (a % m.n_nodes(), b % m.n_nodes());
+        prop_assume!(a != b);
+        let r = Router::new(&m).route(a, b).expect("strongly connected");
+        prop_assert_eq!(m.edge(r.edges[0]).from, a);
+        prop_assert_eq!(r.destination(&m), b);
+        for w in r.edges.windows(2) {
+            prop_assert_eq!(m.edge(w[0]).to, m.edge(w[1]).from);
+        }
+    }
+
+    #[test]
+    fn shortest_route_no_longer_than_detours(seed in 0u64..50) {
+        let m = RoadNetwork::generate(seed);
+        let r = Router::new(&m);
+        let n = m.n_nodes();
+        let (a, mid, b) = (0, n / 2, n - 1);
+        prop_assume!(a != mid && mid != b && a != b);
+        let direct = r.route(a, b).unwrap().length(&m);
+        let detour =
+            r.route(a, mid).unwrap().length(&m) + r.route(mid, b).unwrap().length(&m);
+        prop_assert!(direct <= detour + 1e-3);
+    }
+
+    #[test]
+    fn vehicles_stay_on_drivable_area(seed in 0u64..20) {
+        let mut w = World::new(WorldConfig::small(seed));
+        for _ in 0..60 {
+            w.step();
+        }
+        let raster = w.raster();
+        for v in w.experts() {
+            let p = v.position(w.map());
+            prop_assert!(raster.is_road(p), "vehicle off-road at {p:?} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn expert_observation_shapes_hold_over_time(seed in 0u64..10, steps in 0usize..50) {
+        let mut w = World::new(WorldConfig::small(seed));
+        for _ in 0..steps {
+            w.step();
+        }
+        let (bev, sup) = w.observe_expert(seed as usize % 8);
+        let cfg = &w.config().bev;
+        let feats = bev.features(cfg.pool);
+        prop_assert_eq!(feats.len(), cfg.feature_len());
+        prop_assert!(feats.iter().all(|f| (0.0..=1.0).contains(f)));
+        prop_assert_eq!(sup.waypoints.len(), 2 * w.config().n_waypoints);
+        // Ego-frame waypoints are bounded by the speed-based horizon.
+        let horizon = 25.0 * w.config().n_waypoints as f32; // max speed * n
+        for c in sup.waypoints.chunks(2) {
+            prop_assert!(c[0].abs() <= horizon && c[1].abs() <= horizon);
+        }
+    }
+}
+
+#[test]
+fn town_and_rural_road_shares_are_both_substantial() {
+    let m = RoadNetwork::generate(0);
+    let town = m.edges().iter().filter(|e| e.kind == RoadKind::Town).count();
+    let rural = m.edges().iter().filter(|e| e.kind == RoadKind::Rural).count();
+    assert!(town >= 10 && rural >= 6, "town {town} rural {rural}");
+}
+
+#[test]
+fn speed_limits_respected_by_traffic() {
+    let mut w = World::new(WorldConfig::small(4));
+    for _ in 0..400 {
+        w.step();
+        for v in w.experts() {
+            let limit = w.map().edge(v.edge()).kind.speed_limit();
+            // Anticipatory braking keeps entry overshoot within about one
+            // frame of deceleration.
+            assert!(v.speed <= limit + 2.0, "{} over limit {limit}", v.speed);
+        }
+    }
+}
+
+#[test]
+fn traces_cover_the_training_window_densely() {
+    let mut w = World::new(WorldConfig::small(5));
+    let trace = w.record_trace(120.0);
+    // Every vehicle should actually move over two minutes.
+    for a in 0..trace.n_agents() {
+        let start = trace.position(a, 0.0);
+        let moved = (0..240)
+            .map(|k| trace.position(a, k as f64 * 0.5).distance(start))
+            .fold(0.0f32, f32::max);
+        assert!(moved > 20.0, "agent {a} barely moved: {moved} m");
+    }
+}

@@ -1,0 +1,142 @@
+//! Adam optimizer — an alternative to SGD for local training.
+//!
+//! The paper trains with SGD; Adam is provided for the extension studies
+//! (its per-parameter scaling interacts differently with model averaging,
+//! which is exactly the kind of question the ablation benches probe).
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer with the usual defaults (β₁ = 0.9, β₂ = 0.999).
+    ///
+    /// # Panics
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an optimizer with explicit betas.
+    ///
+    /// # Panics
+    /// Panics if `lr <= 0` or betas are outside `[0, 1)`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Clears the moment buffers (call after the model is replaced by an
+    /// aggregated one).
+    pub fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    /// Applies one Adam step in place.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grad` lengths differ.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len(), "params/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grad[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the first step is ~lr in the gradient
+        // direction regardless of gradient magnitude.
+        let mut opt = Adam::new(0.1);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[100.0]);
+        assert!((p[0] + 0.1).abs() < 1e-4, "{}", p[0]);
+        let mut opt = Adam::new(0.1);
+        let mut q = [0.0f32];
+        opt.step(&mut q, &[0.001]);
+        assert!((q[0] + 0.1).abs() < 1e-3, "{}", q[0]);
+    }
+
+    #[test]
+    fn quadratic_converges() {
+        let mut opt = Adam::new(0.05);
+        let mut p = [5.0f32];
+        for _ in 0..2000 {
+            let g = [2.0 * (p[0] - 3.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "{}", p[0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[1.0]);
+        opt.reset();
+        let mut q = [0.0f32];
+        opt.step(&mut q, &[1.0]);
+        assert!((q[0] - p[0]).abs() < 1e-7, "fresh step must match the first ever step");
+    }
+
+    #[test]
+    fn rosenbrock_descends() {
+        // A harder 2-D test: Adam makes consistent progress on Rosenbrock.
+        let f = |x: f32, y: f32| (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let mut opt = Adam::new(0.02);
+        let mut p = [-1.0f32, 1.0];
+        let start = f(p[0], p[1]);
+        for _ in 0..3000 {
+            let (x, y) = (p[0], p[1]);
+            let g = [
+                -2.0 * (1.0 - x) - 400.0 * x * (y - x * x),
+                200.0 * (y - x * x),
+            ];
+            opt.step(&mut p, &g);
+        }
+        let end = f(p[0], p[1]);
+        assert!(end < start * 0.05, "{start} -> {end}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_shapes_panic() {
+        let mut opt = Adam::new(0.1);
+        let mut p = [0.0f32; 2];
+        opt.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Dense multi-layer perceptrons with manual backpropagation.
+//!
+//! The weights of an [`Mlp`] live inside a caller-owned [`ParamVec`] segment,
+//! so a model composed of several sub-networks (e.g. the branched policy)
+//! still exposes a single flat parameter vector to the compression and
+//! aggregation code above.
+
+use crate::param::ParamVec;
+use rand::Rng;
+
+/// Activation function applied after each hidden layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity (used for output layers).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    fn grad_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Architecture of an MLP: layer widths and hidden activation.
+///
+/// `sizes = [in, h1, .., out]` describes `sizes.len() - 1` dense layers; the
+/// hidden layers use `hidden_activation`, the final layer is linear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    /// Layer widths, input first, output last. Must have at least 2 entries.
+    pub sizes: Vec<usize>,
+    /// Activation applied after every layer except the last.
+    pub hidden_activation: Activation,
+}
+
+impl MlpSpec {
+    /// Creates a spec with ReLU hidden layers.
+    pub fn relu(sizes: Vec<usize>) -> Self {
+        Self { sizes, hidden_activation: Activation::Relu }
+    }
+
+    /// Total number of parameters (weights + biases) the spec requires.
+    pub fn param_count(&self) -> usize {
+        self.sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        *self.sizes.first().expect("spec must have layers")
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().expect("spec must have layers")
+    }
+}
+
+/// A dense MLP whose parameters occupy `[offset, offset + param_count)` of a
+/// shared flat parameter vector.
+///
+/// The struct itself stores only the architecture and the offset; weights are
+/// read from / written to the `ParamVec` passed to each call. This keeps the
+/// single-flat-vector invariant that the decentralized-learning layer relies
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mlp {
+    spec: MlpSpec,
+    offset: usize,
+}
+
+/// Forward-pass activations cached for backpropagation.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// `acts[0]` is the input; `acts[l]` the output of layer `l - 1`.
+    acts: Vec<Vec<f32>>,
+}
+
+impl Cache {
+    /// Network output (activation of the final layer).
+    pub fn output(&self) -> &[f32] {
+        self.acts.last().expect("cache holds at least the input")
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP occupying parameters starting at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the spec has fewer than two layer sizes.
+    pub fn new(spec: MlpSpec, offset: usize) -> Self {
+        assert!(spec.sizes.len() >= 2, "an MLP needs input and output sizes");
+        Self { spec, offset }
+    }
+
+    /// Architecture of this network.
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Offset of this network's parameters inside the shared vector.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of parameters this network owns.
+    pub fn param_count(&self) -> usize {
+        self.spec.param_count()
+    }
+
+    /// Xavier-initializes this network's segment of `params`.
+    pub fn init<R: Rng + ?Sized>(&self, params: &mut ParamVec, rng: &mut R) {
+        let mut off = self.offset;
+        for w in self.spec.sizes.windows(2) {
+            params.xavier_dense(off, w[0], w[1], rng);
+            off += w[0] * w[1] + w[1];
+        }
+    }
+
+    /// Runs the forward pass, returning the cache needed for [`Mlp::backward`].
+    ///
+    /// # Panics
+    /// Panics if `input` length differs from the spec's input size.
+    pub fn forward(&self, params: &ParamVec, input: &[f32]) -> Cache {
+        assert_eq!(input.len(), self.spec.input_dim(), "input dimension mismatch");
+        let p = params.as_slice();
+        let n_layers = self.spec.sizes.len() - 1;
+        let mut acts = Vec::with_capacity(n_layers + 1);
+        acts.push(input.to_vec());
+        let mut off = self.offset;
+        for (l, w) in self.spec.sizes.windows(2).enumerate() {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let weights = &p[off..off + fan_in * fan_out];
+            let biases = &p[off + fan_in * fan_out..off + fan_in * fan_out + fan_out];
+            let x = acts.last().expect("at least input present");
+            let act = if l + 1 == n_layers {
+                Activation::Identity
+            } else {
+                self.spec.hidden_activation
+            };
+            let mut y = vec![0.0f32; fan_out];
+            for (j, yj) in y.iter_mut().enumerate() {
+                // weights stored row-major: weight[j * fan_in + i] connects
+                // input i to output j.
+                let row = &weights[j * fan_in..(j + 1) * fan_in];
+                let mut acc = biases[j];
+                for (xi, wji) in x.iter().zip(row) {
+                    acc += xi * wji;
+                }
+                *yj = act.apply(acc);
+            }
+            acts.push(y);
+            off += fan_in * fan_out + fan_out;
+        }
+        Cache { acts }
+    }
+
+    /// Backpropagates `d_out` (gradient of the loss w.r.t. the network
+    /// output) through the cached forward pass, accumulating parameter
+    /// gradients into `grad` (same layout as the parameter vector) and
+    /// returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    /// Panics if `d_out` length differs from the output size or `grad` is
+    /// shorter than the parameter vector.
+    pub fn backward(
+        &self,
+        params: &ParamVec,
+        cache: &Cache,
+        d_out: &[f32],
+        grad: &mut [f32],
+    ) -> Vec<f32> {
+        assert_eq!(d_out.len(), self.spec.output_dim(), "output gradient dimension mismatch");
+        assert!(grad.len() >= self.offset + self.param_count(), "gradient buffer too short");
+        let p = params.as_slice();
+        let n_layers = self.spec.sizes.len() - 1;
+
+        // Precompute the parameter offset of each layer.
+        let mut offsets = Vec::with_capacity(n_layers);
+        let mut off = self.offset;
+        for w in self.spec.sizes.windows(2) {
+            offsets.push(off);
+            off += w[0] * w[1] + w[1];
+        }
+
+        let mut delta = d_out.to_vec();
+        for l in (0..n_layers).rev() {
+            let fan_in = self.spec.sizes[l];
+            let fan_out = self.spec.sizes[l + 1];
+            let act = if l + 1 == n_layers {
+                Activation::Identity
+            } else {
+                self.spec.hidden_activation
+            };
+            let y = &cache.acts[l + 1];
+            let x = &cache.acts[l];
+            // delta through the activation
+            for (d, yj) in delta.iter_mut().zip(y) {
+                *d *= act.grad_from_output(*yj);
+            }
+            let w_off = offsets[l];
+            let b_off = w_off + fan_in * fan_out;
+            // parameter gradients
+            for j in 0..fan_out {
+                let dj = delta[j];
+                let row = &mut grad[w_off + j * fan_in..w_off + (j + 1) * fan_in];
+                for (g, xi) in row.iter_mut().zip(x) {
+                    *g += dj * xi;
+                }
+                grad[b_off + j] += dj;
+            }
+            // gradient w.r.t. the layer input
+            if l > 0 {
+                let weights = &p[w_off..b_off];
+                let mut d_in = vec![0.0f32; fan_in];
+                for (j, dj) in delta.iter().enumerate() {
+                    let row = &weights[j * fan_in..(j + 1) * fan_in];
+                    for (di, wji) in d_in.iter_mut().zip(row) {
+                        *di += dj * wji;
+                    }
+                }
+                delta = d_in;
+            } else {
+                let weights = &p[w_off..b_off];
+                let mut d_in = vec![0.0f32; fan_in];
+                for (j, dj) in delta.iter().enumerate() {
+                    let row = &weights[j * fan_in..(j + 1) * fan_in];
+                    for (di, wji) in d_in.iter_mut().zip(row) {
+                        *di += dj * wji;
+                    }
+                }
+                return d_in;
+            }
+        }
+        unreachable!("loop returns at l == 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny() -> (Mlp, ParamVec) {
+        let spec = MlpSpec::relu(vec![3, 5, 2]);
+        let mlp = Mlp::new(spec.clone(), 0);
+        let mut params = ParamVec::zeros(spec.param_count());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        mlp.init(&mut params, &mut rng);
+        (mlp, params)
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let spec = MlpSpec::relu(vec![3, 5, 2]);
+        assert_eq!(spec.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_output_has_output_dim() {
+        let (mlp, params) = tiny();
+        let cache = mlp.forward(&params, &[0.5, -0.2, 1.0]);
+        assert_eq!(cache.output().len(), 2);
+    }
+
+    #[test]
+    fn zero_params_give_zero_output() {
+        let spec = MlpSpec::relu(vec![3, 4, 2]);
+        let mlp = Mlp::new(spec.clone(), 0);
+        let params = ParamVec::zeros(spec.param_count());
+        let cache = mlp.forward(&params, &[1.0, 2.0, 3.0]);
+        assert!(cache.output().iter().all(|&y| y == 0.0));
+    }
+
+    /// Finite-difference check of the analytic gradient.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let (mlp, mut params) = tiny();
+        let x = [0.3f32, -0.7, 0.9];
+        let target = [0.2f32, -0.4];
+
+        let loss_of = |p: &ParamVec| -> f32 {
+            let out = mlp.forward(p, &x);
+            out.output()
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| 0.5 * (o - t) * (o - t))
+                .sum()
+        };
+
+        let cache = mlp.forward(&params, &x);
+        let d_out: Vec<f32> =
+            cache.output().iter().zip(&target).map(|(o, t)| o - t).collect();
+        let mut grad = vec![0.0f32; params.len()];
+        mlp.backward(&params, &cache, &d_out, &mut grad);
+
+        let eps = 1e-3f32;
+        for i in (0..params.len()).step_by(3) {
+            let orig = params.as_slice()[i];
+            params.as_mut_slice()[i] = orig + eps;
+            let up = loss_of(&params);
+            params.as_mut_slice()[i] = orig - eps;
+            let down = loss_of(&params);
+            params.as_mut_slice()[i] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grad[i]).abs() < 2e-2,
+                "param {i}: finite-diff {fd} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let (mlp, params) = tiny();
+        let target = [0.2f32, -0.4];
+        let mut x = vec![0.3f32, -0.7, 0.9];
+
+        let loss_of = |x: &[f32]| -> f32 {
+            let out = mlp.forward(&params, x);
+            out.output()
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| 0.5 * (o - t) * (o - t))
+                .sum()
+        };
+
+        let cache = mlp.forward(&params, &x);
+        let d_out: Vec<f32> =
+            cache.output().iter().zip(&target).map(|(o, t)| o - t).collect();
+        let mut grad = vec![0.0f32; params.len()];
+        let d_in = mlp.backward(&params, &cache, &d_out, &mut grad);
+
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let up = loss_of(&x);
+            x[i] = orig - eps;
+            let down = loss_of(&x);
+            x[i] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - d_in[i]).abs() < 2e-2, "input {i}: {fd} vs {}", d_in[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let (mlp, params) = tiny();
+        mlp.forward(&params, &[1.0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! The command-branched driving policy.
+//!
+//! Mirrors the structure of the *Learning by Cheating* privileged agent the
+//! paper trains: a shared trunk encodes the BEV features, and one output head
+//! per high-level command ("follow", "left", "right", "straight") regresses
+//! the next `waypoints` ego-frame waypoints. The loss is masked to the branch
+//! of the frame's command, exactly like conditional imitation learning.
+
+use crate::loss::{mean_loss, mean_loss_and_grad, LossKind};
+use crate::mlp::{Mlp, MlpSpec};
+use crate::param::ParamVec;
+use rand::Rng;
+
+/// Architecture of a [`BranchedPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicySpec {
+    /// Dimensionality of the featurized BEV input (plus speed scalar).
+    pub input_dim: usize,
+    /// Hidden widths of the shared trunk.
+    pub trunk: Vec<usize>,
+    /// Number of command branches (4 for follow/left/right/straight).
+    pub n_branches: usize,
+    /// Waypoints each head predicts; the head output size is `2 * waypoints`.
+    pub waypoints: usize,
+    /// Number of *trailing* input features fed directly into every head as
+    /// a skip connection (in addition to the trunk features). Scalar
+    /// navigation inputs benefit from skipping the trunk bottleneck.
+    pub skip_inputs: usize,
+}
+
+impl PolicySpec {
+    /// Output size of one branch head.
+    pub fn head_dim(&self) -> usize {
+        2 * self.waypoints
+    }
+}
+
+/// A trunk-plus-branches waypoint regressor over a single flat [`ParamVec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchedPolicy {
+    spec: PolicySpec,
+    trunk: Mlp,
+    heads: Vec<Mlp>,
+    params: ParamVec,
+    loss_kind: LossKind,
+}
+
+impl BranchedPolicy {
+    /// Builds and Xavier-initializes a policy.
+    ///
+    /// # Panics
+    /// Panics if the spec has zero branches or zero waypoints.
+    pub fn new<R: Rng + ?Sized>(spec: &PolicySpec, rng: &mut R) -> Self {
+        assert!(spec.n_branches > 0, "policy needs at least one branch");
+        assert!(spec.waypoints > 0, "policy must predict at least one waypoint");
+        let mut trunk_sizes = Vec::with_capacity(spec.trunk.len() + 1);
+        trunk_sizes.push(spec.input_dim);
+        trunk_sizes.extend_from_slice(&spec.trunk);
+        let trunk_out = *trunk_sizes.last().expect("trunk has sizes");
+        // The trunk's last hidden layer is its output; hidden activation is
+        // applied throughout so heads see nonlinear features. We express this
+        // as an MLP whose "output" layer is also ReLU by appending a
+        // pass-through: simpler, we make the trunk end at the last hidden
+        // width and treat the ReLU of the final layer inside the head input
+        // via the trunk spec having >= 2 sizes with identity on its last
+        // layer; to keep features nonlinear we add the activation manually in
+        // forward below when the trunk has a single layer. To avoid special
+        // cases the trunk here always applies ReLU on its last layer by
+        // construction: we append a same-width layer only when the trunk
+        // would otherwise be linear-ended.
+        assert!(
+            spec.skip_inputs <= spec.input_dim,
+            "skip inputs cannot exceed the input dimension"
+        );
+        let trunk_spec = MlpSpec::relu(trunk_sizes);
+        let trunk = Mlp::new(trunk_spec.clone(), 0);
+        let mut offset = trunk_spec.param_count();
+        let mut heads = Vec::with_capacity(spec.n_branches);
+        for _ in 0..spec.n_branches {
+            // A hidden layer per head: command-conditional behaviors (e.g.
+            // the bend-into-turn geometry) need more than a linear readout
+            // of the shared trunk features. Skip inputs enter here directly.
+            let head_spec =
+                MlpSpec::relu(vec![trunk_out + spec.skip_inputs, 32, spec.head_dim()]);
+            let head = Mlp::new(head_spec, offset);
+            offset += head.param_count();
+            heads.push(head);
+        }
+        let mut params = ParamVec::zeros(offset);
+        trunk.init(&mut params, rng);
+        for h in &heads {
+            h.init(&mut params, rng);
+        }
+        Self { spec: spec.clone(), trunk, heads, params, loss_kind: LossKind::L1 }
+    }
+
+    /// The architecture this policy was built with.
+    pub fn spec(&self) -> &PolicySpec {
+        &self.spec
+    }
+
+    /// Selects the pointwise loss (default: L1, as in the paper).
+    pub fn set_loss_kind(&mut self, kind: LossKind) {
+        self.loss_kind = kind;
+    }
+
+    /// The pointwise loss in use.
+    pub fn loss_kind(&self) -> LossKind {
+        self.loss_kind
+    }
+
+    /// Immutable access to the flat parameter vector.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// Mutable access to the flat parameter vector (used by optimizers and by
+    /// model aggregation).
+    pub fn params_mut(&mut self) -> &mut ParamVec {
+        &mut self.params
+    }
+
+    /// Replaces the parameters wholesale (e.g. with an aggregated model).
+    ///
+    /// # Panics
+    /// Panics if `params` has the wrong length.
+    pub fn set_params(&mut self, params: ParamVec) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params = params;
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Predicts the waypoint vector `[x1, y1, x2, y2, ..]` for `input` under
+    /// command branch `branch`.
+    ///
+    /// # Panics
+    /// Panics if `branch >= n_branches` or the input dimension is wrong.
+    pub fn forward(&self, input: &[f32], branch: usize) -> Vec<f32> {
+        self.forward_with(&self.params, input, branch)
+    }
+
+    /// Like [`BranchedPolicy::forward`] but against an arbitrary parameter
+    /// vector of the same layout — used to evaluate *compressed* copies of a
+    /// model without rebuilding a policy.
+    ///
+    /// # Panics
+    /// Panics if `branch` is out of range or `params` has the wrong length.
+    pub fn forward_with(&self, params: &ParamVec, input: &[f32], branch: usize) -> Vec<f32> {
+        assert!(branch < self.spec.n_branches, "branch out of range");
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        let trunk_out = self.trunk.forward(params, input);
+        // Re-apply the hidden nonlinearity to the trunk output so head inputs
+        // are nonlinear features (the trunk's last layer is linear by MLP
+        // convention), then append the skip inputs verbatim.
+        let mut feats: Vec<f32> =
+            trunk_out.output().iter().map(|&v| v.max(0.0)).collect();
+        feats.extend_from_slice(&input[input.len() - self.spec.skip_inputs..]);
+        let head = &self.heads[branch];
+        head.forward(params, &feats).output().to_vec()
+    }
+
+    /// Loss of the active branch against `target`, without gradients.
+    pub fn loss(&self, input: &[f32], branch: usize, target: &[f32]) -> f32 {
+        self.loss_with(&self.params, input, branch, target)
+    }
+
+    /// Loss under an arbitrary parameter vector of the same layout.
+    pub fn loss_with(
+        &self,
+        params: &ParamVec,
+        input: &[f32],
+        branch: usize,
+        target: &[f32],
+    ) -> f32 {
+        let pred = self.forward_with(params, input, branch);
+        mean_loss(self.loss_kind, &pred, target)
+    }
+
+    /// Loss and full parameter gradient for one sample. The gradient of the
+    /// inactive branches is zero (their heads never saw the sample).
+    pub fn loss_and_grad(&self, input: &[f32], branch: usize, target: &[f32]) -> (f32, Vec<f32>) {
+        assert!(branch < self.spec.n_branches, "branch out of range");
+        let mut grad = vec![0.0f32; self.params.len()];
+        let trunk_cache = self.trunk.forward(&self.params, input);
+        let mut feats: Vec<f32> =
+            trunk_cache.output().iter().map(|&v| v.max(0.0)).collect();
+        let n_trunk = feats.len();
+        feats.extend_from_slice(&input[input.len() - self.spec.skip_inputs..]);
+        let head = &self.heads[branch];
+        let head_cache = head.forward(&self.params, &feats);
+        let pred = head_cache.output();
+        let (loss, d_pred) = mean_loss_and_grad(self.loss_kind, pred, target);
+        let d_feats = head.backward(&self.params, &head_cache, &d_pred, &mut grad);
+        // Backprop through the manual ReLU between trunk and head; the skip
+        // tail flows to the (constant) input and is dropped.
+        let d_trunk_out: Vec<f32> = d_feats[..n_trunk]
+            .iter()
+            .zip(trunk_cache.output())
+            .map(|(d, &y)| if y > 0.0 { *d } else { 0.0 })
+            .collect();
+        self.trunk.backward(&self.params, &trunk_cache, &d_trunk_out, &mut grad);
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgd::Sgd;
+    use rand::SeedableRng;
+
+    fn spec() -> PolicySpec {
+        PolicySpec { input_dim: 6, trunk: vec![12, 8], n_branches: 4, waypoints: 3, skip_inputs: 1 }
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = BranchedPolicy::new(&spec(), &mut rng);
+        let out = p.forward(&[0.0; 6], 0);
+        assert_eq!(out.len(), 6); // 3 waypoints * 2
+    }
+
+    #[test]
+    fn same_seed_same_params() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let a = BranchedPolicy::new(&spec(), &mut r1);
+        let b = BranchedPolicy::new(&spec(), &mut r2);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn branches_are_independent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let p = BranchedPolicy::new(&spec(), &mut rng);
+        let x = [0.4f32, -0.1, 0.8, 0.2, -0.6, 0.3];
+        let o0 = p.forward(&x, 0);
+        let o1 = p.forward(&x, 1);
+        assert_ne!(o0, o1, "different heads should predict differently");
+    }
+
+    #[test]
+    fn inactive_branch_gets_no_gradient() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let p = BranchedPolicy::new(&spec(), &mut rng);
+        let x = [0.4f32, -0.1, 0.8, 0.2, -0.6, 0.3];
+        let t = vec![0.5f32; 6];
+        let (_, grad) = p.loss_and_grad(&x, 2, &t);
+        // Head 0 occupies the segment right after the trunk.
+        let trunk_params = p.trunk.param_count();
+        let head_params = p.heads[0].param_count();
+        let head0 = &grad[trunk_params..trunk_params + head_params];
+        assert!(head0.iter().all(|&g| g == 0.0), "inactive head must have zero grad");
+        let head2_off = trunk_params + 2 * head_params;
+        let head2 = &grad[head2_off..head2_off + head_params];
+        assert!(head2.iter().any(|&g| g != 0.0), "active head must receive grad");
+    }
+
+    #[test]
+    fn policy_grad_matches_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut p = BranchedPolicy::new(&spec(), &mut rng);
+        p.set_loss_kind(LossKind::Mse); // smooth loss for a clean FD check
+        let x = [0.4f32, -0.1, 0.8, 0.2, -0.6, 0.3];
+        let t = vec![0.25f32; 6];
+        let (_, grad) = p.loss_and_grad(&x, 1, &t);
+        let eps = 1e-3f32;
+        for i in (0..p.param_count()).step_by(17) {
+            let orig = p.params().as_slice()[i];
+            p.params_mut().as_mut_slice()[i] = orig + eps;
+            let up = p.loss(&x, 1, &t);
+            p.params_mut().as_mut_slice()[i] = orig - eps;
+            let dn = p.loss(&x, 1, &t);
+            p.params_mut().as_mut_slice()[i] = orig;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 2e-2, "param {i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_fixed_sample() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut p = BranchedPolicy::new(&spec(), &mut rng);
+        let mut opt = Sgd::new(5e-3, 0.9, 0.0);
+        let x = [0.4f32, -0.1, 0.8, 0.2, -0.6, 0.3];
+        let t = vec![0.7f32; 6];
+        let initial = p.loss(&x, 3, &t);
+        for _ in 0..300 {
+            let (_, g) = p.loss_and_grad(&x, 3, &t);
+            opt.step(p.params_mut().as_mut_slice(), &g);
+        }
+        let final_loss = p.loss(&x, 3, &t);
+        assert!(final_loss < initial * 0.3, "{final_loss} vs initial {initial}");
+    }
+
+    #[test]
+    fn forward_with_respects_given_params() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let p = BranchedPolicy::new(&spec(), &mut rng);
+        let zero = ParamVec::zeros(p.param_count());
+        let out = p.forward_with(&zero, &[1.0; 6], 0);
+        assert!(out.iter().all(|&y| y == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "branch out of range")]
+    fn branch_out_of_range_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let p = BranchedPolicy::new(&spec(), &mut rng);
+        p.forward(&[0.0; 6], 4);
+    }
+}

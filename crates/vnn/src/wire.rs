@@ -1,0 +1,159 @@
+//! Wire serialization for parameter vectors.
+//!
+//! Dense little-endian `f32` encoding plus the sparse index–value encoding
+//! the paper uses for top-k-compressed models ("when k is small, we can
+//! represent a compressed model by index-value pairs").
+
+use crate::param::ParamVec;
+
+/// Bytes per dense parameter on the wire.
+pub const BYTES_PER_PARAM: usize = 4;
+/// Bytes per sparse (index, value) pair: u32 index + f32 value.
+pub const BYTES_PER_PAIR: usize = 8;
+
+/// Serializes the full vector as little-endian `f32`s.
+pub fn to_dense_bytes(p: &ParamVec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(p.len() * BYTES_PER_PARAM);
+    for v in p.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a dense little-endian `f32` encoding.
+///
+/// Returns `None` if the byte length is not a multiple of 4.
+pub fn from_dense_bytes(bytes: &[u8]) -> Option<ParamVec> {
+    if bytes.len() % BYTES_PER_PARAM != 0 {
+        return None;
+    }
+    let data = bytes
+        .chunks_exact(BYTES_PER_PARAM)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Some(ParamVec::from_vec(data))
+}
+
+/// A sparse model: the k surviving (index, value) pairs of a top-k
+/// sparsification plus the dense length, enough to reconstruct a dense
+/// vector with zeros elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseModel {
+    /// Dense length of the original vector.
+    pub dense_len: usize,
+    /// Indices of retained components, strictly increasing.
+    pub indices: Vec<u32>,
+    /// Values of retained components, parallel to `indices`.
+    pub values: Vec<f32>,
+}
+
+impl SparseModel {
+    /// Builds a sparse model from parallel index/value lists.
+    ///
+    /// # Panics
+    /// Panics if the lists have different lengths or any index is out of
+    /// range.
+    pub fn new(dense_len: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        assert!(
+            indices.iter().all(|&i| (i as usize) < dense_len),
+            "sparse index out of range"
+        );
+        Self { dense_len, indices, values }
+    }
+
+    /// Number of retained components.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Size on the wire in bytes (pairs only; the envelope is negligible).
+    pub fn wire_bytes(&self) -> usize {
+        self.nnz() * BYTES_PER_PAIR
+    }
+
+    /// Densifies back to a full vector with zeros at dropped positions.
+    pub fn to_dense(&self) -> ParamVec {
+        let mut data = vec![0.0f32; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            data[i as usize] = v;
+        }
+        ParamVec::from_vec(data)
+    }
+
+    /// Serializes as `[u32 index, f32 value]*` little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the `[u32, f32]*` encoding produced by [`SparseModel::to_bytes`].
+    ///
+    /// Returns `None` on malformed input (bad length or out-of-range index).
+    pub fn from_bytes(dense_len: usize, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % BYTES_PER_PAIR != 0 {
+            return None;
+        }
+        let n = bytes.len() / BYTES_PER_PAIR;
+        let mut indices = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(BYTES_PER_PAIR) {
+            let i = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            if i as usize >= dense_len {
+                return None;
+            }
+            indices.push(i);
+            values.push(f32::from_le_bytes([c[4], c[5], c[6], c[7]]));
+        }
+        Some(Self { dense_len, indices, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let p = ParamVec::from_vec(vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE]);
+        let bytes = to_dense_bytes(&p);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(from_dense_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn dense_rejects_ragged_length() {
+        assert!(from_dense_bytes(&[0u8; 7]).is_none());
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let s = SparseModel::new(10, vec![1, 4, 9], vec![0.5, -1.0, 2.0]);
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(SparseModel::from_bytes(10, &bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn sparse_densify() {
+        let s = SparseModel::new(4, vec![0, 3], vec![1.0, 2.0]);
+        assert_eq!(s.to_dense().as_slice(), &[1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sparse_rejects_out_of_range_index() {
+        let s = SparseModel::new(100, vec![99], vec![1.0]);
+        let bytes = s.to_bytes();
+        assert!(SparseModel::from_bytes(50, &bytes).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse index out of range")]
+    fn constructor_validates_indices() {
+        let _ = SparseModel::new(3, vec![3], vec![1.0]);
+    }
+}

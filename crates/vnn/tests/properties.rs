@@ -1,0 +1,145 @@
+//! Property-based tests over the NN substrate's invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use vnn::loss::{mean_loss, mean_loss_and_grad, LossKind};
+use vnn::wire::{from_dense_bytes, to_dense_bytes, SparseModel};
+use vnn::{BranchedPolicy, Minibatcher, ParamVec, PolicySpec, Sgd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_wire_roundtrip(values in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+        let p = ParamVec::from_vec(values);
+        let bytes = to_dense_bytes(&p);
+        prop_assert_eq!(from_dense_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn sparse_wire_roundtrip(
+        pairs in prop::collection::btree_map(0u32..1000, -1e3f32..1e3, 0..64),
+    ) {
+        let indices: Vec<u32> = pairs.keys().copied().collect();
+        let values: Vec<f32> = pairs.values().copied().collect();
+        let s = SparseModel::new(1000, indices, values);
+        let bytes = s.to_bytes();
+        prop_assert_eq!(SparseModel::from_bytes(1000, &bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn weighted_average_stays_in_hull(
+        a in prop::collection::vec(-10.0f32..10.0, 1..50),
+        shift in -5.0f32..5.0,
+        w1 in 0.01f32..10.0,
+        w2 in 0.01f32..10.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|v| v + shift).collect();
+        let pa = ParamVec::from_vec(a.clone());
+        let pb = ParamVec::from_vec(b.clone());
+        let avg = ParamVec::weighted_average(&pa, w1, &pb, w2);
+        for ((x, y), z) in a.iter().zip(&b).zip(avg.as_slice()) {
+            let (lo, hi) = if x <= y { (*x, *y) } else { (*y, *x) };
+            prop_assert!(*z >= lo - 1e-4 && *z <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn axpy_matches_manual(
+        a in prop::collection::vec(-10.0f32..10.0, 1..30),
+        alpha in -3.0f32..3.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+        let mut pa = ParamVec::from_vec(a.clone());
+        let pb = ParamVec::from_vec(b.clone());
+        pa.axpy(alpha, &pb);
+        for ((orig, add), got) in a.iter().zip(&b).zip(pa.as_slice()) {
+            prop_assert!((orig + alpha * add - got).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_target(
+        target in prop::collection::vec(-10.0f32..10.0, 1..20),
+        noise in -5.0f32..5.0,
+    ) {
+        let pred: Vec<f32> = target.iter().map(|t| t + noise).collect();
+        for kind in [LossKind::L1, LossKind::SmoothL1, LossKind::Mse] {
+            prop_assert!(mean_loss(kind, &pred, &target) >= 0.0);
+            prop_assert!(mean_loss(kind, &target, &target) == 0.0);
+        }
+    }
+
+    #[test]
+    fn loss_grad_points_uphill(
+        target in prop::collection::vec(-5.0f32..5.0, 2..10),
+        noise in 0.1f32..3.0,
+    ) {
+        // Moving predictions along +grad must not decrease the loss.
+        let pred: Vec<f32> = target.iter().map(|t| t + noise).collect();
+        for kind in [LossKind::SmoothL1, LossKind::Mse] {
+            let (l0, g) = mean_loss_and_grad(kind, &pred, &target);
+            let stepped: Vec<f32> =
+                pred.iter().zip(&g).map(|(p, gi)| p + 0.01 * gi).collect();
+            let l1 = mean_loss(kind, &stepped, &target);
+            prop_assert!(l1 >= l0 - 1e-5, "{:?}: {} -> {}", kind, l0, l1);
+        }
+    }
+
+    #[test]
+    fn minibatcher_epoch_is_a_permutation(n in 1usize..100, batch in 1usize..32) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut mb = Minibatcher::new(n, batch);
+        let mut seen = vec![0u32; n];
+        let batches_per_epoch = n.div_ceil(batch);
+        for _ in 0..batches_per_epoch {
+            for i in mb.next_batch(&mut rng) {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{:?}", seen);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(
+        params in prop::collection::vec(-5.0f32..5.0, 1..20),
+        lr in 0.001f32..0.5,
+    ) {
+        let grad: Vec<f32> = params.iter().map(|p| p.signum() + 0.1).collect();
+        let mut p = params.clone();
+        let mut opt = Sgd::new(lr, 0.0, 0.0);
+        opt.step(&mut p, &grad);
+        for ((orig, g), new) in params.iter().zip(&grad).zip(&p) {
+            prop_assert!((new - (orig - lr * g)).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn policy_loss_decreases_under_training_on_random_data() {
+    let spec = PolicySpec { input_dim: 12, trunk: vec![24, 16], n_branches: 4, waypoints: 4, skip_inputs: 0 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut policy = BranchedPolicy::new(&spec, &mut rng);
+    let mut opt = Sgd::new(5e-3, 0.9, 0.0);
+    // A fixed synthetic mapping: target depends linearly on the input.
+    let data: Vec<(Vec<f32>, usize, Vec<f32>)> = (0..64)
+        .map(|k| {
+            let x: Vec<f32> = (0..12).map(|i| ((k * 13 + i * 7) % 19) as f32 / 19.0).collect();
+            let branch = k % 4;
+            let t: Vec<f32> = (0..8).map(|i| x[i % 12] * 0.5 - 0.25).collect();
+            (x, branch, t)
+        })
+        .collect();
+    let mean = |p: &BranchedPolicy| -> f32 {
+        data.iter().map(|(x, b, t)| p.loss(x, *b, t)).sum::<f32>() / data.len() as f32
+    };
+    let before = mean(&policy);
+    for _ in 0..150 {
+        for (x, b, t) in &data {
+            let (_, g) = policy.loss_and_grad(x, *b, t);
+            opt.step(policy.params_mut().as_mut_slice(), &g);
+        }
+    }
+    let after = mean(&policy);
+    assert!(after < before * 0.5, "{before} -> {after}");
+}

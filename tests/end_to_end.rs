@@ -1,0 +1,67 @@
+//! End-to-end integration: the full LbChat stack — world generation, data
+//! collection, trace playback, chats over the simulated radio, coreset
+//! absorption, model aggregation — at quick scale.
+
+use experiments::{run_method, Condition, Method, Scale, Scenario};
+
+fn quick_scenario() -> Scenario {
+    Scenario::build(Scale::quick())
+}
+
+#[test]
+fn lbchat_trains_end_to_end() {
+    let s = quick_scenario();
+    let out = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let curve = &out.metrics.loss_curve;
+    assert!(curve.len() >= 4, "loss curve must be sampled");
+    let first = curve.first().unwrap().1;
+    let last = curve.last().unwrap().1;
+    assert!(last < first * 0.8, "training must clearly reduce loss: {first} -> {last}");
+    assert!(out.metrics.sessions > 0, "vehicles must chat");
+    assert!(out.metrics.coreset_receives > 0, "coresets must flow");
+    assert!(out.metrics.train_iterations > 0);
+}
+
+#[test]
+fn lbchat_is_deterministic_per_seed() {
+    let s1 = quick_scenario();
+    let out1 = run_method(Method::LbChat, &s1, Condition::WithLoss);
+    let s2 = quick_scenario();
+    let out2 = run_method(Method::LbChat, &s2, Condition::WithLoss);
+    assert_eq!(
+        out1.metrics.sessions, out2.metrics.sessions,
+        "identical seeds must reproduce the run"
+    );
+    let l1 = out1.metrics.final_loss().unwrap();
+    let l2 = out2.metrics.final_loss().unwrap();
+    assert!((l1 - l2).abs() < 1e-9, "final losses must match: {l1} vs {l2}");
+    for (a, b) in out1.models.iter().zip(&out2.models) {
+        assert_eq!(a.as_slice(), b.as_slice(), "models must match bit-for-bit");
+    }
+}
+
+#[test]
+fn wireless_loss_costs_deliveries_but_not_convergence_robustness() {
+    let s = quick_scenario();
+    let clean = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let lossy = run_method(Method::LbChat, &s, Condition::WithLoss);
+    // Deliveries cannot be *better* under loss.
+    assert!(
+        lossy.metrics.model_receiving_rate() <= clean.metrics.model_receiving_rate() + 1e-9,
+        "loss cannot improve delivery"
+    );
+    // LbChat's route-aware prioritization keeps it training: loss still
+    // clearly decreases under wireless loss.
+    let curve = &lossy.metrics.loss_curve;
+    assert!(curve.last().unwrap().1 < curve.first().unwrap().1 * 0.9);
+}
+
+#[test]
+fn sco_exchanges_data_but_never_models() {
+    let s = quick_scenario();
+    let out = run_method(Method::Sco, &s, Condition::NoLoss);
+    assert_eq!(out.metrics.model_sends, 0, "SCO must not move model bytes");
+    assert!(out.metrics.coreset_receives > 0, "SCO lives on coresets");
+    let curve = &out.metrics.loss_curve;
+    assert!(curve.last().unwrap().1 < curve.first().unwrap().1, "SCO still learns");
+}

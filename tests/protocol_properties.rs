@@ -1,0 +1,139 @@
+//! Property-based integration tests over the protocol-level invariants:
+//! coreset weight preservation, top-k compression, Akima interpolation,
+//! the Eq. (7) solver's feasibility, and aggregation convexity — all with
+//! proptest-generated inputs.
+
+use lbchat::aggregate::{aggregate, AggregationRule};
+use lbchat::compress::{compress_dense, top_k, wire_bytes};
+use lbchat::coreset::{reduce, Coreset};
+use lbchat::optimize::{equal_compression_choice, CompressionProblem};
+use lbchat::phi::{Akima, PhiCurve};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use vnn::ParamVec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn top_k_keeps_norm_bounded(values in prop::collection::vec(-10.0f32..10.0, 4..256), psi in 0.0f32..1.0) {
+        let p = ParamVec::from_vec(values);
+        let hat = compress_dense(&p, psi);
+        // Compression never increases the norm and never flips signs.
+        prop_assert!(hat.l2_norm() <= p.l2_norm() + 1e-4);
+        for (a, b) in p.as_slice().iter().zip(hat.as_slice()) {
+            prop_assert!(*b == 0.0 || (a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_k_nnz_matches_psi(values in prop::collection::vec(-10.0f32..10.0, 4..256), psi in 0.01f32..1.0) {
+        let p = ParamVec::from_vec(values);
+        let s = top_k(&p, psi);
+        let expected = ((psi as f64) * p.len() as f64).ceil() as usize;
+        prop_assert_eq!(s.nnz(), expected.min(p.len()));
+        prop_assert!(s.wire_bytes() >= s.nnz() * 8);
+    }
+
+    #[test]
+    fn wire_bytes_monotone_in_psi(bytes in 1usize..100_000_000, a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(wire_bytes(bytes, lo) <= wire_bytes(bytes, hi));
+    }
+
+    #[test]
+    fn reduce_preserves_total_weight(
+        weights in prop::collection::vec(0.1f32..50.0, 10..200),
+        target in 5usize..50,
+    ) {
+        let n = weights.len();
+        let c = Coreset::new((0..n).collect::<Vec<usize>>(), weights);
+        let total = c.total_weight();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = reduce(c, target, &mut rng);
+        prop_assert!(r.len() <= n.min(target.max(n.min(target))));
+        let rel = (r.total_weight() - total).abs() / total;
+        prop_assert!(rel < 1e-3, "total weight drifted by {}", rel);
+    }
+
+    #[test]
+    fn akima_stays_within_data_range_on_monotone_input(
+        mut ys in prop::collection::vec(0.0f64..10.0, 4..12),
+    ) {
+        ys.sort_by(|a, b| b.partial_cmp(a).unwrap()); // decreasing, like phi
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let a = Akima::fit(&xs, &ys);
+        let (lo, hi) = (*ys.last().unwrap(), ys[0]);
+        for k in 0..100 {
+            let x = k as f64 * (xs.len() - 1) as f64 / 99.0;
+            let v = a.eval(x);
+            // Akima is local: small overshoot allowed, but bounded.
+            prop_assert!(v >= lo - (hi - lo) * 0.2 - 1e-9);
+            prop_assert!(v <= hi + (hi - lo) * 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn solver_choice_is_always_feasible(
+        lj in 0.0f32..5.0,
+        li in 0.0f32..5.0,
+        base_i in 0.05f32..2.0,
+        base_j in 0.05f32..2.0,
+        contact in 0.0f64..120.0,
+    ) {
+        let mk = |base: f32| {
+            let psi = vec![0.02f32, 0.1, 0.3, 0.6, 1.0];
+            let loss = psi.iter().map(|p| base + (1.0 - p) * 1.5).collect();
+            PhiCurve::from_points(psi, loss)
+        };
+        let phi_i = mk(base_i);
+        let phi_j = mk(base_j);
+        let p = CompressionProblem {
+            phi_i: &phi_i,
+            phi_j: &phi_j,
+            loss_j_on_ci: lj,
+            loss_i_on_cj: li,
+            model_bytes: 52 * 1024 * 1024,
+            bandwidth_bps: 31e6,
+            time_budget: 15.0,
+            contact,
+            lambda_c: 0.01,
+        };
+        let c = p.solve();
+        prop_assert!(p.feasible(c.psi_i, c.psi_j));
+        prop_assert!((0.0..=1.0).contains(&c.psi_i));
+        prop_assert!((0.0..=1.0).contains(&c.psi_j));
+        prop_assert!(c.transfer_time <= p.time_limit() + 1e-6);
+    }
+
+    #[test]
+    fn equal_compression_always_fits(
+        bytes in 1usize..200_000_000,
+        budget in 0.1f64..30.0,
+        contact in 0.0f64..120.0,
+    ) {
+        let c = equal_compression_choice(bytes, 31e6, budget, contact);
+        prop_assert!(c.transfer_time <= budget.min(contact) + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&c.psi_i));
+        prop_assert_eq!(c.psi_i, c.psi_j);
+    }
+
+    #[test]
+    fn aggregation_is_a_convex_combination(
+        a in prop::collection::vec(-5.0f32..5.0, 8),
+        b in prop::collection::vec(-5.0f32..5.0, 8),
+        la in 0.0f32..10.0,
+        lb in 0.0f32..10.0,
+    ) {
+        let pa = ParamVec::from_vec(a.clone());
+        let pb = ParamVec::from_vec(b.clone());
+        for rule in [AggregationRule::InverseLoss, AggregationRule::AsPrinted, AggregationRule::Average] {
+            let m = aggregate(&pa, la, &pb, lb, rule);
+            for ((x, y), z) in a.iter().zip(&b).zip(m.as_slice()) {
+                let (lo, hi) = if x <= y { (*x, *y) } else { (*y, *x) };
+                prop_assert!(*z >= lo - 1e-4 && *z <= hi + 1e-4,
+                    "{:?}: component {} outside [{}, {}]", rule, z, lo, hi);
+            }
+        }
+    }
+}
