@@ -13,8 +13,8 @@
 
 use crate::node::{mean_eval_loss, BaseNode};
 use lbchat::optimize::equal_compression_choice;
-use lbchat::runtime::{CollabAlgorithm, FrameCtx, LinkCtx};
-use lbchat::{Learner, WeightedDataset};
+use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::WeightedDataset;
 use vnn::ParamVec;
 
 /// DFL-DDS configuration.
@@ -224,7 +224,7 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
 mod tests {
     use super::*;
     use crate::node::testutil::{line_data, LineLearner};
-    use lbchat::runtime::{Runtime, RuntimeConfig};
+    use lbchat::prelude::{Runtime, RuntimeConfig};
     use simnet::geom::Vec2;
     use simnet::trace::MobilityTrace;
 

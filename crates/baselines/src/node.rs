@@ -1,6 +1,7 @@
 //! Shared plain-SGD vehicle node for the model-sharing-only baselines.
 
-use lbchat::{Learner, WeightedDataset};
+use lbchat::prelude::Learner;
+use lbchat::WeightedDataset;
 use rand::Rng;
 use vnn::Minibatcher;
 

@@ -16,8 +16,8 @@
 //! uniformly from the distance-loss table.
 
 use crate::node::{mean_eval_loss, BaseNode};
-use lbchat::runtime::{CollabAlgorithm, FrameCtx, LinkCtx};
-use lbchat::{Learner, WeightedDataset};
+use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::WeightedDataset;
 use rand::RngExt;
 use vnn::ParamVec;
 
@@ -174,7 +174,7 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
 mod tests {
     use super::*;
     use crate::node::testutil::{line_data, LineLearner};
-    use lbchat::runtime::{Runtime, RuntimeConfig};
+    use lbchat::prelude::{Runtime, RuntimeConfig};
     use simnet::geom::Vec2;
     use simnet::trace::MobilityTrace;
 

@@ -9,8 +9,8 @@
 //! message losses follow the same uniform table draw as ProxSkip.
 
 use crate::node::{mean_eval_loss, BaseNode};
-use lbchat::runtime::{CollabAlgorithm, FrameCtx, LinkCtx};
-use lbchat::{Learner, WeightedDataset};
+use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::WeightedDataset;
 use simnet::geom::Vec2;
 use vnn::ParamVec;
 
@@ -176,7 +176,7 @@ impl<L: Learner> CollabAlgorithm for RsuL<L> {
 mod tests {
     use super::*;
     use crate::node::testutil::{line_data, LineLearner};
-    use lbchat::runtime::{Runtime, RuntimeConfig};
+    use lbchat::prelude::{Runtime, RuntimeConfig};
     use simnet::trace::MobilityTrace;
 
     fn fleet(n: usize, rsus: Vec<Vec2>) -> RsuL<LineLearner> {

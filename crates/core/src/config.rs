@@ -5,6 +5,79 @@ use crate::compress::CompressionMethod;
 use crate::penalty::PenaltyConfig;
 use crate::phi::DEFAULT_PSI_GRID;
 
+/// A validation failure from a config builder ([`crate::RuntimeConfig`]'s
+/// and the driving crate's evaluation config). Carries the offending field
+/// name so callers can report which knob was nonsense.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A field that must be strictly positive (and finite) was not.
+    NonPositive {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field that must be non-negative (and finite) was not.
+    Negative {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A count field that must be at least one was zero.
+    ZeroCount {
+        /// The offending field.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative and finite, got {value}")
+            }
+            ConfigError::ZeroCount { field } => {
+                write!(f, "{field} must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// Checks that `value` is finite and strictly positive.
+    pub fn require_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(ConfigError::NonPositive { field, value })
+        }
+    }
+
+    /// Checks that `value` is finite and non-negative.
+    pub fn require_non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(())
+        } else {
+            Err(ConfigError::Negative { field, value })
+        }
+    }
+
+    /// Checks that a count is nonzero.
+    pub fn require_nonzero(field: &'static str, value: usize) -> Result<(), ConfigError> {
+        if value > 0 {
+            Ok(())
+        } else {
+            Err(ConfigError::ZeroCount { field })
+        }
+    }
+}
+
 /// Every knob of the LbChat node, defaulted to the paper's experimental
 /// setup.
 #[derive(Debug, Clone)]

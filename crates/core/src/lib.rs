@@ -45,18 +45,20 @@ pub mod config;
 pub mod coreset;
 pub mod coreset_alt;
 pub mod dataset;
+pub mod exec;
 pub mod learner;
 pub mod metrics;
 pub mod node;
 pub mod optimize;
 pub mod penalty;
 pub mod phi;
+pub mod prelude;
 pub mod priority;
 pub mod runtime;
 pub mod valuation;
 
 pub use aggregate::AggregationRule;
-pub use config::LbChatConfig;
+pub use config::{ConfigError, LbChatConfig};
 pub use coreset::Coreset;
 pub use dataset::WeightedDataset;
 pub use learner::Learner;

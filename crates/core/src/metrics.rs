@@ -55,6 +55,24 @@ impl Metrics {
         self.comm_seconds += seconds;
     }
 
+    /// Merges another record into this one: counters add, loss curves
+    /// concatenate and re-sort by time. Used to combine metrics collected by
+    /// parallel workers into one run-level record; merging records whose
+    /// time ranges interleave is well-defined (points sort stably by time).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.loss_curve.extend_from_slice(&other.loss_curve);
+        self.loss_curve
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite loss-curve times"));
+        self.model_sends += other.model_sends;
+        self.model_receives += other.model_receives;
+        self.coreset_sends += other.coreset_sends;
+        self.coreset_receives += other.coreset_receives;
+        self.sessions += other.sessions;
+        self.bytes_delivered += other.bytes_delivered;
+        self.comm_seconds += other.comm_seconds;
+        self.train_iterations += other.train_iterations;
+    }
+
     /// The §IV-C "successful model receiving rate": delivered / attempted.
     /// Returns 1.0 when nothing was attempted.
     pub fn model_receiving_rate(&self) -> f64 {
@@ -98,6 +116,43 @@ mod tests {
     #[test]
     fn empty_rate_is_one() {
         assert_eq!(Metrics::new().model_receiving_rate(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_sorts_curves() {
+        let mut a = Metrics::new();
+        a.record_loss(0.0, 1.0);
+        a.record_loss(20.0, 0.5);
+        a.record_model_send(true, 100, 1.0);
+        let mut b = Metrics::new();
+        b.record_loss(10.0, 0.8);
+        b.record_model_send(false, 100, 0.5);
+        b.record_coreset_send(true, 50, 0.25);
+        b.sessions = 2;
+        a.merge(&b);
+        assert_eq!(
+            a.loss_curve,
+            vec![(0.0, 1.0), (10.0, 0.8), (20.0, 0.5)],
+            "curves must interleave by time"
+        );
+        assert_eq!(a.model_sends, 2);
+        assert_eq!(a.model_receives, 1);
+        assert_eq!(a.coreset_receives, 1);
+        assert_eq!(a.sessions, 2);
+        assert_eq!(a.bytes_delivered, 150);
+        assert!((a.comm_seconds - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Metrics::new();
+        a.record_loss(1.0, 0.9);
+        a.record_model_send(true, 10, 0.1);
+        let snapshot = a.clone();
+        a.merge(&Metrics::new());
+        assert_eq!(a.loss_curve, snapshot.loss_curve);
+        assert_eq!(a.model_sends, snapshot.model_sends);
+        assert_eq!(a.bytes_delivered, snapshot.bytes_delivered);
     }
 
     #[test]

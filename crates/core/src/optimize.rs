@@ -157,7 +157,7 @@ pub fn equal_compression_choice(
     let limit = time_budget.min(contact);
     let bits = model_bytes as f64 * 8.0;
     // S(ψ+ψ)/B = limit  =>  ψ = B·limit / (2S).
-    let mut psi = ((bandwidth_bps * limit) / (2.0 * bits)).min(1.0).max(0.0) as f32;
+    let mut psi = ((bandwidth_bps * limit) / (2.0 * bits)).clamp(0.0, 1.0) as f32;
     // The f64→f32 cast can round ψ up past the budget boundary; nudge down
     // by ULPs until the implied transfer time fits (ψ = 1 is exempt — it
     // only arises when the contact comfortably fits two full models).

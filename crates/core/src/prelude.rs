@@ -1,0 +1,18 @@
+//! The one-line import for code driving the collaborative runtime:
+//!
+//! ```
+//! use lbchat::prelude::*;
+//! ```
+//!
+//! Re-exports the names every algorithm implementation and experiment
+//! driver touches — the [`CollabAlgorithm`] trait with its [`Runtime`] and
+//! contexts, the [`Learner`] task abstraction, and the [`Metrics`] sink —
+//! plus the config/builder types needed to construct a run. Narrower
+//! imports stay available through the individual modules.
+
+pub use crate::config::{ConfigError, LbChatConfig};
+pub use crate::learner::Learner;
+pub use crate::metrics::Metrics;
+pub use crate::runtime::{
+    CollabAlgorithm, FrameCtx, LinkCtx, Runtime, RuntimeConfig, RuntimeConfigBuilder,
+};

@@ -8,6 +8,7 @@
 //! differ only in the [`CollabAlgorithm`] implementation, so comparisons
 //! are apples-to-apples.
 
+use crate::config::ConfigError;
 use crate::metrics::Metrics;
 use rand::SeedableRng;
 use simnet::channel::{Channel, RadioConfig, TransferOutcome};
@@ -58,6 +59,110 @@ impl Default for RuntimeConfig {
             route_share_samples: 240,
             seed: 0,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { cfg: Self::default() }
+    }
+
+    /// Checks every field against its domain (positive duration and eval
+    /// cadence, non-negative rates). Struct-literal construction stays
+    /// possible for tests; the builder calls this on [`RuntimeConfigBuilder::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ConfigError::require_positive("duration", self.duration)?;
+        ConfigError::require_non_negative(
+            "train_iters_per_second",
+            self.train_iters_per_second,
+        )?;
+        ConfigError::require_positive("eval_every", self.eval_every)?;
+        ConfigError::require_non_negative("pair_cooldown", self.pair_cooldown)?;
+        ConfigError::require_positive("contact_reference_time", self.contact_reference_time)?;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`RuntimeConfig`]: chain setters from
+/// [`RuntimeConfig::builder`], then [`RuntimeConfigBuilder::build`] rejects
+/// out-of-domain values instead of letting them corrupt a simulation run.
+///
+/// ```
+/// use lbchat::runtime::RuntimeConfig;
+/// let cfg = RuntimeConfig::builder()
+///     .duration(3600.0)
+///     .eval_every(120.0)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.duration, 3600.0);
+/// assert!(RuntimeConfig::builder().duration(-1.0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Total simulated training time in seconds.
+    pub fn duration(mut self, seconds: f64) -> Self {
+        self.cfg.duration = seconds;
+        self
+    }
+
+    /// Training iterations a free vehicle performs per simulated second.
+    pub fn train_iters_per_second(mut self, rate: f64) -> Self {
+        self.cfg.train_iters_per_second = rate;
+        self
+    }
+
+    /// Radio parameters.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.cfg.radio = radio;
+        self
+    }
+
+    /// Wireless loss model.
+    pub fn loss_model(mut self, model: LossModel) -> Self {
+        self.cfg.loss_model = model;
+        self
+    }
+
+    /// Seconds between loss-curve evaluations.
+    pub fn eval_every(mut self, seconds: f64) -> Self {
+        self.cfg.eval_every = seconds;
+        self
+    }
+
+    /// Per-pair cooldown between sessions, seconds.
+    pub fn pair_cooldown(mut self, seconds: f64) -> Self {
+        self.cfg.pair_cooldown = seconds;
+        self
+    }
+
+    /// Reference exchange time for the truncated contact ratio.
+    pub fn contact_reference_time(mut self, seconds: f64) -> Self {
+        self.cfg.contact_reference_time = seconds;
+        self
+    }
+
+    /// Future route samples shared in assist messages.
+    pub fn route_share_samples(mut self, samples: usize) -> Self {
+        self.cfg.route_share_samples = samples;
+        self
+    }
+
+    /// RNG seed for communication randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -542,6 +647,40 @@ mod tests {
         // for both nodes removes ~40 iterations.
         assert!(slow.train_calls <= 365, "busy time must suppress training: {}", slow.train_calls);
         assert!(slow.train_calls >= 330);
+    }
+
+    #[test]
+    fn builder_accepts_sane_configs() {
+        let cfg = RuntimeConfig::builder()
+            .duration(100.0)
+            .train_iters_per_second(0.0)
+            .eval_every(10.0)
+            .pair_cooldown(0.0)
+            .route_share_samples(16)
+            .seed(99)
+            .build()
+            .expect("all fields in domain");
+        assert_eq!(cfg.duration, 100.0);
+        assert_eq!(cfg.route_share_samples, 16);
+        assert_eq!(cfg.seed, 99);
+        // Untouched knobs keep their defaults.
+        assert_eq!(cfg.contact_reference_time, RuntimeConfig::default().contact_reference_time);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        use crate::config::ConfigError;
+        assert!(matches!(
+            RuntimeConfig::builder().duration(-3600.0).build(),
+            Err(ConfigError::NonPositive { field: "duration", .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().eval_every(0.0).build(),
+            Err(ConfigError::NonPositive { field: "eval_every", .. })
+        ));
+        assert!(RuntimeConfig::builder().duration(f64::NAN).build().is_err());
+        assert!(RuntimeConfig::builder().pair_cooldown(-1.0).build().is_err());
+        assert!(RuntimeConfig::builder().train_iters_per_second(f64::INFINITY).build().is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! exploits.
 
 use crate::frame::Frame;
+use lbchat::exec;
 use lbchat::WeightedDataset;
 use simworld::expert::Command;
 use simworld::world::World;
@@ -50,6 +51,11 @@ pub fn command_weight(command: Command, turn_distance_norm: f32) -> f32 {
 
 /// Runs `world` for `cfg.seconds`, recording every expert's observations.
 /// Returns one weighted dataset per expert vehicle.
+///
+/// Observation (BEV rasterization + supervision) dominates collection cost
+/// and reads the world immutably, so each frame fans the per-vehicle
+/// observations out over the [`lbchat::exec`] worker pool; world stepping
+/// stays serial. The output is identical for any `LBCHAT_JOBS` setting.
 pub fn collect_datasets(world: &mut World, cfg: &CollectConfig) -> Vec<WeightedDataset<Frame>> {
     let n = world.experts().len();
     let pool = world.config().bev.pool;
@@ -57,9 +63,12 @@ pub fn collect_datasets(world: &mut World, cfg: &CollectConfig) -> Vec<WeightedD
     let mut per_vehicle: Vec<Vec<Frame>> = vec![Vec::new(); n];
     for f in 0..frames {
         if f % cfg.stride.max(1) == 0 {
-            for (v, bucket) in per_vehicle.iter_mut().enumerate() {
+            let observed = exec::par_run(n, |v| {
                 let (bev, sup) = world.observe_expert(v);
-                bucket.push(Frame::from_observation(&bev, &sup, pool));
+                Frame::from_observation(&bev, &sup, pool)
+            });
+            for (bucket, frame) in per_vehicle.iter_mut().zip(observed) {
+                bucket.push(frame);
             }
         }
         world.step();

@@ -9,6 +9,8 @@
 //! with other cars or pedestrians."
 
 use crate::learner::DrivingLearner;
+use lbchat::exec;
+use lbchat::ConfigError;
 use rand::SeedableRng;
 use simnet::geom::Vec2;
 use simworld::agents::FreeVehicle;
@@ -90,6 +92,81 @@ impl Default for EvalConfig {
             seconds_per_meter: 0.45,
             arrival_radius: 12.0,
         }
+    }
+}
+
+impl EvalConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder { cfg: Self::default() }
+    }
+
+    /// Checks every field against its domain. Struct-literal construction
+    /// stays possible for tests; the builder calls this on
+    /// [`EvalConfigBuilder::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ConfigError::require_nonzero("trials", self.trials)?;
+        ConfigError::require_non_negative("traffic_scale", self.traffic_scale)?;
+        ConfigError::require_positive("seconds_per_meter", self.seconds_per_meter)?;
+        ConfigError::require_positive("arrival_radius", self.arrival_radius as f64)?;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`EvalConfig`].
+///
+/// ```
+/// use driving::EvalConfig;
+/// let cfg = EvalConfig::builder().trials(8).route_seed(7).build().unwrap();
+/// assert_eq!(cfg.trials, 8);
+/// assert!(EvalConfig::builder().trials(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalConfigBuilder {
+    cfg: EvalConfig,
+}
+
+impl EvalConfigBuilder {
+    /// Trials (routes) per task.
+    pub fn trials(mut self, n: usize) -> Self {
+        self.cfg.trials = n;
+        self
+    }
+
+    /// World seed for the evaluation environment.
+    pub fn world_seed(mut self, seed: u64) -> Self {
+        self.cfg.world_seed = seed;
+        self
+    }
+
+    /// Route-draw seed (fixed across methods).
+    pub fn route_seed(mut self, seed: u64) -> Self {
+        self.cfg.route_seed = seed;
+        self
+    }
+
+    /// Traffic scale relative to the paper's counts.
+    pub fn traffic_scale(mut self, scale: f64) -> Self {
+        self.cfg.traffic_scale = scale;
+        self
+    }
+
+    /// Allowed time per meter of route.
+    pub fn seconds_per_meter(mut self, s: f64) -> Self {
+        self.cfg.seconds_per_meter = s;
+        self
+    }
+
+    /// Success radius around the destination, meters.
+    pub fn arrival_radius(mut self, r: f32) -> Self {
+        self.cfg.arrival_radius = r;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<EvalConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -401,30 +478,43 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
     eprintln!("TIMEOUT after {budget:.0}s");
 }
 
-/// Evaluates a trained learner on `task`: `cfg.trials` routes drawn with the
-/// shared route seed, each driven closed-loop in a fresh-seeded world with
-/// the task's traffic level.
+/// Evaluates a trained learner on `task`: `cfg.trials` routes, each driven
+/// closed-loop against the task's traffic level.
+///
+/// Trials are fully independent: each starts from its own clone of a shared
+/// base world, warmed a trial-specific number of frames to decorrelate
+/// traffic, with its own route RNG derived from `cfg.route_seed` and the
+/// trial index. Independence makes the trials embarrassingly parallel —
+/// they run on the [`lbchat::exec`] worker pool — and the result is
+/// bit-identical for any `LBCHAT_JOBS` setting. Routes depend only on the
+/// (static) map and the derived seeds, so every method still faces the same
+/// routes.
 pub fn success_rate(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) -> TaskResult {
     let (cars, peds) = task.traffic(cfg.traffic_scale);
-    let mut world = World::new(WorldConfig {
+    let base = World::new(WorldConfig {
         seed: cfg.world_seed,
         n_experts: 0,
         n_background: cars,
         n_pedestrians: peds,
         ..WorldConfig::default()
     });
-    let mut route_rng = rand::rngs::StdRng::seed_from_u64(cfg.route_seed);
+    let outcomes = exec::par_run(cfg.trials, |trial| {
+        let mut world = base.clone();
+        for _ in 0..(10 + 13 * trial) {
+            world.step();
+        }
+        let mut route_rng = rand::rngs::StdRng::seed_from_u64(exec::derive_seed(
+            cfg.route_seed,
+            "eval-route",
+            trial as u64,
+        ));
+        let route = draw_route(&world, task, &mut route_rng);
+        run_trial(learner, &mut world, route, cfg)
+    });
     let mut successes = 0;
     let mut collisions = 0;
     let mut timeouts = 0;
-    for trial in 0..cfg.trials {
-        // Decorrelate traffic between trials without rebuilding the world.
-        let warm = 10 + (trial % 7);
-        for _ in 0..warm {
-            world.step();
-        }
-        let route = draw_route(&world, task, &mut route_rng);
-        let (ok, hit, slow) = run_trial(learner, &mut world, route, cfg);
+    for (ok, hit, slow) in outcomes {
         successes += ok as usize;
         collisions += hit as usize;
         timeouts += slow as usize;
@@ -454,6 +544,26 @@ mod tests {
     fn result_percent() {
         let r = TaskResult { successes: 3, trials: 4, collisions: 1, timeouts: 0 };
         assert!((r.percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_validates_domains() {
+        let cfg = EvalConfig::builder()
+            .trials(2)
+            .world_seed(5)
+            .route_seed(6)
+            .traffic_scale(0.5)
+            .seconds_per_meter(0.6)
+            .arrival_radius(10.0)
+            .build()
+            .expect("all fields in domain");
+        assert_eq!(cfg.trials, 2);
+        assert_eq!(cfg.world_seed, 5);
+        assert!((cfg.traffic_scale - 0.5).abs() < 1e-12);
+        assert!(EvalConfig::builder().trials(0).build().is_err());
+        assert!(EvalConfig::builder().seconds_per_meter(-1.0).build().is_err());
+        assert!(EvalConfig::builder().traffic_scale(f64::NAN).build().is_err());
+        assert!(EvalConfig::builder().arrival_radius(0.0).build().is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::frame::Frame;
 use simworld::expert::Command;
+use vnn::wire::WireError;
 
 /// Magic byte prefixed to every encoded frame (format versioning).
 const FRAME_MAGIC: u8 = 0xF7;
@@ -29,21 +30,33 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
-/// Decodes a frame produced by [`encode_frame`]. Returns `None` on any
-/// structural mismatch (bad magic, short buffer, bad command).
-pub fn decode_frame(bytes: &[u8]) -> Option<Frame> {
-    if bytes.len() < 6 || bytes[0] != FRAME_MAGIC {
-        return None;
+/// Decodes a frame produced by [`encode_frame`].
+///
+/// # Errors
+/// A [`WireError`] naming the structural mismatch: bad magic, short
+/// buffer, unknown command, or a length disagreeing with the header.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.len() < 6 {
+        return Err(WireError::BadLength {
+            got: bytes.len(),
+            expected: "at least the 6-byte frame header",
+        });
+    }
+    if bytes[0] != FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: bytes[0] });
     }
     let cmd_idx = bytes[1] as usize;
     if cmd_idx >= Command::COUNT {
-        return None;
+        return Err(WireError::BadValue { field: "command", got: cmd_idx as u32 });
     }
     let n_feat = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
     let n_wp = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
     let need = 6 + 4 * (n_feat + n_wp);
-    if bytes.len() != need {
-        return None;
+    if bytes.len() < need {
+        return Err(WireError::Truncated);
+    }
+    if bytes.len() > need {
+        return Err(WireError::Trailing { extra: bytes.len() - need });
     }
     let mut off = 6;
     let read_f32s = |n: usize, off: &mut usize| -> Vec<f32> {
@@ -57,7 +70,7 @@ pub fn decode_frame(bytes: &[u8]) -> Option<Frame> {
     };
     let features = read_f32s(n_feat, &mut off);
     let waypoints = read_f32s(n_wp, &mut off);
-    Some(Frame { features, command: Command::from_index(cmd_idx), waypoints })
+    Ok(Frame { features, command: Command::from_index(cmd_idx), waypoints })
 }
 
 /// Encodes a frame with zero-run compression on the features: runs of
@@ -93,48 +106,60 @@ pub fn encode_frame_compressed(frame: &Frame) -> Vec<u8> {
 }
 
 /// Decodes [`encode_frame_compressed`] output.
-pub fn decode_frame_compressed(bytes: &[u8]) -> Option<Frame> {
-    if bytes.len() < 6 || bytes[0] != (FRAME_MAGIC ^ 1) {
-        return None;
+///
+/// # Errors
+/// A [`WireError`] naming the structural mismatch: bad magic, unknown
+/// command or run marker, truncation mid-record, or trailing bytes.
+pub fn decode_frame_compressed(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.len() < 6 {
+        return Err(WireError::BadLength {
+            got: bytes.len(),
+            expected: "at least the 6-byte frame header",
+        });
+    }
+    if bytes[0] != (FRAME_MAGIC ^ 1) {
+        return Err(WireError::BadMagic { got: bytes[0] });
     }
     let cmd_idx = bytes[1] as usize;
     if cmd_idx >= Command::COUNT {
-        return None;
+        return Err(WireError::BadValue { field: "command", got: cmd_idx as u32 });
     }
     let n_feat = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
     let n_wp = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
     let mut features = Vec::with_capacity(n_feat);
     let mut off = 6;
     while features.len() < n_feat {
-        let marker = *bytes.get(off)?;
+        let marker = *bytes.get(off).ok_or(WireError::Truncated)?;
         off += 1;
         if marker == 0xFF {
-            let run = *bytes.get(off)? as usize;
+            let run = *bytes.get(off).ok_or(WireError::Truncated)? as usize;
             off += 1;
-            for _ in 0..run {
-                features.push(0.0);
-            }
+            features.resize(features.len() + run, 0.0);
         } else if marker == 0x00 {
-            let c = bytes.get(off..off + 4)?;
+            let c = bytes.get(off..off + 4).ok_or(WireError::Truncated)?;
             features.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
             off += 4;
         } else {
-            return None;
+            return Err(WireError::BadValue { field: "run marker", got: marker as u32 });
         }
     }
     if features.len() != n_feat {
-        return None;
+        // A zero run overshot the declared feature count.
+        return Err(WireError::BadValue {
+            field: "zero-run length",
+            got: features.len() as u32,
+        });
     }
     let mut waypoints = Vec::with_capacity(n_wp);
     for _ in 0..n_wp {
-        let c = bytes.get(off..off + 4)?;
+        let c = bytes.get(off..off + 4).ok_or(WireError::Truncated)?;
         waypoints.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
         off += 4;
     }
     if off != bytes.len() {
-        return None;
+        return Err(WireError::Trailing { extra: bytes.len() - off });
     }
-    Some(Frame { features, command: Command::from_index(cmd_idx), waypoints })
+    Ok(Frame { features, command: Command::from_index(cmd_idx), waypoints })
 }
 
 #[cfg(test)]
@@ -183,12 +208,25 @@ mod tests {
         let f = sample_frame();
         let mut bytes = encode_frame(&f);
         bytes[0] ^= 0xAA; // bad magic
-        assert!(decode_frame(&bytes).is_none());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::BadMagic { got: FRAME_MAGIC ^ 0xAA })
+        );
         let bytes = encode_frame(&f);
-        assert!(decode_frame(&bytes[..bytes.len() - 1]).is_none());
+        assert_eq!(decode_frame(&bytes[..bytes.len() - 1]), Err(WireError::Truncated));
         let mut bytes = encode_frame(&f);
         bytes[1] = 9; // bad command
-        assert!(decode_frame(&bytes).is_none());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::BadValue { field: "command", got: 9 })
+        );
+        assert!(matches!(
+            decode_frame(&[FRAME_MAGIC, 0, 1]),
+            Err(WireError::BadLength { got: 3, .. })
+        ));
+        let mut bytes = encode_frame(&f);
+        bytes.push(0);
+        assert_eq!(decode_frame(&bytes), Err(WireError::Trailing { extra: 1 }));
     }
 
     #[test]
@@ -196,7 +234,27 @@ mod tests {
         let f = sample_frame();
         let mut bytes = encode_frame_compressed(&f);
         bytes[6] = 0x7E; // invalid marker
-        assert!(decode_frame_compressed(&bytes).is_none());
+        assert_eq!(
+            decode_frame_compressed(&bytes),
+            Err(WireError::BadValue { field: "run marker", got: 0x7E })
+        );
+        let bytes = encode_frame_compressed(&f);
+        assert_eq!(
+            decode_frame_compressed(&bytes[..bytes.len() - 2]),
+            Err(WireError::Truncated)
+        );
+        let mut bytes = encode_frame_compressed(&f);
+        bytes.push(0);
+        assert_eq!(
+            decode_frame_compressed(&bytes),
+            Err(WireError::Trailing { extra: 1 })
+        );
+        let mut bytes = encode_frame_compressed(&f);
+        bytes[0] = 0x33;
+        assert_eq!(
+            decode_frame_compressed(&bytes),
+            Err(WireError::BadMagic { got: 0x33 })
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! scale, drives one route per task, and prints per-frame telemetry.
 
 use driving::eval::{EvalConfig, Task};
-use experiments::{run_method, scale_from_args, Condition, Method, Scenario};
+use experiments::{run_method, Args, Condition, Method, Scenario};
 
 fn main() {
-    let s = Scenario::build(scale_from_args());
+    let s = Scenario::build(Args::parse().scale);
     let out = run_method(Method::LbChat, &s, Condition::NoLoss);
     eprintln!("final loss: {:?}", out.metrics.final_loss());
     // Open-loop check: target vs prediction on actual Left/Right frames.

@@ -3,19 +3,24 @@
 //! §IV-C successful model receiving rates.
 
 use experiments::report::{curve_csv, write_csv};
-use experiments::{run_method, scale_from_args, Condition, Method, Scenario};
+use experiments::{run_method, Args, Condition, Method, Scenario};
+use lbchat::exec;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = Args::parse();
+    let methods = args.methods_or(&Method::MAIN);
+    let scale = args.scale.clone();
     eprintln!("building scenario ({} vehicles)...", scale.n_vehicles);
     let s = Scenario::build(scale);
     for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
         println!("=== Fig. 2({panel}) — training loss vs time, {} ===", condition.label());
+        let outs = exec::par_map(&methods, |_, &m| {
+            eprintln!("  running {} ...", m.name());
+            run_method(m, &s, condition)
+        });
         let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         let mut rates = Vec::new();
-        for m in Method::MAIN {
-            eprintln!("  running {} ...", m.name());
-            let out = run_method(m, &s, condition);
+        for (m, out) in methods.iter().zip(&outs) {
             rates.push((m.name(), out.metrics.model_receiving_rate()));
             curves.push((m.name().to_string(), out.metrics.loss_curve.clone()));
         }

@@ -2,14 +2,17 @@
 //! reaches similar final loss but takes 1.5x-1.8x longer to converge.
 
 use experiments::report::{curve_csv, write_csv};
-use experiments::{run_method, scale_from_args, Condition, Method, Scenario};
+use experiments::{run_method, Args, Condition, Method, Scenario};
+use lbchat::exec;
 
 fn main() {
-    let s = Scenario::build(scale_from_args());
+    let s = Scenario::build(Args::parse().scale);
     for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
         println!("=== Fig. 3({panel}) — LbChat vs SCO, {} ===", condition.label());
-        let lbchat = run_method(Method::LbChat, &s, condition);
-        let sco = run_method(Method::Sco, &s, condition);
+        let mut outs =
+            exec::par_map(&[Method::LbChat, Method::Sco], |_, &m| run_method(m, &s, condition));
+        let sco = outs.pop().expect("two runs");
+        let lbchat = outs.pop().expect("two runs");
         println!("{:<10} {:>10} {:>10}", "time(s)", "LbChat", "SCO");
         for k in 0..lbchat.metrics.loss_curve.len() {
             let (t, l) = lbchat.metrics.loss_curve[k];

@@ -1,9 +1,13 @@
 //! Runs every experiment in sequence (fig2, tables II-VII, fig3) at the
 //! selected scale. Expect minutes at the default scale, hours at --paper.
 
+use experiments::Args;
 use std::process::Command;
 
 fn main() {
+    // Validate the flags once up front (prints usage and exits on a bad
+    // flag), then forward them verbatim to every experiment binary.
+    let _ = Args::parse();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = ["fig2", "table2", "table3", "table4", "table5", "table6", "table7", "fig3"];
     for bin in bins {

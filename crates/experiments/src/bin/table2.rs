@@ -1,14 +1,16 @@
 //! Table II — driving success rate, no wireless loss.
 
 use experiments::harness::success_table;
-use experiments::{scale_from_args, Condition, Method, Scenario};
+use experiments::{Args, Condition, Method, Scenario};
 use experiments::report::write_csv;
 
 fn main() {
-    let s = Scenario::build(scale_from_args());
+    let args = Args::parse();
+    let methods = args.methods_or(&Method::MAIN);
+    let s = Scenario::build(args.scale.clone());
     let (table, _) = success_table(
         "Table II — driving success rate on average (W/O wireless loss) (%)",
-        &Method::MAIN,
+        &methods,
         &s,
         Condition::NoLoss,
     );

@@ -2,19 +2,21 @@
 
 use experiments::harness::success_table;
 use experiments::report::write_csv;
-use experiments::{scale_from_args, Condition, Method, Scenario};
+use experiments::{Args, Condition, Method, Scenario};
 
 fn main() {
-    let s = Scenario::build(scale_from_args());
+    let args = Args::parse();
+    let methods = args.methods_or(&Method::MAIN);
+    let s = Scenario::build(args.scale.clone());
     let (table, outputs) = success_table(
         "Table III — driving success rate on average (W wireless loss) (%)",
-        &Method::MAIN,
+        &methods,
         &s,
         Condition::WithLoss,
     );
     println!("{}", table.render());
     println!("Successful model receiving rates:");
-    for (m, out) in Method::MAIN.iter().zip(&outputs) {
+    for (m, out) in methods.iter().zip(&outputs) {
         println!("  {:<10} {:.0}%", m.name(), out.metrics.model_receiving_rate() * 100.0);
     }
     let path = write_csv("table3.csv", &table.to_csv()).expect("write CSV");

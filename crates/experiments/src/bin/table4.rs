@@ -3,11 +3,11 @@
 
 use experiments::harness::train_and_evaluate;
 use experiments::report::{write_csv, Table};
-use experiments::{scale_from_args, Condition, Method, Scenario};
+use experiments::{Args, Condition, Method, Scenario};
 use driving::Task;
 
 fn main() {
-    let scale = scale_from_args();
+    let scale = Args::parse().scale;
     let big = scale.coreset_size * 10;
     let small = (scale.coreset_size / 10).max(2);
     let s = Scenario::build(scale);

@@ -2,11 +2,11 @@
 
 use experiments::harness::train_and_evaluate;
 use experiments::report::{write_csv, Table};
-use experiments::{scale_from_args, Condition, Method, Scenario};
+use experiments::{Args, Condition, Method, Scenario};
 use driving::Task;
 
 fn main() {
-    let s = Scenario::build(scale_from_args());
+    let s = Scenario::build(Args::parse().scale);
     let mut table = Table::new(
         "Table VII — driving success rate with sharing coreset only (%)",
         vec!["W/O wireless loss".into(), "W wireless loss".into()],

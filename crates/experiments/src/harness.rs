@@ -1,9 +1,16 @@
 //! Shared drivers used by the per-table/figure binaries.
+//!
+//! Both drivers fan work out over the [`lbchat::exec`] worker pool:
+//! [`success_table`] runs its (method, condition) training cells
+//! concurrently and [`train_and_evaluate`] evaluates the five tasks
+//! concurrently. Every cell seeds its own RNGs from the scenario seed, so
+//! the numbers are bit-identical for any `--jobs` setting.
 
 use crate::methods::{run_method, Condition, Method, RunOutput};
 use crate::report::Table;
 use crate::scenario::Scenario;
 use driving::{success_rate, EvalConfig, Task};
+use lbchat::exec;
 
 /// Closed-loop evaluation config derived from the scenario scale.
 pub fn eval_config(s: &Scenario) -> EvalConfig {
@@ -28,10 +35,9 @@ pub fn train_and_evaluate(
 ) -> (Vec<f64>, RunOutput) {
     let out = run_method(method, s, condition);
     let cfg = eval_config(s);
-    let rates = Task::ALL
-        .iter()
-        .map(|&task| success_rate(&out.representative, task, &cfg).percent())
-        .collect();
+    let rates = exec::par_map(&Task::ALL, |_, &task| {
+        success_rate(&out.representative, task, &cfg).percent()
+    });
     (rates, out)
 }
 
@@ -42,12 +48,14 @@ pub fn success_table(
     s: &Scenario,
     condition: Condition,
 ) -> (Table, Vec<RunOutput>) {
+    let cells = exec::par_map(methods, |_, &m| {
+        eprintln!("  [{}] training + evaluating {} ...", condition.label(), m.name());
+        train_and_evaluate(m, s, condition)
+    });
     let mut columns = Vec::new();
     let mut results: Vec<Vec<f64>> = Vec::new();
     let mut outputs = Vec::new();
-    for &m in methods {
-        eprintln!("  [{}] training + evaluating {} ...", condition.label(), m.name());
-        let (rates, out) = train_and_evaluate(m, s, condition);
+    for (&m, (rates, out)) in methods.iter().zip(cells) {
         columns.push(m.name().to_string());
         results.push(rates);
         outputs.push(out);

@@ -4,10 +4,8 @@ use crate::scenario::Scenario;
 use baselines::{dfl_dds::DflDdsConfig, dp::DpConfig, proxskip::ProxSkipConfig, rsul::RsuLConfig};
 use baselines::{DflDds, Dp, ProxSkip, RsuL};
 use driving::{DrivingLearner, Frame};
-use lbchat::metrics::Metrics;
 use lbchat::node::LbChatAlgorithm;
-use lbchat::runtime::{CollabAlgorithm, Runtime, RuntimeConfig};
-use lbchat::LbChatConfig;
+use lbchat::prelude::{CollabAlgorithm, LbChatConfig, Metrics, Runtime, RuntimeConfig};
 use rand::SeedableRng;
 use simnet::loss::LossModel;
 use vnn::ParamVec;
@@ -66,6 +64,28 @@ impl Method {
     /// The five main-comparison methods in the paper's column order.
     pub const MAIN: [Method; 5] =
         [Method::ProxSkip, Method::RsuL, Method::DflDds, Method::Dp, Method::LbChat];
+
+    /// Parses a CLI method key (`--methods`). Keys are case-insensitive:
+    /// `lbchat`, `sco`, `proxskip`, `rsul`/`rsu-l`, `dfl-dds`/`dfldds`,
+    /// `dp`, `equal-comp`, `avg-agg`, and `coreset:N` for
+    /// [`Method::LbChatCoreset`] with size `N`.
+    pub fn from_key(key: &str) -> Option<Method> {
+        let k = key.trim().to_ascii_lowercase();
+        match k.as_str() {
+            "lbchat" => Some(Method::LbChat),
+            "sco" => Some(Method::Sco),
+            "proxskip" => Some(Method::ProxSkip),
+            "rsul" | "rsu-l" => Some(Method::RsuL),
+            "dfldds" | "dfl-dds" => Some(Method::DflDds),
+            "dp" => Some(Method::Dp),
+            "equal-comp" | "lbchat-equal-comp" => Some(Method::LbChatEqualComp),
+            "avg-agg" | "lbchat-avg-agg" => Some(Method::LbChatAvgAgg),
+            _ => k
+                .strip_prefix("coreset:")
+                .and_then(|n| n.parse().ok())
+                .map(Method::LbChatCoreset),
+        }
+    }
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -207,6 +227,18 @@ pub fn run_method(method: Method, s: &Scenario, condition: Condition) -> RunOutp
 mod tests {
     use super::*;
     use crate::scenario::Scale;
+
+    #[test]
+    fn method_keys_round_trip() {
+        assert_eq!(Method::from_key("lbchat"), Some(Method::LbChat));
+        assert_eq!(Method::from_key("RSU-L"), Some(Method::RsuL));
+        assert_eq!(Method::from_key(" dfl-dds "), Some(Method::DflDds));
+        assert_eq!(Method::from_key("coreset:150"), Some(Method::LbChatCoreset(150)));
+        assert_eq!(Method::from_key("equal-comp"), Some(Method::LbChatEqualComp));
+        assert_eq!(Method::from_key("avg-agg"), Some(Method::LbChatAvgAgg));
+        assert_eq!(Method::from_key("warp-drive"), None);
+        assert_eq!(Method::from_key("coreset:many"), None);
+    }
 
     #[test]
     fn every_method_runs_and_learns_at_quick_scale() {

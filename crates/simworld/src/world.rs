@@ -129,8 +129,9 @@ impl WorldConfig {
     }
 }
 
-/// The running world.
-#[derive(Debug)]
+/// The running world. `Clone` snapshots the full state (map, agents, RNG),
+/// letting evaluation run independent trials from a common base world.
+#[derive(Debug, Clone)]
 pub struct World {
     config: WorldConfig,
     map: RoadNetwork,
@@ -234,13 +235,8 @@ impl World {
         let ped_positions: Vec<Vec2> = self.pedestrians.iter().map(|p| p.pos).collect();
         let router = Router::new(&self.map);
 
-        let n_exp = self.experts.len();
-        for idx in 0..n_exp + self.background.len() {
-            let (vehicle, gap) = if idx < n_exp {
-                (&mut self.experts[idx], gaps[idx])
-            } else {
-                (&mut self.background[idx - n_exp], gaps[idx])
-            };
+        let vehicles = self.experts.iter_mut().chain(self.background.iter_mut());
+        for (vehicle, &gap) in vehicles.zip(&gaps) {
             let mut target = vehicle.target_speed(&self.map, gap);
             // Privileged braking for pedestrians in the path.
             if hazard_ahead(&self.map, vehicle, &ped_positions, 10.0, 2.5) {

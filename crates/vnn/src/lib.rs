@@ -56,3 +56,4 @@ pub use mlp::{Activation, Mlp, MlpSpec};
 pub use param::ParamVec;
 pub use policy::{BranchedPolicy, PolicySpec};
 pub use sgd::Sgd;
+pub use wire::WireError;

@@ -11,6 +11,59 @@ pub const BYTES_PER_PARAM: usize = 4;
 /// Bytes per sparse (index, value) pair: u32 index + f32 value.
 pub const BYTES_PER_PAIR: usize = 8;
 
+/// A decode failure, shared by every wire format in the workspace (this
+/// module's model encodings and the driving crate's frame encodings), so
+/// transport code handles malformed payloads uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer length is impossible for the encoding.
+    BadLength {
+        /// The rejected length in bytes.
+        got: usize,
+        /// What the encoding requires of the length.
+        expected: &'static str,
+    },
+    /// The format's magic byte did not match.
+    BadMagic {
+        /// The byte found where the magic was expected.
+        got: u8,
+    },
+    /// A decoded value is outside its valid domain.
+    BadValue {
+        /// Which field was out of domain.
+        field: &'static str,
+        /// The rejected value (widened to u32).
+        got: u32,
+    },
+    /// The buffer ended in the middle of a record.
+    Truncated,
+    /// Decoding completed with unconsumed bytes left over.
+    Trailing {
+        /// How many bytes were left.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength { got, expected } => {
+                write!(f, "bad payload length {got}: expected {expected}")
+            }
+            WireError::BadMagic { got } => write!(f, "bad magic byte {got:#04x}"),
+            WireError::BadValue { field, got } => {
+                write!(f, "{field} out of domain: {got}")
+            }
+            WireError::Truncated => write!(f, "payload truncated mid-record"),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} unconsumed bytes after payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// Serializes the full vector as little-endian `f32`s.
 pub fn to_dense_bytes(p: &ParamVec) -> Vec<u8> {
     let mut out = Vec::with_capacity(p.len() * BYTES_PER_PARAM);
@@ -22,16 +75,20 @@ pub fn to_dense_bytes(p: &ParamVec) -> Vec<u8> {
 
 /// Parses a dense little-endian `f32` encoding.
 ///
-/// Returns `None` if the byte length is not a multiple of 4.
-pub fn from_dense_bytes(bytes: &[u8]) -> Option<ParamVec> {
+/// # Errors
+/// [`WireError::BadLength`] if the byte length is not a multiple of 4.
+pub fn from_dense_bytes(bytes: &[u8]) -> Result<ParamVec, WireError> {
     if bytes.len() % BYTES_PER_PARAM != 0 {
-        return None;
+        return Err(WireError::BadLength {
+            got: bytes.len(),
+            expected: "a multiple of 4 (dense f32 parameters)",
+        });
     }
     let data = bytes
         .chunks_exact(BYTES_PER_PARAM)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
-    Some(ParamVec::from_vec(data))
+    Ok(ParamVec::from_vec(data))
 }
 
 /// A sparse model: the k surviving (index, value) pairs of a top-k
@@ -93,10 +150,15 @@ impl SparseModel {
 
     /// Parses the `[u32, f32]*` encoding produced by [`SparseModel::to_bytes`].
     ///
-    /// Returns `None` on malformed input (bad length or out-of-range index).
-    pub fn from_bytes(dense_len: usize, bytes: &[u8]) -> Option<Self> {
+    /// # Errors
+    /// [`WireError::BadLength`] if the byte length is not a multiple of 8;
+    /// [`WireError::BadValue`] if any index is outside `dense_len`.
+    pub fn from_bytes(dense_len: usize, bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.len() % BYTES_PER_PAIR != 0 {
-            return None;
+            return Err(WireError::BadLength {
+                got: bytes.len(),
+                expected: "a multiple of 8 (sparse index-value pairs)",
+            });
         }
         let n = bytes.len() / BYTES_PER_PAIR;
         let mut indices = Vec::with_capacity(n);
@@ -104,12 +166,12 @@ impl SparseModel {
         for c in bytes.chunks_exact(BYTES_PER_PAIR) {
             let i = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
             if i as usize >= dense_len {
-                return None;
+                return Err(WireError::BadValue { field: "sparse index", got: i });
             }
             indices.push(i);
             values.push(f32::from_le_bytes([c[4], c[5], c[6], c[7]]));
         }
-        Some(Self { dense_len, indices, values })
+        Ok(Self { dense_len, indices, values })
     }
 }
 
@@ -127,7 +189,10 @@ mod tests {
 
     #[test]
     fn dense_rejects_ragged_length() {
-        assert!(from_dense_bytes(&[0u8; 7]).is_none());
+        assert!(matches!(
+            from_dense_bytes(&[0u8; 7]),
+            Err(WireError::BadLength { got: 7, .. })
+        ));
     }
 
     #[test]
@@ -148,7 +213,29 @@ mod tests {
     fn sparse_rejects_out_of_range_index() {
         let s = SparseModel::new(100, vec![99], vec![1.0]);
         let bytes = s.to_bytes();
-        assert!(SparseModel::from_bytes(50, &bytes).is_none());
+        assert_eq!(
+            SparseModel::from_bytes(50, &bytes),
+            Err(WireError::BadValue { field: "sparse index", got: 99 })
+        );
+    }
+
+    #[test]
+    fn sparse_rejects_ragged_length() {
+        let s = SparseModel::new(10, vec![1, 4], vec![0.5, -1.0]);
+        let mut bytes = s.to_bytes();
+        bytes.pop();
+        assert!(matches!(
+            SparseModel::from_bytes(10, &bytes),
+            Err(WireError::BadLength { got: 15, .. })
+        ));
+    }
+
+    #[test]
+    fn wire_error_messages_name_the_problem() {
+        let e = WireError::BadValue { field: "sparse index", got: 99 };
+        assert!(e.to_string().contains("sparse index"));
+        let e = WireError::BadLength { got: 7, expected: "a multiple of 4" };
+        assert!(e.to_string().contains('7'));
     }
 
     #[test]
