@@ -1,4 +1,16 @@
 //! LbChat configuration with the paper's §IV-A defaults.
+//!
+//! [`LbChatConfig`] gathers every knob of the algorithm — coreset size and
+//! refresh policy, the ψ grid behind the Eq. (7) optimizer, compression
+//! method, aggregation rule, penalty weights, wire sizes — pre-set to the
+//! values §IV-A reports (coreset 150 frames ≈ 0.6 MB, T_B = 15 s,
+//! lr 1e-4, batch 64). Variants are derived with the chainable `with_*`
+//! methods (e.g. [`LbChatConfig::with_coreset_size`] for the Table IV
+//! sweep, [`LbChatConfig::with_equal_compression`] /
+//! [`LbChatConfig::with_average_aggregation`] for the Table V/VI
+//! ablations, [`LbChatConfig::sco`] for coreset-only sharing). This module
+//! also hosts [`ConfigError`], the validation failure type shared by the
+//! runtime's and the driving crate's config builders.
 
 use crate::aggregate::AggregationRule;
 use crate::compress::CompressionMethod;

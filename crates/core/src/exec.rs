@@ -20,6 +20,12 @@
 //! The worker count resolves, in order: an explicit [`set_jobs`] override
 //! (the `--jobs` CLI flag), the `LBCHAT_JOBS` environment variable, and
 //! finally [`std::thread::available_parallelism`].
+//!
+//! [`par_run_traced`] / [`par_map_traced`] are the same fan-outs with one
+//! `work_unit` timing event per item recorded into an
+//! [`ObsSink`](crate::obs::ObsSink) — span parentage is captured on the
+//! submitting thread, so nesting stays correct across the pool. With a
+//! disabled sink they are exactly [`par_run`] / [`par_map`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -110,6 +116,46 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     par_run(items.len(), |i| f(i, &items[i]))
+}
+
+/// [`par_run`] with per-work-unit observability: when `sink` is
+/// recording, each work item runs inside a `work_unit` span (see
+/// [`crate::obs`]) tagged with `stage` and the item index, parented to
+/// whatever span was open on the *calling* thread — so span nesting
+/// survives the pool boundary. With a disabled sink this is exactly
+/// [`par_run`].
+///
+/// The emitted `work_unit` events carry only timing plus the
+/// deterministic `(stage, index)` pair, so traced runs remain comparable
+/// across `--jobs` settings.
+pub fn par_run_traced<R, F>(sink: &crate::obs::ObsSink, stage: &str, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if !sink.enabled() {
+        return par_run(n, f);
+    }
+    let parent = crate::obs::current_span();
+    par_run(n, |i| {
+        let _unit = sink.work_span(stage, i, parent);
+        f(i)
+    })
+}
+
+/// [`par_map`] with per-work-unit observability; see [`par_run_traced`].
+pub fn par_map_traced<T, R, F>(
+    sink: &crate::obs::ObsSink,
+    stage: &str,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_run_traced(sink, stage, items.len(), |i| f(i, &items[i]))
 }
 
 /// The splitmix64 finalizer — a full-avalanche 64-bit mixer.
@@ -203,5 +249,32 @@ mod tests {
     #[test]
     fn jobs_is_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn traced_fanout_records_one_work_unit_per_item() {
+        let sink = crate::obs::ObsSink::recording();
+        let out = {
+            let _outer = sink.span("fanout");
+            par_run_traced(&sink, "unit-test", 8, |i| i * 2)
+        };
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        let events = sink.events();
+        let units: Vec<_> = events.iter().filter(|e| e.kind == "work_unit").collect();
+        assert_eq!(units.len(), 8);
+        let mut indices: Vec<u64> =
+            units.iter().filter_map(|e| e.get("index")?.as_u64()).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..8).collect::<Vec<u64>>());
+        let outer = events.iter().find(|e| e.kind == "span").unwrap();
+        let outer_id = outer.get("span_id").unwrap().as_u64();
+        for u in &units {
+            assert_eq!(u.str_field("stage"), Some("unit-test"));
+            assert_eq!(u.get("parent_span").unwrap().as_u64(), outer_id);
+        }
+        // A disabled sink records nothing and changes nothing.
+        let quiet = crate::obs::ObsSink::disabled();
+        assert_eq!(par_run_traced(&quiet, "x", 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(quiet.event_count(), 0);
     }
 }

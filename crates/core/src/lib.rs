@@ -49,6 +49,7 @@ pub mod exec;
 pub mod learner;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod optimize;
 pub mod penalty;
 pub mod phi;
@@ -63,4 +64,5 @@ pub use coreset::Coreset;
 pub use dataset::WeightedDataset;
 pub use learner::Learner;
 pub use node::LbChatNode;
+pub use obs::ObsSink;
 pub use runtime::{CollabAlgorithm, Runtime, RuntimeConfig};

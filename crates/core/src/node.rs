@@ -375,6 +375,29 @@ impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
             .solve()
         };
 
+        if link.obs().enabled() {
+            let obs = link.obs();
+            obs.add("chats", 1);
+            obs.add("coreset_points", (coreset_i.len() + coreset_j.len()) as u64);
+            obs.observe("psi", choice.psi_i as f64);
+            obs.observe("psi", choice.psi_j as f64);
+            obs.emit(
+                "chat",
+                &[
+                    ("i", i.into()),
+                    ("j", j.into()),
+                    ("t", link.now().into()),
+                    ("coreset_i", coreset_i.len().into()),
+                    ("coreset_j", coreset_j.len().into()),
+                    ("loss_i_on_cj", loss_i_on_cj.into()),
+                    ("loss_j_on_ci", loss_j_on_ci.into()),
+                    ("psi_i", choice.psi_i.into()),
+                    ("psi_j", choice.psi_j.into()),
+                    ("objective", choice.objective.into()),
+                ],
+            );
+        }
+
         // --- 5. Model exchange (top-k sparsified both ways). ---
         let mut received_i: Option<ParamVec> = None; // what i receives from j
         let mut received_j: Option<ParamVec> = None; // what j receives from i

@@ -1,0 +1,54 @@
+//! Structured observability: events, counters, gauges, spans, and the
+//! run-manifest JSONL format.
+//!
+//! Every experiment invocation can record what actually happened — per
+//! round, per radio transfer, per pairwise chat, per closed-loop trial —
+//! as a stream of typed events behind an [`ObsSink`] handle. The
+//! experiments harness assembles one such stream per invocation into a
+//! **run manifest** under `results/runs/`, and the `summarize_runs`
+//! binary renders manifests side by side. `docs/OBSERVABILITY.md`
+//! specifies every event type and field.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** A disabled sink ([`ObsSink::disabled`])
+//!    is an `Option::None` check per call site; hot paths additionally
+//!    guard with [`ObsSink::enabled`] so no field lists are built.
+//!    Benches and library users who never opt in pay nothing.
+//! 2. **No global state.** The sink is a handle passed through
+//!    configuration ([`crate::RuntimeConfig`]'s `obs` field, harness
+//!    parameters), never a process-wide singleton — parallel tests and
+//!    nested harness invocations cannot contaminate each other's
+//!    streams.
+//! 3. **Determinism modulo timing.** Everything an event records except
+//!    the fields named in [`TIMING_FIELDS`] is a pure function of the
+//!    configuration and seed, for any `--jobs` value.
+//!    [`ObsSink::canonical_events`] strips timing and sorts, giving a
+//!    representation two runs can be compared by.
+//! 4. **No dependencies.** The [`json`] submodule carries its own
+//!    writer/parser, with exact `u64` handling so seeds survive a round
+//!    trip.
+//!
+//! # Example
+//!
+//! ```
+//! use lbchat::obs::{self, ObsSink};
+//!
+//! let sink = ObsSink::recording();
+//! {
+//!     let _timer = sink.span("build-scenario");
+//!     sink.add("vehicles", 4);
+//!     sink.emit("note", &[("msg", "scenario ready".into())]);
+//! } // span recorded on drop
+//!
+//! let lines = sink.to_jsonl();
+//! let parsed = obs::parse_jsonl(&lines).unwrap();
+//! assert_eq!(parsed.len(), 2);
+//! assert_eq!(sink.counters()["vehicles"], 4);
+//! ```
+
+pub mod json;
+mod sink;
+
+pub use json::{parse, Json, JsonError};
+pub use sink::{current_span, parse_jsonl, Event, GaugeStat, ObsSink, SpanGuard, TIMING_FIELDS};

@@ -13,6 +13,7 @@
 pub use crate::config::{ConfigError, LbChatConfig};
 pub use crate::learner::Learner;
 pub use crate::metrics::Metrics;
+pub use crate::obs::ObsSink;
 pub use crate::runtime::{
     CollabAlgorithm, FrameCtx, LinkCtx, Runtime, RuntimeConfig, RuntimeConfigBuilder,
 };

@@ -10,6 +10,7 @@
 
 use crate::config::ConfigError;
 use crate::metrics::Metrics;
+use crate::obs::ObsSink;
 use rand::SeedableRng;
 use simnet::channel::{Channel, RadioConfig, TransferOutcome};
 use simnet::contact::{ContactEstimate, ContactPredictor};
@@ -44,6 +45,10 @@ pub struct RuntimeConfig {
     pub route_share_samples: usize,
     /// RNG seed for communication randomness.
     pub seed: u64,
+    /// Observability sink for structured run events (`round`, `session`,
+    /// `transfer`, `backend`, `chat`); disabled (zero-cost) by default.
+    /// See [`crate::obs`].
+    pub obs: ObsSink,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +63,7 @@ impl Default for RuntimeConfig {
             contact_reference_time: 30.0,
             route_share_samples: 240,
             seed: 0,
+            obs: ObsSink::disabled(),
         }
     }
 }
@@ -159,6 +165,13 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Observability sink the runtime emits structured events into
+    /// (disabled by default).
+    pub fn obs(mut self, sink: ObsSink) -> Self {
+        self.cfg.obs = sink;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
         self.cfg.validate()?;
@@ -184,12 +197,21 @@ pub struct LinkCtx<'a> {
     pub metrics: &'a mut Metrics,
     est: ContactEstimate,
     elapsed: f64,
+    obs: &'a ObsSink,
 }
 
 impl LinkCtx<'_> {
     /// The contact estimate (duration, z, p) computed from shared routes.
     pub fn contact(&self) -> ContactEstimate {
         self.est
+    }
+
+    /// The observability sink for this run (disabled unless the caller
+    /// opted in through [`RuntimeConfig`]). Algorithms emit
+    /// protocol-level events here — LbChat records one `chat` event per
+    /// encounter with the valuation losses and chosen ψ ratios.
+    pub fn obs(&self) -> &ObsSink {
+        self.obs
     }
 
     /// Seconds already consumed in this session.
@@ -217,6 +239,29 @@ impl LinkCtx<'_> {
             self.rng,
         );
         self.elapsed += out.elapsed();
+        if self.obs.enabled() {
+            let delivered_bytes = match out {
+                TransferOutcome::Delivered { .. } => bytes,
+                TransferOutcome::Failed { delivered_bytes, .. } => delivered_bytes,
+            };
+            self.obs.add("bytes_tx", bytes as u64);
+            self.obs.add("bytes_delivered", delivered_bytes as u64);
+            if !out.is_delivered() {
+                self.obs.add("transfers_failed", 1);
+            }
+            self.obs.emit(
+                "transfer",
+                &[
+                    ("i", self.i.into()),
+                    ("j", self.j.into()),
+                    ("t", t0.into()),
+                    ("bytes", bytes.into()),
+                    ("delivered", out.is_delivered().into()),
+                    ("delivered_bytes", delivered_bytes.into()),
+                    ("airtime_s", out.elapsed().into()),
+                ],
+            );
+        }
         out
     }
 
@@ -250,6 +295,7 @@ pub struct FrameCtx<'a> {
     /// Metrics sink.
     pub metrics: &'a mut Metrics,
     loss_model: &'a LossModel,
+    obs: &'a ObsSink,
 }
 
 impl FrameCtx<'_> {
@@ -270,7 +316,28 @@ impl FrameCtx<'_> {
         // backend is not packetized by the paper's model).
         let delivered = per <= 0.0 || self.rng.random::<f32>() >= per;
         self.metrics.record_model_send(delivered, bytes, 0.0);
+        if self.obs.enabled() {
+            self.obs.add("bytes_tx", bytes as u64);
+            if delivered {
+                self.obs.add("bytes_delivered", bytes as u64);
+            } else {
+                self.obs.add("transfers_failed", 1);
+            }
+            self.obs.emit(
+                "backend",
+                &[
+                    ("t", self.time.into()),
+                    ("bytes", bytes.into()),
+                    ("delivered", delivered.into()),
+                ],
+            );
+        }
         delivered
+    }
+
+    /// The observability sink for this run; see [`LinkCtx::obs`].
+    pub fn obs(&self) -> &ObsSink {
+        self.obs
     }
 }
 
@@ -379,6 +446,7 @@ impl Runtime {
                     rng: &mut rng,
                     metrics: &mut metrics,
                     loss_model: &cfg.loss_model,
+                    obs: &cfg.obs,
                 };
                 algo.on_frame(&mut fctx);
             }
@@ -406,7 +474,7 @@ impl Runtime {
             // its best-scored neighbor first (§III-A).
             candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite priorities"));
             let mut taken = vec![false; n];
-            for (_, i, j, est) in candidates {
+            for (score, i, j, est) in candidates {
                 if taken[i] || taken[j] {
                     continue;
                 }
@@ -423,8 +491,22 @@ impl Runtime {
                     metrics: &mut metrics,
                     est,
                     elapsed: 0.0,
+                    obs: &cfg.obs,
                 };
                 let duration = algo.encounter(i, j, &mut link);
+                if cfg.obs.enabled() {
+                    cfg.obs.add("sessions", 1);
+                    cfg.obs.emit(
+                        "session",
+                        &[
+                            ("i", i.into()),
+                            ("j", j.into()),
+                            ("t", time.into()),
+                            ("priority", score.into()),
+                            ("duration_s", duration.into()),
+                        ],
+                    );
+                }
                 let until = time + duration.max(dt);
                 busy_until[i] = until;
                 busy_until[j] = until;
@@ -449,14 +531,26 @@ impl Runtime {
 
             // 4. Periodic evaluation.
             if time >= next_eval {
-                metrics.record_loss(time, algo.mean_eval_loss(eval));
+                let loss = algo.mean_eval_loss(eval);
+                metrics.record_loss(time, loss);
+                emit_round(&cfg.obs, algo.name(), time, loss);
                 next_eval += cfg.eval_every;
             }
 
             time += dt;
         }
-        metrics.record_loss(cfg.duration, algo.mean_eval_loss(eval));
+        let loss = algo.mean_eval_loss(eval);
+        metrics.record_loss(cfg.duration, loss);
+        emit_round(&cfg.obs, algo.name(), cfg.duration, loss);
         metrics
+    }
+}
+
+/// One `round` event per loss-curve sample: the quantity Fig. 2 plots.
+fn emit_round(obs: &ObsSink, method: &str, t: f64, loss: f64) {
+    if obs.enabled() {
+        obs.add("rounds", 1);
+        obs.emit("round", &[("method", method.into()), ("t", t.into()), ("loss", loss.into())]);
     }
 }
 
@@ -647,6 +741,37 @@ mod tests {
         // for both nodes removes ~40 iterations.
         assert!(slow.train_calls <= 365, "busy time must suppress training: {}", slow.train_calls);
         assert!(slow.train_calls >= 330);
+    }
+
+    #[test]
+    fn obs_sink_records_runtime_events() {
+        let trace = two_vehicle_trace(100.0);
+        let sink = ObsSink::recording();
+        let mut probe =
+            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let rt = Runtime::new(RuntimeConfig {
+            duration: 100.0,
+            eval_every: 30.0,
+            pair_cooldown: 20.0,
+            obs: sink.clone(),
+            ..RuntimeConfig::default()
+        });
+        let m = rt.run(&mut probe, &trace, &[]);
+        let events = sink.events();
+        let count = |k: &str| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count("session"), m.sessions);
+        assert_eq!(count("round") as usize, m.loss_curve.len());
+        // The probe moves one 15 kB payload per session.
+        assert_eq!(count("transfer"), m.sessions);
+        assert_eq!(sink.counters()["sessions"], m.sessions);
+        assert_eq!(sink.counters()["bytes_tx"], m.sessions * 15_000);
+        assert_eq!(sink.counters()["rounds"] as usize, m.loss_curve.len());
+        let session = events.iter().find(|e| e.kind == "session").unwrap();
+        for field in ["i", "j", "t", "priority", "duration_s"] {
+            assert!(session.get(field).is_some(), "session event missing {field}");
+        }
+        let transfer = events.iter().find(|e| e.kind == "transfer").unwrap();
+        assert_eq!(transfer.get("bytes"), Some(&crate::obs::Json::UInt(15_000)));
     }
 
     #[test]

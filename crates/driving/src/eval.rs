@@ -10,6 +10,7 @@
 
 use crate::learner::DrivingLearner;
 use lbchat::exec;
+use lbchat::obs::ObsSink;
 use lbchat::ConfigError;
 use rand::SeedableRng;
 use simnet::geom::Vec2;
@@ -490,6 +491,20 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
 /// (static) map and the derived seeds, so every method still faces the same
 /// routes.
 pub fn success_rate(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) -> TaskResult {
+    success_rate_obs(learner, task, cfg, &ObsSink::disabled())
+}
+
+/// [`success_rate`] with observability: when `obs` is recording, each
+/// trial runs inside a `work_unit` span (stage `trial:<task>`) and emits
+/// one `trial` event with its outcome (`success`, `collision`, or
+/// `timeout`), alongside the `trials`/`collisions`/`timeouts` counters.
+/// With a disabled sink this is exactly [`success_rate`].
+pub fn success_rate_obs(
+    learner: &DrivingLearner,
+    task: Task,
+    cfg: &EvalConfig,
+    obs: &ObsSink,
+) -> TaskResult {
     let (cars, peds) = task.traffic(cfg.traffic_scale);
     let base = World::new(WorldConfig {
         seed: cfg.world_seed,
@@ -498,7 +513,8 @@ pub fn success_rate(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) -> T
         n_pedestrians: peds,
         ..WorldConfig::default()
     });
-    let outcomes = exec::par_run(cfg.trials, |trial| {
+    let stage = format!("trial:{}", task.name());
+    let outcomes = exec::par_run_traced(obs, &stage, cfg.trials, |trial| {
         let mut world = base.clone();
         for _ in 0..(10 + 13 * trial) {
             world.step();
@@ -509,7 +525,32 @@ pub fn success_rate(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) -> T
             trial as u64,
         ));
         let route = draw_route(&world, task, &mut route_rng);
-        run_trial(learner, &mut world, route, cfg)
+        let (ok, hit, slow) = run_trial(learner, &mut world, route, cfg);
+        if obs.enabled() {
+            obs.add("trials", 1);
+            if hit {
+                obs.add("collisions", 1);
+            }
+            if slow {
+                obs.add("timeouts", 1);
+            }
+            let outcome = if ok {
+                "success"
+            } else if hit {
+                "collision"
+            } else {
+                "timeout"
+            };
+            obs.emit(
+                "trial",
+                &[
+                    ("task", task.name().into()),
+                    ("trial", trial.into()),
+                    ("outcome", outcome.into()),
+                ],
+            );
+        }
+        (ok, hit, slow)
     });
     let mut successes = 0;
     let mut collisions = 0;

@@ -27,6 +27,6 @@ pub mod learner;
 pub mod wire;
 
 pub use collect::{collect_datasets, CollectConfig};
-pub use eval::{success_rate, EvalConfig, EvalConfigBuilder, Task, TaskResult};
+pub use eval::{success_rate, success_rate_obs, EvalConfig, EvalConfigBuilder, Task, TaskResult};
 pub use frame::Frame;
 pub use learner::DrivingLearner;

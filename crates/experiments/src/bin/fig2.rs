@@ -2,8 +2,9 @@
 //! without (panel a) and with (panel b) wireless loss; also prints the
 //! §IV-C successful model receiving rates.
 
-use experiments::report::{curve_csv, write_csv};
-use experiments::{run_method, Args, Condition, Method, Scenario};
+use experiments::harness::run_cell_obs;
+use experiments::report::{curve_csv, write_csv, Table};
+use experiments::{Args, Condition, Method, RunManifest, Scenario};
 use lbchat::exec;
 
 fn main() {
@@ -12,11 +13,12 @@ fn main() {
     let scale = args.scale.clone();
     eprintln!("building scenario ({} vehicles)...", scale.n_vehicles);
     let s = Scenario::build(scale);
+    let run = RunManifest::start("fig2", &s.scale);
     for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
         println!("=== Fig. 2({panel}) — training loss vs time, {} ===", condition.label());
-        let outs = exec::par_map(&methods, |_, &m| {
+        let outs = exec::par_map_traced(run.sink(), "cell", &methods, |idx, &m| {
             eprintln!("  running {} ...", m.name());
-            run_method(m, &s, condition)
+            run_cell_obs(m, &s, condition, run.sink(), idx)
         });
         let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         let mut rates = Vec::new();
@@ -35,9 +37,15 @@ fn main() {
         }
         if condition == Condition::WithLoss {
             println!("\nSuccessful model receiving rate (W wireless loss):");
+            let mut rate_table = Table::new(
+                "Fig. 2 — successful model receiving rate (W wireless loss) (%)",
+                rates.iter().map(|(n, _)| n.to_string()).collect(),
+            );
+            rate_table.row_pct("receiving rate", &rates.iter().map(|(_, r)| r * 100.0).collect::<Vec<_>>());
             for (name, r) in &rates {
                 println!("  {name:<10} {:.0}%", r * 100.0);
             }
+            run.record_table(&rate_table);
         }
         let refs: Vec<(&str, &[(f64, f64)])> =
             curves.iter().map(|(n, c)| (n.as_str(), c.as_slice())).collect();
@@ -45,4 +53,5 @@ fn main() {
         eprintln!("wrote {}", path.display());
         println!();
     }
+    run.finish();
 }

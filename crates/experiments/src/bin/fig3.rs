@@ -1,16 +1,27 @@
 //! Fig. 3 — training loss vs time, LbChat vs SCO: the paper finds SCO
 //! reaches similar final loss but takes 1.5x-1.8x longer to converge.
 
-use experiments::report::{curve_csv, write_csv};
-use experiments::{run_method, Args, Condition, Method, Scenario};
+use experiments::harness::run_cell_obs;
+use experiments::report::{curve_csv, write_csv, Table};
+use experiments::{Args, Condition, Method, RunManifest, Scenario};
 use lbchat::exec;
 
 fn main() {
     let s = Scenario::build(Args::parse().scale);
+    let run = RunManifest::start("fig3", &s.scale);
+    let mut ratio_table = Table::new(
+        "Fig. 3 — convergence-time ratio SCO/LbChat",
+        vec!["W/O wireless loss".into(), "W wireless loss".into()],
+    );
+    let mut ratios = Vec::new();
     for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
         println!("=== Fig. 3({panel}) — LbChat vs SCO, {} ===", condition.label());
-        let mut outs =
-            exec::par_map(&[Method::LbChat, Method::Sco], |_, &m| run_method(m, &s, condition));
+        let mut outs = exec::par_map_traced(
+            run.sink(),
+            "cell",
+            &[Method::LbChat, Method::Sco],
+            |idx, &m| run_cell_obs(m, &s, condition, run.sink(), idx),
+        );
         let sco = outs.pop().expect("two runs");
         let lbchat = outs.pop().expect("two runs");
         println!("{:<10} {:>10} {:>10}", "time(s)", "LbChat", "SCO");
@@ -25,8 +36,12 @@ fn main() {
         match (lbchat.metrics.time_to_loss(thresh), sco.metrics.time_to_loss(thresh)) {
             (Some(tl), Some(ts)) if tl > 0.0 => {
                 println!("convergence-time ratio SCO/LbChat at loss {thresh:.4}: {:.2}x", ts / tl);
+                ratios.push(format!("{:.2}x", ts / tl));
             }
-            _ => println!("SCO did not reach LbChat's convergence threshold in this window"),
+            _ => {
+                println!("SCO did not reach LbChat's convergence threshold in this window");
+                ratios.push("n/a".to_string());
+            }
         }
         let refs = vec![
             ("LbChat", lbchat.metrics.loss_curve.as_slice()),
@@ -36,4 +51,7 @@ fn main() {
         eprintln!("wrote {}", path.display());
         println!();
     }
+    ratio_table.row("SCO/LbChat", ratios);
+    run.record_table(&ratio_table);
+    run.finish();
 }

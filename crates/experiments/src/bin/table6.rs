@@ -1,23 +1,28 @@
 //! Table VI — ablation: plain-average aggregation instead of the Eq. (8)
 //! coreset-loss-weighted merging.
 
-use experiments::harness::train_and_evaluate;
-use experiments::report::{write_csv, Table};
-use experiments::{Args, Condition, Method, Scenario};
 use driving::Task;
+use experiments::harness::train_and_evaluate_obs;
+use experiments::report::{write_csv, Table};
+use experiments::{Args, Condition, Method, RunManifest, Scenario};
 
 fn main() {
     let s = Scenario::build(Args::parse().scale);
+    let run = RunManifest::start("table6", &s.scale);
     let mut table = Table::new(
         "Table VI — driving success rate with avg. aggregation (%)",
         vec!["W/O wireless loss".into(), "W wireless loss".into()],
     );
-    let (no_loss, _) = train_and_evaluate(Method::LbChatAvgAgg, &s, Condition::NoLoss);
-    let (with_loss, _) = train_and_evaluate(Method::LbChatAvgAgg, &s, Condition::WithLoss);
+    let (no_loss, _) =
+        train_and_evaluate_obs(Method::LbChatAvgAgg, &s, Condition::NoLoss, run.sink(), 0);
+    let (with_loss, _) =
+        train_and_evaluate_obs(Method::LbChatAvgAgg, &s, Condition::WithLoss, run.sink(), 1);
     for (t_idx, task) in Task::ALL.iter().enumerate() {
         table.row_pct(task.name(), &[no_loss[t_idx], with_loss[t_idx]]);
     }
     println!("{}", table.render());
+    run.record_table(&table);
     let path = write_csv("table6.csv", &table.to_csv()).expect("write CSV");
     eprintln!("wrote {}", path.display());
+    run.finish();
 }

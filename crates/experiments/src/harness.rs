@@ -5,12 +5,21 @@
 //! concurrently and [`train_and_evaluate`] evaluates the five tasks
 //! concurrently. Every cell seeds its own RNGs from the scenario seed, so
 //! the numbers are bit-identical for any `--jobs` setting.
+//!
+//! The `_obs` variants additionally emit structured events into an
+//! [`ObsSink`] (see `lbchat::obs` and `docs/OBSERVABILITY.md`): each cell
+//! is bracketed by `cell_start`/`cell_finish` events carrying the
+//! method, condition, and the cell's final metrics, and everything the
+//! cell does — runtime rounds, radio transfers, chats, eval trials —
+//! is scoped under the cell's label. The plain variants delegate with a
+//! disabled sink and cost nothing extra.
 
-use crate::methods::{run_method, Condition, Method, RunOutput};
+use crate::methods::{cell_label, run_method_obs, Condition, Method, RunOutput};
 use crate::report::Table;
 use crate::scenario::Scenario;
-use driving::{success_rate, EvalConfig, Task};
+use driving::{success_rate_obs, EvalConfig, Task};
 use lbchat::exec;
+use lbchat::obs::{Json, ObsSink};
 
 /// Closed-loop evaluation config derived from the scenario scale.
 pub fn eval_config(s: &Scenario) -> EvalConfig {
@@ -33,12 +42,100 @@ pub fn train_and_evaluate(
     s: &Scenario,
     condition: Condition,
 ) -> (Vec<f64>, RunOutput) {
-    let out = run_method(method, s, condition);
+    train_and_evaluate_obs(method, s, condition, &ObsSink::disabled(), 0)
+}
+
+/// [`train_and_evaluate`] with observability: emits `cell_start` /
+/// `cell_finish` (with per-task rates) around the cell and scopes every
+/// event the cell produces under its [`cell_label`]. `index` is the
+/// cell's position in the caller's fan-out, recorded for cross-reference
+/// with `work_unit` events.
+pub fn train_and_evaluate_obs(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+    obs: &ObsSink,
+    index: usize,
+) -> (Vec<f64>, RunOutput) {
+    emit_cell_start(obs, method, condition, index);
+    let started = std::time::Instant::now();
+    let cell = obs.scoped(&cell_label(method, condition));
+    let out = run_method_obs(method, s, condition, &cell);
     let cfg = eval_config(s);
-    let rates = exec::par_map(&Task::ALL, |_, &task| {
-        success_rate(&out.representative, task, &cfg).percent()
+    let eval_sink = cell.scoped("eval");
+    let rates = exec::par_map_traced(obs, "eval-task", &Task::ALL, |_, &task| {
+        success_rate_obs(&out.representative, task, &cfg, &eval_sink).percent()
     });
+    emit_cell_finish(obs, method, condition, index, &out, Some(&rates), started);
     (rates, out)
+}
+
+/// Trains one cell *without* closed-loop evaluation, bracketed by
+/// `cell_start`/`cell_finish` events (no `rates` field). The loss-curve
+/// figure bins use this: their deliverable is the `round` event stream,
+/// not driving success rates.
+pub fn run_cell_obs(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+    obs: &ObsSink,
+    index: usize,
+) -> RunOutput {
+    emit_cell_start(obs, method, condition, index);
+    let started = std::time::Instant::now();
+    let out = run_method_obs(method, s, condition, &obs.scoped(&cell_label(method, condition)));
+    emit_cell_finish(obs, method, condition, index, &out, None, started);
+    out
+}
+
+fn emit_cell_start(obs: &ObsSink, method: Method, condition: Condition, index: usize) {
+    if obs.enabled() {
+        obs.emit(
+            "cell_start",
+            &[
+                ("cell", cell_label(method, condition).into()),
+                ("method", method.name().into()),
+                ("condition", condition.short().into()),
+                ("index", index.into()),
+            ],
+        );
+    }
+}
+
+fn emit_cell_finish(
+    obs: &ObsSink,
+    method: Method,
+    condition: Condition,
+    index: usize,
+    out: &RunOutput,
+    rates: Option<&[f64]>,
+    started: std::time::Instant,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    let m = &out.metrics;
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("cell", cell_label(method, condition).into()),
+        ("method", method.name().into()),
+        ("condition", condition.short().into()),
+        ("index", index.into()),
+        ("final_loss", m.final_loss().map_or(Json::Null, Json::Num)),
+        ("receiving_rate", m.model_receiving_rate().into()),
+        ("sessions", m.sessions.into()),
+        ("model_sends", m.model_sends.into()),
+        ("model_receives", m.model_receives.into()),
+        ("coreset_sends", m.coreset_sends.into()),
+        ("coreset_receives", m.coreset_receives.into()),
+        ("bytes_delivered", m.bytes_delivered.into()),
+        ("comm_seconds", m.comm_seconds.into()),
+        ("train_iterations", m.train_iterations.into()),
+    ];
+    if let Some(rates) = rates {
+        fields.push(("rates", Json::Arr(rates.iter().map(|&r| Json::Num(r)).collect())));
+    }
+    fields.push(("wall_ms", Json::Num(started.elapsed().as_secs_f64() * 1e3)));
+    obs.emit("cell_finish", &fields);
 }
 
 /// Builds a Table II/III-shaped table: rows = tasks, columns = methods.
@@ -48,9 +145,21 @@ pub fn success_table(
     s: &Scenario,
     condition: Condition,
 ) -> (Table, Vec<RunOutput>) {
-    let cells = exec::par_map(methods, |_, &m| {
+    success_table_obs(title, methods, s, condition, &ObsSink::disabled())
+}
+
+/// [`success_table`] with observability; each (method, condition) cell
+/// records its events as described on [`train_and_evaluate_obs`].
+pub fn success_table_obs(
+    title: &str,
+    methods: &[Method],
+    s: &Scenario,
+    condition: Condition,
+    obs: &ObsSink,
+) -> (Table, Vec<RunOutput>) {
+    let cells = exec::par_map_traced(obs, "cell", methods, |idx, &m| {
         eprintln!("  [{}] training + evaluating {} ...", condition.label(), m.name());
-        train_and_evaluate(m, s, condition)
+        train_and_evaluate_obs(m, s, condition, obs, idx)
     });
     let mut columns = Vec::new();
     let mut results: Vec<Vec<f64>> = Vec::new();

@@ -12,6 +12,10 @@
 //!   under a given wireless-loss condition.
 //! * [`report`] — paper-style text tables and CSV output under `results/`.
 //!
+//! Each binary additionally records a [`manifest`] — a structured JSONL
+//! event stream under `results/runs/` (schema in `docs/OBSERVABILITY.md`)
+//! — which the extra `summarize_runs` binary renders side by side.
+//!
 //! Scales: every binary accepts `--quick` (smoke test), defaults to a
 //! laptop-friendly reduced scale, and accepts `--paper` for the paper's
 //! full counts (32 vehicles, 1 h of data; expect hours of wall time).
@@ -20,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod manifest;
 pub mod methods;
 pub mod report;
 pub mod scenario;
 pub mod stats;
 
+pub use manifest::RunManifest;
 pub use methods::{run_method, Condition, Method, RunOutput};
 pub use report::{write_csv, Table};
 pub use scenario::{Scale, Scenario};

@@ -5,7 +5,7 @@ use baselines::{dfl_dds::DflDdsConfig, dp::DpConfig, proxskip::ProxSkipConfig, r
 use baselines::{DflDds, Dp, ProxSkip, RsuL};
 use driving::{DrivingLearner, Frame};
 use lbchat::node::LbChatAlgorithm;
-use lbchat::prelude::{CollabAlgorithm, LbChatConfig, Metrics, Runtime, RuntimeConfig};
+use lbchat::prelude::{CollabAlgorithm, LbChatConfig, Metrics, ObsSink, Runtime, RuntimeConfig};
 use rand::SeedableRng;
 use simnet::loss::LossModel;
 use vnn::ParamVec;
@@ -35,6 +35,25 @@ impl Condition {
             Condition::WithLoss => "W wireless loss",
         }
     }
+
+    /// Compact tag used in run-manifest cell labels (`wo` / `w`).
+    pub fn short(self) -> &'static str {
+        match self {
+            Condition::NoLoss => "wo",
+            Condition::WithLoss => "w",
+        }
+    }
+}
+
+/// The run-manifest label of one training cell: method plus condition,
+/// e.g. `LbChat@wo` or `LbChat[coreset:40]@w`. Every event a cell emits
+/// carries this label in its `ctx` field.
+pub fn cell_label(method: Method, condition: Condition) -> String {
+    let m = match method {
+        Method::LbChatCoreset(n) => format!("LbChat[coreset:{n}]"),
+        other => other.name().to_string(),
+    };
+    format!("{m}@{}", condition.short())
 }
 
 /// Every method in the evaluation.
@@ -115,13 +134,14 @@ pub struct RunOutput {
     pub representative: DrivingLearner,
 }
 
-fn runtime_config(s: &Scenario, condition: Condition) -> RuntimeConfig {
+fn runtime_config(s: &Scenario, condition: Condition, obs: ObsSink) -> RuntimeConfig {
     RuntimeConfig {
         duration: s.scale.train_seconds,
         train_iters_per_second: s.scale.iters_per_second,
         loss_model: condition.loss_model(),
         eval_every: s.scale.eval_every,
         seed: s.scale.seed,
+        obs,
         ..RuntimeConfig::default()
     }
 }
@@ -151,7 +171,21 @@ where
 /// final models. Every method sees the identical trace, radio, clock,
 /// initialization, and evaluation set.
 pub fn run_method(method: Method, s: &Scenario, condition: Condition) -> RunOutput {
-    let rt = Runtime::new(runtime_config(s, condition));
+    run_method_obs(method, s, condition, &ObsSink::disabled())
+}
+
+/// [`run_method`] with observability: the runtime emits its structured
+/// events (`round`, `session`, `transfer`, `chat`, `backend`) into `obs`
+/// exactly as scoped by the caller — scope the sink with a cell label
+/// ([`cell_label`]) before passing it in. With a disabled sink this is
+/// exactly [`run_method`].
+pub fn run_method_obs(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+    obs: &ObsSink,
+) -> RunOutput {
+    let rt = Runtime::new(runtime_config(s, condition, obs.clone()));
     let mut seed_rng = rand::rngs::StdRng::seed_from_u64(s.scale.seed ^ 0x5EED);
     let learners = s.make_learners();
     let datasets = s.datasets.clone();

@@ -9,6 +9,7 @@ use std::path::Path;
 #[derive(Debug, Clone)]
 pub struct Table {
     title: String,
+    corner: String,
     columns: Vec<String>,
     rows: Vec<(String, Vec<String>)>,
 }
@@ -16,7 +17,14 @@ pub struct Table {
 impl Table {
     /// Creates a table titled like the paper ("Table II — ...").
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
-        Self { title: title.into(), columns, rows: Vec::new() }
+        Self { title: title.into(), corner: "Task".into(), columns, rows: Vec::new() }
+    }
+
+    /// Overrides the label-column header (default `"Task"`, the paper's
+    /// layout). `summarize_runs` uses this for its non-task-shaped table.
+    pub fn corner(mut self, header: impl Into<String>) -> Self {
+        self.corner = header.into();
+        self
     }
 
     /// Adds a row of numeric cells rendered with no decimals (the paper
@@ -33,15 +41,30 @@ impl Table {
         self.rows.push((label.into(), values));
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows as (label, cells) pairs.
+    pub fn rows(&self) -> &[(String, Vec<String>)] {
+        &self.rows
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = vec![self
             .rows
             .iter()
             .map(|(l, _)| l.len())
-            .chain(std::iter::once(4))
+            .chain(std::iter::once(self.corner.len()))
             .max()
-            .unwrap_or(4)];
+            .unwrap_or(self.corner.len())];
         for (c, col) in self.columns.iter().enumerate() {
             let w = self
                 .rows
@@ -54,7 +77,7 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
-        let mut header = format!("{:<w$}", "Task", w = widths[0]);
+        let mut header = format!("{:<w$}", self.corner, w = widths[0]);
         for (c, col) in self.columns.iter().enumerate() {
             let _ = write!(header, "  {:>w$}", col, w = widths[c + 1]);
         }

@@ -1,0 +1,123 @@
+//! Keeps the prose honest: every `--flag`, `--bin NAME`, and
+//! `--example NAME` mentioned in the user-facing documentation must
+//! refer to something that actually exists in the tree. Docs rot
+//! silently when a bin is renamed or a flag removed; this test makes
+//! that rot a CI failure instead.
+
+use std::path::{Path, PathBuf};
+
+/// Every long flag the documentation is allowed to mention: the
+/// experiment CLI ([`experiments::Args`]), `summarize_runs`'s own
+/// flags, and the cargo flags that appear in quoted commands.
+const KNOWN_FLAGS: &[&str] = &[
+    // experiments::Args (see crates/experiments/src/lib.rs)
+    "quick", "paper", "seed", "jobs", "methods", "help",
+    // summarize_runs
+    "tables",
+    // cargo itself
+    "release", "bin", "example", "workspace", "no-deps", "all-targets", "test", "package",
+];
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.is_file())
+        .collect();
+    if let Ok(rd) = std::fs::read_dir(root.join("docs")) {
+        let mut extra: Vec<PathBuf> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "md"))
+            .collect();
+        extra.sort();
+        files.extend(extra);
+    }
+    assert!(files.len() >= 3, "expected the core docs to exist, found {files:?}");
+    files
+}
+
+/// Yields every `--token` in `text` together with the word that follows
+/// it (for `--bin fig2`-style references).
+fn long_flags(text: &str) -> Vec<(String, Option<String>)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        // A flag starts at `--` preceded by start-of-text or a non-dash
+        // non-word byte, and is followed by a lowercase letter.
+        let boundary = i == 0 || !(bytes[i - 1] == b'-' || bytes[i - 1].is_ascii_alphanumeric());
+        if boundary && bytes[i] == b'-' && bytes[i + 1] == b'-' && bytes[i + 2].is_ascii_lowercase()
+        {
+            let start = i + 2;
+            let mut end = start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase() || bytes[end].is_ascii_digit() || bytes[end] == b'-')
+            {
+                end += 1;
+            }
+            let flag = text[start..end].to_string();
+            // Grab the next whitespace-separated word, trimmed of
+            // punctuation, as the flag's argument (if any).
+            let rest = text[end..].trim_start_matches(['=', ' ']);
+            let arg: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            out.push((flag, (!arg.is_empty()).then_some(arg)));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn docs_reference_only_real_flags_bins_and_examples() {
+    let root = repo_root();
+    let mut problems = Vec::new();
+    for path in doc_files(&root) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rel = path.strip_prefix(&root).unwrap_or(&path).display().to_string();
+        for (flag, arg) in long_flags(&text) {
+            if !KNOWN_FLAGS.contains(&flag.as_str()) {
+                problems.push(format!("{rel}: unknown flag --{flag}"));
+                continue;
+            }
+            match (flag.as_str(), arg) {
+                ("bin", Some(name)) => {
+                    let src = root.join(format!("crates/experiments/src/bin/{name}.rs"));
+                    if !src.is_file() {
+                        problems.push(format!("{rel}: --bin {name} has no {}", src.display()));
+                    }
+                }
+                ("bin", None) => problems.push(format!("{rel}: --bin without a name")),
+                ("example", Some(name)) => {
+                    let src = root.join(format!("examples/{name}.rs"));
+                    if !src.is_file() {
+                        problems.push(format!("{rel}: --example {name} has no {}", src.display()));
+                    }
+                }
+                ("example", None) => problems.push(format!("{rel}: --example without a name")),
+                _ => {}
+            }
+        }
+    }
+    assert!(problems.is_empty(), "stale documentation references:\n{}", problems.join("\n"));
+}
+
+#[test]
+fn flag_scanner_parses_the_shapes_docs_use() {
+    let flags = long_flags("run `cargo run --release --bin fig2 -- --quick --jobs=4` --no-deps");
+    let names: Vec<&str> = flags.iter().map(|(f, _)| f.as_str()).collect();
+    assert_eq!(names, ["release", "bin", "quick", "jobs", "no-deps"]);
+    assert_eq!(flags[1].1.as_deref(), Some("fig2"));
+    assert_eq!(flags[3].1.as_deref(), Some("4"));
+    // em-dash-as-double-hyphen prose must not register
+    assert!(long_flags("trains the model--quickly, too").is_empty());
+}
