@@ -1,0 +1,81 @@
+//! `bench_report`: diffs two `BENCH_<name>.json` files and flags
+//! regressions beyond a noise threshold.
+//!
+//! ```text
+//! cargo run -p lbchat-bench --bin bench_report -- OLD.json NEW.json
+//!     [--threshold FRACTION]
+//! ```
+//!
+//! Exits 0 when no row regresses, 1 otherwise (or on malformed input), so
+//! CI can gate on it directly. The regression policy is documented in
+//! `lbchat_bench::report` and `docs/BENCHMARKS.md`.
+
+use lbchat_bench::report::{compare, render, DEFAULT_THRESHOLD};
+use lbchat_bench::results::BenchRun;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bench_report OLD.json NEW.json [--threshold FRACTION]"
+}
+
+fn parse_args(argv: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let raw = it.next().ok_or("--threshold needs a value")?;
+                threshold = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad threshold `{raw}`"))?;
+                if !(threshold.is_finite() && threshold >= 0.0) {
+                    return Err(format!("threshold must be a non-negative number, got `{raw}`"));
+                }
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    match <[PathBuf; 2]>::try_from(paths) {
+        Ok([old, new]) => Ok((old, new, threshold)),
+        Err(_) => Err(usage().to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path, threshold) = match parse_args(&argv) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (old, new) = match (BenchRun::read_from(&old_path), BenchRun::read_from(&new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (old, new) => {
+            for err in [old.err(), new.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if old.mode != new.mode {
+        eprintln!(
+            "warning: comparing a `{}` run against a `{}` run — absolute times are not comparable across modes",
+            old.mode, new.mode
+        );
+    }
+    let report = compare(&old, &new, threshold);
+    print!("{}", render(&old, &new, &report));
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,11 +1,27 @@
-//! Bench-only crate; see `benches/`.
+//! The LbChat benchmark subsystem: deterministic micro/meso benchmarks
+//! over every hot path the paper's pipeline executes, with machine-readable
+//! results and regression diffing.
 //!
-//! * `benches/micro.rs` — component microbenches: Algorithm 1 coreset
-//!   construction, merge-and-reduce, top-k sparsification, Akima fitting,
-//!   the Eq. (7) solver, BEV rasterization, packetized channel transfers,
-//!   and both Eq. (8) aggregation forms (the printed-vs-intended ablation).
-//! * `benches/paper_experiments.rs` — one bench per paper table/figure:
-//!   a reduced-scale slice of the exact pipeline the corresponding
-//!   `experiments` binary runs at full length.
+//! * [`suite`] — the benchmark cells (coreset construct/reduce, peer
+//!   valuation, compression + the Eq. (7) solver, BEV rasterization, MLP
+//!   forward/backward/Adam, simnet channel + contact traces, and one
+//!   end-to-end quick harness cell), runnable against the optimized hot
+//!   paths or their pinned `reference` implementations.
+//! * [`results`] — the `BENCH_<name>.json` result format (schema
+//!   `lbchat-bench/v1`), written and parsed with the workspace's own JSON
+//!   module, no third-party dependencies.
+//! * [`report`] — diffs two result files and flags regressions beyond a
+//!   noise threshold; the `bench_report` binary fronts it.
+//!
+//! Binaries: `cargo run --release -p lbchat-bench` runs the suite and
+//! writes `results/bench/BENCH_<name>.json`; `bench_report OLD NEW`
+//! compares two such files. `benches/micro.rs` and
+//! `benches/paper_experiments.rs` remain the `cargo bench` entry points.
+//! See `docs/BENCHMARKS.md` for the workflow and the threshold policy.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod results;
+pub mod suite;

@@ -1,0 +1,98 @@
+//! `lbchat-bench`: runs the deterministic benchmark suite and writes a
+//! machine-readable `BENCH_<name>.json` result file.
+//!
+//! ```text
+//! cargo run --release -p lbchat-bench -- [--smoke] [--reference]
+//!     [--filter SUBSTR] [--out DIR] [--name LABEL]
+//! ```
+//!
+//! Defaults: full sampling, optimized hot paths, all cells, output under
+//! `results/bench/`, label `current` (`baseline` when `--reference`).
+//! See `docs/BENCHMARKS.md` for the workflow.
+
+use lbchat_bench::results::BenchRun;
+use lbchat_bench::suite::{self, SuiteOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    opts: SuiteOpts,
+    out: PathBuf,
+    name: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: lbchat-bench [--smoke] [--reference] [--filter SUBSTR] [--out DIR] [--name LABEL]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        opts: SuiteOpts::default(),
+        out: PathBuf::from("results/bench"),
+        name: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => args.opts.smoke = true,
+            "--reference" => args.opts.reference = true,
+            "--filter" => args.opts.filter = Some(value("--filter")?),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--name" => args.name = Some(value("--name")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = args.name.clone().unwrap_or_else(|| {
+        if args.opts.reference { "baseline".to_string() } else { "current".to_string() }
+    });
+    eprintln!(
+        "running {} suite ({} hot paths){}",
+        args.opts.mode(),
+        args.opts.implementation(),
+        args.opts
+            .filter
+            .as_deref()
+            .map(|f| format!(", filter `{f}`"))
+            .unwrap_or_default(),
+    );
+    let results = suite::run(&args.opts);
+    if results.is_empty() {
+        eprintln!("no benchmarks matched");
+        return ExitCode::FAILURE;
+    }
+    for r in &results {
+        eprintln!("{:<44} mean {:?}  ({} iters)", r.id, r.mean, r.iters);
+    }
+    let run = BenchRun::from_results(
+        &name,
+        args.opts.mode(),
+        args.opts.implementation(),
+        &results,
+    );
+    match run.write_to(&args.out) {
+        Ok(path) => {
+            println!("{}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write results: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

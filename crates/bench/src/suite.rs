@@ -1,0 +1,431 @@
+//! The benchmark cells: every hot path the LbChat pipeline executes,
+//! timed under stable ids so `bench_report` can match rows across runs.
+//!
+//! Ids are `group/name` and are identical whether the suite times the
+//! optimized hot paths or their pinned `reference` implementations
+//! (`SuiteOpts::reference`) — that is what makes a
+//! `BENCH_baseline.json`-vs-`BENCH_current.json` diff meaningful. All
+//! inputs are seeded, so two runs of the same binary time the same work.
+
+use criterion::{BatchSize, BenchResult, Criterion};
+use experiments::{run_method, Condition, Method, Scale, Scenario};
+use lbchat::adaptive::AdaptiveSizer;
+use lbchat::compress::top_k;
+use lbchat::coreset::{self, construct_with_scratch, CoresetConfig, CoresetScratch};
+use lbchat::optimize::CompressionProblem;
+use lbchat::penalty::PenaltyConfig;
+use lbchat::phi::PhiCurve;
+use lbchat::valuation::coreset_loss;
+use lbchat::{Learner, WeightedDataset};
+use rand::SeedableRng;
+use simnet::channel::{Channel, RadioConfig};
+use simnet::contact::ContactPredictor;
+use simnet::geom::Vec2;
+use simnet::loss::LossModel;
+use simnet::trace::MobilityTrace;
+use simworld::bev::{self, BevConfig, Pose};
+use simworld::world::{World, WorldConfig};
+use std::time::Duration;
+use vnn::adam::Adam;
+use vnn::mlp::{Mlp, MlpSpec};
+use vnn::ParamVec;
+
+/// What to run and how.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteOpts {
+    /// Short sampling for CI smoke runs (fewer samples, tighter budgets).
+    pub smoke: bool,
+    /// Time the pinned `reference` implementations of the optimized hot
+    /// paths (coreset construction/reduction, BEV rasterization) instead of
+    /// the optimized ones. Ids are unchanged.
+    pub reference: bool,
+    /// Substring filter: only benchmark ids containing this run.
+    pub filter: Option<String>,
+}
+
+impl SuiteOpts {
+    /// The mode string recorded in the result file.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    /// The implementation string recorded in the result file.
+    pub fn implementation(&self) -> &'static str {
+        if self.reference {
+            "reference"
+        } else {
+            "optimized"
+        }
+    }
+
+    /// Whether any id in `group` can match the filter.
+    fn group_enabled(&self, group: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => group.contains(f.as_str()) || f.starts_with(group),
+        }
+    }
+}
+
+/// Runs the suite and returns one result per executed cell.
+pub fn run(opts: &SuiteOpts) -> Vec<BenchResult> {
+    let (samples, budget) = if opts.smoke {
+        (5, Duration::from_millis(60))
+    } else {
+        (20, Duration::from_secs(2))
+    };
+    let mut c = Criterion::default()
+        .quiet()
+        .sample_size(samples)
+        .measurement_time(budget);
+    type Cell = fn(&mut Criterion, &SuiteOpts);
+    let cells: &[(&str, Cell)] = &[
+        ("coreset", bench_coreset),
+        ("valuation", bench_valuation),
+        ("compress", bench_compress),
+        ("solver", bench_solver),
+        ("bev", bench_bev),
+        ("vnn", bench_vnn),
+        ("simnet", bench_simnet),
+        ("e2e", bench_e2e),
+    ];
+    for (group, cell) in cells {
+        if opts.group_enabled(group) {
+            cell(&mut c, opts);
+        }
+    }
+    let mut results = c.take_results();
+    if let Some(f) = &opts.filter {
+        results.retain(|r| r.id.contains(f.as_str()));
+    }
+    results
+}
+
+/// A line-fitting learner: cheap per-sample losses isolate the coreset
+/// machinery under test from network-forward costs (same idiom as
+/// `benches/micro.rs`).
+#[derive(Debug, Clone)]
+struct Line(ParamVec);
+
+#[derive(Debug, Clone, Copy)]
+struct Pt(f32, f32);
+
+impl Learner for Line {
+    type Sample = Pt;
+    fn params(&self) -> &ParamVec {
+        &self.0
+    }
+    fn set_params(&mut self, p: ParamVec) {
+        self.0 = p;
+    }
+    fn loss(&self, s: &Pt) -> f32 {
+        self.loss_with(&self.0, s)
+    }
+    fn loss_with(&self, p: &ParamVec, s: &Pt) -> f32 {
+        let w = p.as_slice();
+        let r = w[0] * s.0 + w[1] - s.1;
+        r * r
+    }
+    fn train_step(&mut self, _b: &[(&Pt, f32)]) -> f32 {
+        0.0
+    }
+    fn group_of(&self, _s: &Pt) -> usize {
+        0
+    }
+    fn n_groups(&self) -> usize {
+        1
+    }
+}
+
+fn line() -> Line {
+    Line(ParamVec::from_vec(vec![1.0, 0.0]))
+}
+
+fn dataset(n: usize) -> WeightedDataset<Pt> {
+    WeightedDataset::uniform(
+        (0..n)
+            .map(|i| Pt(i as f32 / n as f32, (i % 17) as f32 / 17.0))
+            .collect(),
+    )
+}
+
+fn bench_coreset(c: &mut Criterion, opts: &SuiteOpts) {
+    let learner = line();
+    let reference = opts.reference;
+    for (n, size) in [(2_000usize, 150usize), (10_000, 150), (10_000, 400)] {
+        let data = dataset(n);
+        let id = format!("coreset/construct_{}k_to_{size}", n / 1000);
+        c.bench_function(id, |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut scratch = CoresetScratch::new();
+            let cfg = CoresetConfig { size };
+            b.iter(|| {
+                if reference {
+                    coreset::reference::construct(&learner, &data, &cfg, &mut rng)
+                } else {
+                    construct_with_scratch(&learner, &data, &cfg, &mut rng, &mut scratch)
+                }
+            })
+        });
+    }
+    let data = dataset(10_000);
+    let big = coreset::construct(
+        &learner,
+        &data,
+        &CoresetConfig { size: 300 },
+        &mut rand::rngs::StdRng::seed_from_u64(2),
+    );
+    c.bench_function("coreset/merge_reduce_600_to_150", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter_batched(
+            || (big.clone(), big.clone()),
+            |(a, bb)| {
+                if reference {
+                    coreset::reference::reduce(a.merge(bb), 150, &mut rng)
+                } else {
+                    coreset::reduce(a.merge(bb), 150, &mut rng)
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_valuation(c: &mut Criterion, _opts: &SuiteOpts) {
+    let learner = line();
+    let data = dataset(5_000);
+    let coreset = coreset::construct(
+        &learner,
+        &data,
+        &CoresetConfig { size: 150 },
+        &mut rand::rngs::StdRng::seed_from_u64(4),
+    );
+    let pen = PenaltyConfig::none();
+    c.bench_function("valuation/coreset_loss_150", |b| {
+        b.iter(|| coreset_loss(&learner, learner.params(), &coreset, &pen))
+    });
+}
+
+fn bench_compress(c: &mut Criterion, _opts: &SuiteOpts) {
+    let params = ParamVec::from_vec(
+        (0..25_000).map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0).collect(),
+    );
+    c.bench_function("compress/topk_25k_psi_0.1", |b| b.iter(|| top_k(&params, 0.1)));
+    c.bench_function("compress/adaptive_sizer_cycle", |b| {
+        b.iter(|| {
+            let mut sizer = AdaptiveSizer::new(150, 40, 400);
+            for k in 0..32 {
+                sizer.observe_epsilon(0.05 + (k % 7) as f32 * 0.01);
+                sizer.observe_exchange(0.4 + (k % 5) as f64 * 0.1);
+            }
+            sizer.adjust()
+        })
+    });
+}
+
+fn bench_solver(c: &mut Criterion, _opts: &SuiteOpts) {
+    let phi = PhiCurve::from_points(
+        vec![0.02, 0.1, 0.3, 0.6, 1.0],
+        vec![2.0, 1.6, 1.1, 0.7, 0.5],
+    );
+    let problem = CompressionProblem {
+        phi_i: &phi,
+        phi_j: &phi,
+        loss_j_on_ci: 3.0,
+        loss_i_on_cj: 2.0,
+        model_bytes: 52 * 1024 * 1024,
+        bandwidth_bps: 31e6,
+        time_budget: 15.0,
+        contact: 40.0,
+        lambda_c: 0.01,
+    };
+    c.bench_function("solver/eq7_solve", |b| b.iter(|| problem.solve()));
+}
+
+fn bench_bev(c: &mut Criterion, opts: &SuiteOpts) {
+    // Mirror `World::observe_expert`'s exact inputs — a live expert's pose,
+    // every other agent, and the 60 m route polyline — so the cell times the
+    // workload data collection actually runs once per expert per frame.
+    let world = World::new(WorldConfig::small(1));
+    let road = world.raster();
+    let cfg = BevConfig::default();
+    let cars: Vec<Vec2> = world.car_positions();
+    let peds: Vec<Vec2> = world.pedestrian_positions();
+    let v = &world.experts()[0];
+    let pose = Pose { pos: v.position(world.map()), heading: v.heading(world.map()).angle() };
+    let route: Vec<Vec2> = world.route_ahead_polyline(v, 60.0);
+    let reference = opts.reference;
+    let id = format!("bev/rasterize_{}", cfg.cells);
+    c.bench_function(id, |b| {
+        let mut frame = bev::Bev::blank(cfg.cells);
+        b.iter(|| {
+            if reference {
+                frame = bev::reference::rasterize(&cfg, pose, 8.0, road, &cars, &peds, &route);
+            } else {
+                bev::rasterize_into(&cfg, pose, 8.0, road, &cars, &peds, &route, &mut frame);
+            }
+        })
+    });
+}
+
+fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
+    let spec = MlpSpec::relu(vec![32, 64, 64, 4]);
+    let mlp = Mlp::new(spec, 0);
+    let n = mlp.param_count();
+    let mut params = ParamVec::zeros(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    mlp.init(&mut params, &mut rng);
+    let input: Vec<f32> = (0..32).map(|i| (i as f32 / 32.0) - 0.5).collect();
+    c.bench_function("vnn/mlp_forward_32x64x64x4", |b| {
+        b.iter(|| mlp.forward(&params, &input))
+    });
+    let cache = mlp.forward(&params, &input);
+    let d_out = vec![1.0f32, -0.5, 0.25, 0.0];
+    c.bench_function("vnn/mlp_backward_32x64x64x4", |b| {
+        let mut grad = vec![0.0f32; n];
+        b.iter(|| {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            mlp.backward(&params, &cache, &d_out, &mut grad)
+        })
+    });
+    let grad: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 100.0).collect();
+    c.bench_function("vnn/adam_step", |b| {
+        let mut adam = Adam::new(1e-3);
+        let mut p = params.as_slice().to_vec();
+        b.iter(|| adam.step(&mut p, &grad))
+    });
+}
+
+/// Two vehicles on converging straight routes, 60 s at 10 fps — enough
+/// frames that encounter scans and contact estimation do real work.
+fn crossing_trace() -> MobilityTrace {
+    let frames = 600;
+    let a: Vec<Vec2> = (0..frames)
+        .map(|f| Vec2::new(f as f32 * 1.2, 0.0))
+        .collect();
+    let b: Vec<Vec2> = (0..frames)
+        .map(|f| Vec2::new(700.0 - f as f32 * 1.2, 30.0))
+        .collect();
+    MobilityTrace::new(10.0, vec![a, b])
+}
+
+fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
+    let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
+    c.bench_function("simnet/channel_transfer_0.6MB", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng))
+    });
+    c.bench_function("simnet/trace_build_and_scan", |b| {
+        b.iter(|| {
+            let trace = crossing_trace();
+            let active = [0usize, 1];
+            let mut hits = 0usize;
+            let mut t = 0.0;
+            while t < trace.duration() {
+                hits += trace.encounters_at(t, 150.0, &active).len();
+                t += 1.0;
+            }
+            hits
+        })
+    });
+    let trace = crossing_trace();
+    let predictor =
+        ContactPredictor::new(150.0, 3, LossModel::distance_default(), 10.0);
+    // Sample the futures just before the crossing point so the predictor
+    // walks a real in-range window instead of early-exiting.
+    let route_a = trace.future(0, 25.0, 0.5, 60);
+    let route_b = trace.future(1, 25.0, 0.5, 60);
+    c.bench_function("simnet/contact_estimate_60pt", |b| {
+        b.iter(|| predictor.estimate(&route_a, &route_b, 0.5))
+    });
+}
+
+/// A scenario small enough to re-run inside a bench iteration; the smoke
+/// variant is smaller still so CI stays fast.
+fn e2e_scale(smoke: bool) -> Scale {
+    if smoke {
+        Scale {
+            n_vehicles: 2,
+            n_background: 4,
+            n_pedestrians: 10,
+            data_seconds: 30.0,
+            train_seconds: 60.0,
+            eval_every: 60.0,
+            eval_per_vehicle: 4,
+            trials: 1,
+            ..Scale::quick()
+        }
+    } else {
+        Scale {
+            n_vehicles: 3,
+            n_background: 6,
+            n_pedestrians: 20,
+            data_seconds: 60.0,
+            train_seconds: 180.0,
+            eval_every: 90.0,
+            eval_per_vehicle: 10,
+            trials: 2,
+            ..Scale::quick()
+        }
+    }
+}
+
+fn bench_e2e(c: &mut Criterion, opts: &SuiteOpts) {
+    let s = Scenario::build(e2e_scale(opts.smoke));
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(3);
+    g.measurement_time(if opts.smoke {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_secs(8)
+    });
+    g.bench_function("lbchat_quick_no_loss", |b| {
+        b.iter(|| run_method(Method::LbChat, &s, Condition::NoLoss).metrics.sessions)
+    });
+    g.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_narrows_to_matching_ids() {
+        let opts = SuiteOpts {
+            smoke: true,
+            reference: false,
+            filter: Some("solver".into()),
+        };
+        let results = run(&opts);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "solver/eq7_solve");
+    }
+
+    #[test]
+    fn reference_and_optimized_emit_identical_ids() {
+        let base = SuiteOpts {
+            smoke: true,
+            reference: false,
+            filter: Some("coreset".into()),
+        };
+        let reference = SuiteOpts { reference: true, ..base.clone() };
+        let a: Vec<String> = run(&base).into_iter().map(|r| r.id).collect();
+        let b: Vec<String> = run(&reference).into_iter().map(|r| r.id).collect();
+        assert_eq!(a, b);
+        assert!(a.contains(&"coreset/construct_10k_to_150".to_string()));
+    }
+
+    #[test]
+    fn mode_and_implementation_strings() {
+        let opts = SuiteOpts { smoke: true, reference: true, filter: None };
+        assert_eq!(opts.mode(), "smoke");
+        assert_eq!(opts.implementation(), "reference");
+        let opts = SuiteOpts::default();
+        assert_eq!(opts.mode(), "full");
+        assert_eq!(opts.implementation(), "optimized");
+    }
+}

@@ -98,6 +98,68 @@ impl Default for CoresetConfig {
     }
 }
 
+/// Reusable scratch buffers for [`construct_with_scratch`].
+///
+/// Construction at size 150 from a 10k-frame dataset allocates a loss
+/// vector, per-layer index vectors, and a key vector per layer on every
+/// call; nodes rebuild their coreset after every chat, so that churn is a
+/// measured hot path (`coreset/*` in the bench suite). A scratch carried
+/// across calls removes every per-call allocation. The buffers hold no
+/// state between calls — reusing one scratch across datasets and learners
+/// is always correct, and results are bit-identical to a fresh scratch.
+#[derive(Debug, Default, Clone)]
+pub struct CoresetScratch {
+    losses: Vec<f32>,
+    layer_of: Vec<u32>,
+    layer_start: Vec<usize>,
+    layer_fill: Vec<usize>,
+    layer_weights: Vec<f32>,
+    order: Vec<usize>,
+    keyed: Vec<(f32, usize)>,
+}
+
+impl CoresetScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The Efraimidis–Spirakis reservoir key `u^(1/w)`.
+///
+/// Uniform weights (`WeightedDataset::uniform`, the common case) take the
+/// exponent-one fast path: IEEE `powf(u, 1.0)` is exactly `u`, so skipping
+/// the call changes nothing but the cost (`powf_at_one_is_exact` verifies
+/// the identity on this platform).
+#[inline]
+fn sampling_key<R: Rng + ?Sized>(rng: &mut R, weight: f32) -> f32 {
+    let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+    if weight == 1.0 {
+        u
+    } else {
+        u.powf(1.0 / weight)
+    }
+}
+
+/// The selection order of layered sampling: key descending, index ascending
+/// on ties — exactly the order the reference implementation's stable
+/// descending sort produces, made total so partial selection can't diverge
+/// from it.
+#[inline]
+fn key_order(a: &(f32, usize), b: &(f32, usize)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0).expect("keys are finite").then(a.1.cmp(&b.1))
+}
+
+/// Keeps the `quota` best entries of `keyed` under [`key_order`], sorted,
+/// without fully sorting the rest (O(m + q log q) instead of O(m log m)).
+fn select_best(keyed: &mut Vec<(f32, usize)>, quota: usize) {
+    if quota < keyed.len() {
+        keyed.select_nth_unstable_by(quota - 1, key_order);
+        keyed.truncate(quota);
+    }
+    keyed.sort_unstable_by(key_order);
+}
+
 /// Builds an ε-coreset of `dataset` by layered sampling (Algorithm 1).
 ///
 /// 1. The *center* is the sample with the smallest loss under the current
@@ -113,11 +175,30 @@ impl Default for CoresetConfig {
 ///
 /// Returns an empty coreset for an empty dataset; datasets not larger than
 /// `config.size` are copied wholesale (already their own best coreset).
+///
+/// Output is bit-identical to [`reference::construct`]; callers on a hot
+/// loop should prefer [`construct_with_scratch`], which additionally reuses
+/// buffers across calls.
 pub fn construct<L, R>(
     learner: &L,
     dataset: &WeightedDataset<L::Sample>,
     config: &CoresetConfig,
     rng: &mut R,
+) -> Coreset<L::Sample>
+where
+    L: Learner,
+    R: Rng + ?Sized,
+{
+    construct_with_scratch(learner, dataset, config, rng, &mut CoresetScratch::new())
+}
+
+/// [`construct`] with caller-owned scratch buffers; see [`CoresetScratch`].
+pub fn construct_with_scratch<L, R>(
+    learner: &L,
+    dataset: &WeightedDataset<L::Sample>,
+    config: &CoresetConfig,
+    rng: &mut R,
+    scratch: &mut CoresetScratch,
 ) -> Coreset<L::Sample>
 where
     L: Learner,
@@ -132,7 +213,9 @@ where
     }
 
     // Per-sample losses under the current model.
-    let losses: Vec<f32> = dataset.samples().iter().map(|s| learner.loss(s)).collect();
+    scratch.losses.clear();
+    scratch.losses.extend(dataset.samples().iter().map(|s| learner.loss(s)));
+    let losses = &scratch.losses;
     let center = losses.iter().cloned().fold(f32::INFINITY, f32::min);
     let weighted_total: f32 = losses
         .iter()
@@ -141,54 +224,72 @@ where
         .sum();
     let radius = (weighted_total / n as f32).max(1e-12);
 
-    // Assign layers.
+    // Assign layers: a counting sort into one index buffer replaces the
+    // reference's per-layer Vec pushes. `order` holds the dataset indices
+    // grouped by layer, ascending within each layer (the same visit order
+    // as the reference, so the RNG stream lines up draw for draw).
     let max_layer = ((n + 1) as f32).log2().ceil() as usize;
-    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); max_layer + 1];
-    for (i, &l) in losses.iter().enumerate() {
+    let n_layers = max_layer + 1;
+    scratch.layer_of.clear();
+    scratch.layer_start.clear();
+    scratch.layer_start.resize(n_layers + 1, 0);
+    for &l in losses.iter() {
         let dist = (l - center).max(0.0);
         let layer = if dist <= radius {
             0
         } else {
             (((dist / radius).log2().floor() as isize).max(0) as usize).min(max_layer)
         };
-        layers[layer].push(i);
+        scratch.layer_of.push(layer as u32);
+        scratch.layer_start[layer + 1] += 1;
+    }
+    for l in 0..n_layers {
+        scratch.layer_start[l + 1] += scratch.layer_start[l];
+    }
+    scratch.layer_fill.clear();
+    scratch.layer_fill.extend_from_slice(&scratch.layer_start[..n_layers]);
+    scratch.order.resize(n, 0);
+    for (i, &layer) in scratch.layer_of.iter().enumerate() {
+        let slot = &mut scratch.layer_fill[layer as usize];
+        scratch.order[*slot] = i;
+        *slot += 1;
     }
 
     // Allocate the sampling budget across non-empty layers proportionally to
     // layer total weight, at least one sample per non-empty layer.
-    let layer_weights: Vec<f32> = layers
-        .iter()
-        .map(|idx| idx.iter().map(|&i| dataset.weight(i)).sum::<f32>())
-        .collect();
-    let total_weight: f32 = layer_weights.iter().sum();
-    let nonempty = layers.iter().filter(|l| !l.is_empty()).count();
+    scratch.layer_weights.clear();
+    let mut nonempty = 0usize;
+    for l in 0..n_layers {
+        let idx = &scratch.order[scratch.layer_start[l]..scratch.layer_start[l + 1]];
+        nonempty += usize::from(!idx.is_empty());
+        scratch
+            .layer_weights
+            .push(idx.iter().map(|&i| dataset.weight(i)).sum::<f32>());
+    }
+    let total_weight: f32 = scratch.layer_weights.iter().sum();
     let budget = config.size.max(nonempty);
 
     let mut samples = Vec::with_capacity(budget);
     let mut weights = Vec::with_capacity(budget);
-    for (layer_idx, layer) in layers.iter().enumerate() {
+    for layer_idx in 0..n_layers {
+        let layer = &scratch.order[scratch.layer_start[layer_idx]..scratch.layer_start[layer_idx + 1]];
         if layer.is_empty() {
             continue;
         }
-        let share = layer_weights[layer_idx] / total_weight;
-        let quota = ((budget as f32 * share).round() as usize)
-            .clamp(1, layer.len());
+        let share = scratch.layer_weights[layer_idx] / total_weight;
+        let quota = ((budget as f32 * share).round() as usize).clamp(1, layer.len());
         // Weighted sampling without replacement: Efraimidis–Spirakis keys
         // u^(1/w) — take the `quota` largest.
-        let mut keyed: Vec<(f32, usize)> = layer
-            .iter()
-            .map(|&i| {
-                let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
-                (u.powf(1.0 / dataset.weight(i)), i)
-            })
-            .collect();
-        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
-        keyed.truncate(quota);
-        let picked_weight: f32 = keyed.iter().map(|&(_, i)| dataset.weight(i)).sum();
+        scratch.keyed.clear();
+        scratch
+            .keyed
+            .extend(layer.iter().map(|&i| (sampling_key(rng, dataset.weight(i)), i)));
+        select_best(&mut scratch.keyed, quota);
+        let picked_weight: f32 = scratch.keyed.iter().map(|&(_, i)| dataset.weight(i)).sum();
         // w_C(d) = (layer total weight) / (picked total weight), scaled by
         // the sample's own original weight so non-uniform weights survive.
-        let scale = layer_weights[layer_idx] / picked_weight;
-        for &(_, i) in &keyed {
+        let scale = scratch.layer_weights[layer_idx] / picked_weight;
+        for &(_, i) in scratch.keyed.iter() {
             samples.push(dataset.sample(i).clone());
             weights.push(dataset.weight(i) * scale);
         }
@@ -200,6 +301,8 @@ where
 /// preserving its total weight — the 'reduce' half of merge-and-reduce
 /// (§III-D, after Har-Peled & Mazumdar). Sampling is `w_C`-weighted without
 /// replacement; survivors are rescaled so `Σ w_C` is unchanged.
+///
+/// Output is bit-identical to [`reference::reduce`].
 pub fn reduce<S: Clone, R: Rng + ?Sized>(
     coreset: Coreset<S>,
     size: usize,
@@ -210,18 +313,128 @@ pub fn reduce<S: Clone, R: Rng + ?Sized>(
     }
     let total = coreset.total_weight();
     let mut keyed: Vec<(f32, usize)> = (0..coreset.len())
-        .map(|i| {
-            let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
-            (u.powf(1.0 / coreset.weights()[i]), i)
-        })
+        .map(|i| (sampling_key(rng, coreset.weights()[i]), i))
         .collect();
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
-    keyed.truncate(size);
+    select_best(&mut keyed, size);
     let picked: f32 = keyed.iter().map(|&(_, i)| coreset.weights()[i]).sum();
     let scale = total / picked;
     let samples = keyed.iter().map(|&(_, i)| coreset.samples()[i].clone()).collect();
     let weights = keyed.iter().map(|&(_, i)| coreset.weights()[i] * scale).collect();
     Coreset::new(samples, weights)
+}
+
+/// The pre-optimization implementations, kept verbatim as the golden
+/// baseline: the optimized [`construct`] and [`reduce`] must match them
+/// bit for bit (`tests/coreset_properties.rs` proves it on random inputs,
+/// `tests/golden.rs` on pinned fixtures), and `lbchat-bench --reference`
+/// times them to quantify the speedup.
+pub mod reference {
+    use super::{Coreset, CoresetConfig};
+    use crate::dataset::WeightedDataset;
+    use crate::learner::Learner;
+    use rand::{Rng, RngExt};
+
+    /// Algorithm 1 exactly as first implemented: per-layer index vectors,
+    /// full-sort selection, `powf` keys unconditionally.
+    pub fn construct<L, R>(
+        learner: &L,
+        dataset: &WeightedDataset<L::Sample>,
+        config: &CoresetConfig,
+        rng: &mut R,
+    ) -> Coreset<L::Sample>
+    where
+        L: Learner,
+        R: Rng + ?Sized,
+    {
+        let n = dataset.len();
+        if n == 0 {
+            return Coreset::empty();
+        }
+        if n <= config.size {
+            return Coreset::new(dataset.samples().to_vec(), dataset.weights().to_vec());
+        }
+
+        let losses: Vec<f32> = dataset.samples().iter().map(|s| learner.loss(s)).collect();
+        let center = losses.iter().cloned().fold(f32::INFINITY, f32::min);
+        let weighted_total: f32 = losses
+            .iter()
+            .zip(dataset.weights())
+            .map(|(l, w)| l * w)
+            .sum();
+        let radius = (weighted_total / n as f32).max(1e-12);
+
+        let max_layer = ((n + 1) as f32).log2().ceil() as usize;
+        let mut layers: Vec<Vec<usize>> = vec![Vec::new(); max_layer + 1];
+        for (i, &l) in losses.iter().enumerate() {
+            let dist = (l - center).max(0.0);
+            let layer = if dist <= radius {
+                0
+            } else {
+                (((dist / radius).log2().floor() as isize).max(0) as usize).min(max_layer)
+            };
+            layers[layer].push(i);
+        }
+
+        let layer_weights: Vec<f32> = layers
+            .iter()
+            .map(|idx| idx.iter().map(|&i| dataset.weight(i)).sum::<f32>())
+            .collect();
+        let total_weight: f32 = layer_weights.iter().sum();
+        let nonempty = layers.iter().filter(|l| !l.is_empty()).count();
+        let budget = config.size.max(nonempty);
+
+        let mut samples = Vec::with_capacity(budget);
+        let mut weights = Vec::with_capacity(budget);
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            if layer.is_empty() {
+                continue;
+            }
+            let share = layer_weights[layer_idx] / total_weight;
+            let quota = ((budget as f32 * share).round() as usize)
+                .clamp(1, layer.len());
+            let mut keyed: Vec<(f32, usize)> = layer
+                .iter()
+                .map(|&i| {
+                    let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+                    (u.powf(1.0 / dataset.weight(i)), i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+            keyed.truncate(quota);
+            let picked_weight: f32 = keyed.iter().map(|&(_, i)| dataset.weight(i)).sum();
+            let scale = layer_weights[layer_idx] / picked_weight;
+            for &(_, i) in &keyed {
+                samples.push(dataset.sample(i).clone());
+                weights.push(dataset.weight(i) * scale);
+            }
+        }
+        Coreset::new(samples, weights)
+    }
+
+    /// Merge-and-reduce's reduce half exactly as first implemented.
+    pub fn reduce<S: Clone, R: Rng + ?Sized>(
+        coreset: Coreset<S>,
+        size: usize,
+        rng: &mut R,
+    ) -> Coreset<S> {
+        if coreset.len() <= size || size == 0 {
+            return coreset;
+        }
+        let total = coreset.total_weight();
+        let mut keyed: Vec<(f32, usize)> = (0..coreset.len())
+            .map(|i| {
+                let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+                (u.powf(1.0 / coreset.weights()[i]), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+        keyed.truncate(size);
+        let picked: f32 = keyed.iter().map(|&(_, i)| coreset.weights()[i]).sum();
+        let scale = total / picked;
+        let samples = keyed.iter().map(|&(_, i)| coreset.samples()[i].clone()).collect();
+        let weights = keyed.iter().map(|&(_, i)| coreset.weights()[i] * scale).collect();
+        Coreset::new(samples, weights)
+    }
 }
 
 /// Empirical ε of a coreset w.r.t. its source dataset under the current
@@ -385,6 +598,72 @@ mod tests {
         let c1 = construct(&l, &d, &CoresetConfig { size: 50 }, &mut rng());
         let c2 = construct(&l, &d, &CoresetConfig { size: 50 }, &mut rng());
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn powf_at_one_is_exact() {
+        // The uniform-weight fast path in `sampling_key` relies on
+        // powf(u, 1.0) == u bit for bit; verify the identity holds on this
+        // platform's libm for the full range the keys occupy.
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let u: f32 = rand::RngExt::random::<f32>(&mut r).max(f32::MIN_POSITIVE);
+            assert_eq!(u.powf(1.0).to_bits(), u.to_bits(), "powf(u, 1.0) != u for u={u}");
+        }
+    }
+
+    #[test]
+    fn optimized_construct_matches_reference_bit_for_bit() {
+        let l = LineLearner::new(1.0, 0.0);
+        for (n, size) in [(500, 50), (2000, 150), (3000, 10)] {
+            let d = noisy_dataset(n);
+            let cfg = CoresetConfig { size };
+            let fast = construct(&l, &d, &cfg, &mut rng());
+            let slow = reference::construct(&l, &d, &cfg, &mut rng());
+            assert_eq!(fast, slow, "n={n} size={size}");
+        }
+    }
+
+    #[test]
+    fn optimized_construct_matches_reference_with_nonuniform_weights() {
+        let l = LineLearner::new(1.0, 0.0);
+        let samples: Vec<Pt> = noisy_dataset(800).samples().to_vec();
+        let weights: Vec<f32> = (0..800).map(|i| 0.5 + (i % 23) as f32 * 0.37).collect();
+        let d = WeightedDataset::new(samples, weights);
+        let cfg = CoresetConfig { size: 60 };
+        let fast = construct(&l, &d, &cfg, &mut rng());
+        let slow = reference::construct(&l, &d, &cfg, &mut rng());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn optimized_reduce_matches_reference_bit_for_bit() {
+        let weights: Vec<f32> = (0..400).map(|i| 1.0 + (i % 7) as f32).collect();
+        let c = Coreset::new((0..400).collect::<Vec<usize>>(), weights);
+        let fast = reduce(c.clone(), 120, &mut rng());
+        let slow = reference::reduce(c, 120, &mut rng());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_stateless() {
+        let l = LineLearner::new(1.0, 0.0);
+        let mut scratch = CoresetScratch::new();
+        // Warm the scratch on a differently-sized dataset first: leftover
+        // capacity or stale contents must not leak into the next call.
+        let warmup = noisy_dataset(3000);
+        let _ = construct_with_scratch(
+            &l,
+            &warmup,
+            &CoresetConfig { size: 200 },
+            &mut rng(),
+            &mut scratch,
+        );
+        let d = noisy_dataset(900);
+        let cfg = CoresetConfig { size: 80 };
+        let reused = construct_with_scratch(&l, &d, &cfg, &mut rng(), &mut scratch);
+        let fresh = construct(&l, &d, &cfg, &mut rng());
+        assert_eq!(reused, fresh);
     }
 
     #[test]

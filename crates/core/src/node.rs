@@ -11,7 +11,7 @@ use crate::adaptive::AdaptiveSizer;
 use crate::aggregate::aggregate_sparse_aware;
 
 use crate::config::LbChatConfig;
-use crate::coreset::{construct, reduce, Coreset, CoresetConfig};
+use crate::coreset::{construct_with_scratch, reduce, Coreset, CoresetConfig, CoresetScratch};
 use crate::dataset::WeightedDataset;
 use crate::learner::Learner;
 use crate::optimize::{equal_compression_choice, CompressionChoice, CompressionProblem};
@@ -38,6 +38,9 @@ pub struct LbChatNode<L: Learner> {
     coreset_stale: bool,
     config: LbChatConfig,
     sizer: Option<AdaptiveSizer>,
+    /// Reused by every coreset rebuild; results are bit-identical to a
+    /// fresh construction (see [`CoresetScratch`]).
+    scratch: CoresetScratch,
 }
 
 impl<L: Learner> LbChatNode<L> {
@@ -48,11 +51,13 @@ impl<L: Learner> LbChatNode<L> {
         config: LbChatConfig,
         rng: &mut R,
     ) -> Self {
-        let coreset = construct(
+        let mut scratch = CoresetScratch::new();
+        let coreset = construct_with_scratch(
             &learner,
             &dataset,
             &CoresetConfig { size: config.coreset_size },
             rng,
+            &mut scratch,
         );
         let batcher = Minibatcher::new(dataset.len(), config.batch_size);
         let sizer = config.adaptive_coreset.then(|| {
@@ -71,6 +76,7 @@ impl<L: Learner> LbChatNode<L> {
             coreset_stale: false,
             config,
             sizer,
+            scratch,
         }
     }
 
@@ -125,11 +131,12 @@ impl<L: Learner> LbChatNode<L> {
             Some(s) => s.adjust(),
             None => self.config.coreset_size,
         };
-        self.coreset = construct(
+        self.coreset = construct_with_scratch(
             &self.learner,
             &self.dataset,
             &CoresetConfig { size },
             rng,
+            &mut self.scratch,
         );
         if let Some(s) = self.sizer.as_mut() {
             let eps =

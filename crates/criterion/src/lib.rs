@@ -57,6 +57,22 @@ struct Stats {
     iters: u64,
 }
 
+/// A finished benchmark's identity and timing, exposed so harnesses (the
+/// `lbchat-bench` runner) can serialize results instead of scraping stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest per-iteration time over the sample batches.
+    pub min: Duration,
+    /// Slowest per-iteration time over the sample batches.
+    pub max: Duration,
+    /// Total timed iterations behind the statistics.
+    pub iters: u64,
+}
+
 /// Passed to every benchmark closure; runs and times the routine.
 #[derive(Debug)]
 pub struct Bencher {
@@ -156,10 +172,13 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-/// The benchmark driver: owns default sampling knobs and prints results.
+/// The benchmark driver: owns default sampling knobs, records results, and
+/// prints them (unless silenced with [`Criterion::quiet`]).
 #[derive(Debug)]
 pub struct Criterion {
     defaults: Sampling,
+    verbose: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -169,18 +188,48 @@ impl Default for Criterion {
                 sample_size: 20,
                 measurement_time: Duration::from_secs(3),
             },
+            verbose: true,
+            results: Vec::new(),
         }
     }
 }
 
 impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.defaults.sample_size = n;
+        self
+    }
+
+    /// Sets the default wall-clock budget each benchmark spends measuring.
+    ///
+    /// # Panics
+    /// Panics if `t` is zero.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        assert!(t > Duration::ZERO, "measurement time must be positive");
+        self.defaults.measurement_time = t;
+        self
+    }
+
+    /// Disables per-benchmark stdout lines; results stay available through
+    /// [`Criterion::take_results`].
+    pub fn quiet(mut self) -> Self {
+        self.verbose = false;
+        self
+    }
+
     /// Runs one benchmark under the driver's default sampling knobs.
     pub fn bench_function(
         &mut self,
         id: impl Into<String>,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_one(&id.into(), self.defaults, f);
+        let defaults = self.defaults;
+        self.record(&id.into(), defaults, f);
         self
     }
 
@@ -191,36 +240,61 @@ impl Criterion {
     ) -> BenchmarkGroup<'_, measurement::WallTime> {
         let sampling = self.defaults;
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
             sampling,
             _measurement: std::marker::PhantomData,
         }
     }
 
+    /// Results recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drains the recorded results, leaving the driver reusable.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
     /// Final-report hook; nothing to aggregate in the stand-in.
     pub fn final_summary(&mut self) {}
-}
 
-fn run_one(id: &str, sampling: Sampling, mut f: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher::new(sampling);
-    f(&mut b);
-    match b.stats {
-        Some(s) => println!(
-            "{id:<44} time: [{} {} {}]  ({} iters)",
-            fmt_duration(s.min),
-            fmt_duration(s.mean),
-            fmt_duration(s.max),
-            s.iters,
-        ),
-        None => println!("{id:<44} (no measurement: bencher never invoked)"),
+    fn record(&mut self, id: &str, sampling: Sampling, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher::new(sampling);
+        f(&mut b);
+        match b.stats {
+            Some(s) => {
+                if self.verbose {
+                    println!(
+                        "{id:<44} time: [{} {} {}]  ({} iters)",
+                        fmt_duration(s.min),
+                        fmt_duration(s.mean),
+                        fmt_duration(s.max),
+                        s.iters,
+                    );
+                }
+                self.results.push(BenchResult {
+                    id: id.to_string(),
+                    mean: s.mean,
+                    min: s.min,
+                    max: s.max,
+                    iters: s.iters,
+                });
+            }
+            None => {
+                if self.verbose {
+                    println!("{id:<44} (no measurement: bencher never invoked)");
+                }
+            }
+        }
     }
 }
 
 /// A named group of benchmarks sharing sampling overrides.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sampling: Sampling,
     _measurement: std::marker::PhantomData<M>,
@@ -247,7 +321,9 @@ impl<M> BenchmarkGroup<'_, M> {
         id: impl Into<String>,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id.into()), self.sampling, f);
+        let id = format!("{}/{}", self.name, id.into());
+        let sampling = self.sampling;
+        self.criterion.record(&id, sampling, f);
         self
     }
 
@@ -312,6 +388,26 @@ mod tests {
         );
         assert_eq!(setups.load(Ordering::Relaxed), runs.load(Ordering::Relaxed));
         assert!(b.stats.is_some());
+    }
+
+    #[test]
+    fn results_are_recorded_and_drainable() {
+        let mut c = Criterion::default()
+            .quiet()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+        let results = c.take_results();
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["solo", "grp/inner"]);
+        for r in &results {
+            assert!(r.iters > 0);
+            assert!(r.min <= r.mean && r.mean <= r.max);
+        }
+        assert!(c.results().is_empty(), "take_results drains");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use lbchat::ConfigError;
 use rand::SeedableRng;
 use simnet::geom::Vec2;
 use simworld::agents::FreeVehicle;
-use simworld::bev::{rasterize, Pose};
+use simworld::bev::{rasterize_into, Bev, Pose};
 use simworld::expert::Command;
 use simworld::map::RoadNetwork;
 use simworld::route::{classify_turn, Route, TurnKind};
@@ -347,6 +347,8 @@ fn run_trial(learner: &DrivingLearner, world: &mut World, route: Route, cfg: &Ev
     let mut ego = FreeVehicle::new(start, heading);
     let mut tracker = RouteTracker::new(route);
     let destination = tracker.destination(world.map());
+    // One BEV frame reused across every step of the trial.
+    let mut bev = Bev::blank(world.config().bev.cells);
 
     let mut t = 0.0f64;
     while t < budget {
@@ -365,7 +367,7 @@ fn run_trial(learner: &DrivingLearner, world: &mut World, route: Route, cfg: &Ev
             60.0,
         );
         let pose = Pose { pos: ego.pos, heading: ego.heading };
-        let bev = rasterize(
+        rasterize_into(
             &world.config().bev.clone(),
             pose,
             ego.speed,
@@ -373,6 +375,7 @@ fn run_trial(learner: &DrivingLearner, world: &mut World, route: Route, cfg: &Ev
             &cars,
             &peds,
             &route_ahead,
+            &mut bev,
         );
         let command = tracker.command(world.map());
         let mut features = bev.features(pool);
@@ -425,6 +428,7 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
     let mut tracker = RouteTracker::new(route);
     let destination = tracker.destination(world.map());
     let budget = (map_len as f64 * cfg.seconds_per_meter).max(60.0);
+    let mut bev = Bev::blank(world.config().bev.cells);
     let mut t = 0.0f64;
     let mut frame = 0u64;
     while t < budget {
@@ -438,7 +442,7 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
         let route_ahead =
             world.route_polyline_from(&tracker.route, tracker.edge_idx, tracker.s, 60.0);
         let pose = Pose { pos: ego.pos, heading: ego.heading };
-        let bev = rasterize(
+        rasterize_into(
             &world.config().bev.clone(),
             pose,
             ego.speed,
@@ -446,6 +450,7 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
             &cars_p,
             &peds_p,
             &route_ahead,
+            &mut bev,
         );
         let command = tracker.command(world.map());
         let mut features = bev.features(pool);

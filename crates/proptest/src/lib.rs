@@ -61,7 +61,51 @@ pub trait Strategy {
 
     /// Draws one input.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Tuples of strategies generate tuples of values, mirroring the real
+/// crate's composite inputs (`(0..10, 0.0f32..1.0)`).
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
 
 impl Strategy for std::ops::Range<f32> {
     type Value = f32;
@@ -232,8 +276,8 @@ pub fn run_cases(
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Map,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 
     /// `prop::collection::vec(...)` paths resolve through this alias.
@@ -415,6 +459,26 @@ mod tests {
         fn mut_bindings_work(mut v in prop::collection::vec(0i32..100, 1..20)) {
             v.sort_unstable();
             prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn tuple_strategies_compose((a, b) in (0usize..10, -1.0f32..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn prop_map_transforms(s in (1usize..6, 1usize..6).prop_map(|(w, h)| w * h)) {
+            prop_assert!((1..36).contains(&s));
+        }
+
+        #[test]
+        fn mapped_vec_of_tuples(
+            pairs in prop::collection::vec((0u32..100, 0.5f32..2.0), 1..30)
+                .prop_map(|v| v.into_iter().map(|(k, w)| (k, w * 2.0)).collect::<Vec<_>>()),
+        ) {
+            prop_assert!(!pairs.is_empty());
+            prop_assert!(pairs.iter().all(|&(k, w)| k < 100 && (1.0..4.0).contains(&w)));
         }
     }
 

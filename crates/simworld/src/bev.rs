@@ -90,6 +90,26 @@ pub struct Bev {
 }
 
 impl Bev {
+    /// An all-clear frame, usable as the reusable target of
+    /// [`rasterize_into`].
+    pub fn blank(cells: usize) -> Self {
+        Self {
+            cells,
+            channels: std::array::from_fn(|_| vec![false; cells * cells]),
+            speed: 0.0,
+        }
+    }
+
+    /// Clears every channel and resizes to `cells`, keeping allocations.
+    fn reset(&mut self, cells: usize, speed: f32) {
+        for ch in &mut self.channels {
+            ch.clear();
+            ch.resize(cells * cells, false);
+        }
+        self.cells = cells;
+        self.speed = speed;
+    }
+
     /// Grid side length in cells.
     pub fn cells(&self) -> usize {
         self.cells
@@ -150,6 +170,11 @@ impl Bev {
 /// * `pedestrians` — world positions of pedestrians.
 /// * `route_ahead` — world-frame polyline of the next stretch of the planned
 ///   route (the navigation hint; sampled densely by the caller).
+///
+/// Allocates a fresh frame; data collection rasterizes every expert every
+/// frame, so hot loops should hold one [`Bev::blank`] and call
+/// [`rasterize_into`] instead. Output is bit-identical to
+/// [`reference::rasterize`].
 pub fn rasterize(
     cfg: &BevConfig,
     pose: Pose,
@@ -159,35 +184,83 @@ pub fn rasterize(
     pedestrians: &[Vec2],
     route_ahead: &[Vec2],
 ) -> Bev {
+    let mut out = Bev::blank(cfg.cells);
+    rasterize_into(cfg, pose, speed, road, cars, pedestrians, route_ahead, &mut out);
+    out
+}
+
+/// [`rasterize`] into a reused frame, with the per-frame trigonometry
+/// hoisted out of the cell loop.
+///
+/// The reference evaluates `sin`/`cos` of the heading once per grid cell
+/// (inside [`Pose::to_world`]) and twice per visible agent; here the two
+/// rotations (world→ego and ego→world) are computed once per frame and the
+/// per-cell rotation terms once per row/column, which the road loop then
+/// combines with the exact arithmetic the reference uses — cell
+/// classifications cannot drift. Reusing `out` across frames removes the
+/// four per-frame channel allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_into(
+    cfg: &BevConfig,
+    pose: Pose,
+    speed: f32,
+    road: &RoadRaster,
+    cars: &[Vec2],
+    pedestrians: &[Vec2],
+    route_ahead: &[Vec2],
+    out: &mut Bev,
+) {
     let n = cfg.cells;
-    let mut channels: [Vec<bool>; channel::COUNT] = [
-        vec![false; n * n],
-        vec![false; n * n],
-        vec![false; n * n],
-        vec![false; n * n],
-    ];
+    out.reset(n, speed);
+    let channels = &mut out.channels;
     let half = cfg.window_m() / 2.0;
 
+    // One sin_cos per frame for each rotation direction — the same values
+    // `Vec2::rotated(±heading)` recomputes per call.
+    let (s_fwd, c_fwd) = pose.heading.sin_cos();
+    let (s_inv, c_inv) = (-pose.heading).sin_cos();
+
     // Road channel: sample each cell center against the global road raster.
+    // ego.x depends only on the row, ego.y only on the column, so the four
+    // rotation products reduce to one per row plus two per column. The
+    // final sums keep the reference's exact association:
+    // world = pos + (c·ex − s·ey, s·ex + c·ey).
+    let col_terms: Vec<(f32, f32)> = (0..n)
+        .map(|ix| {
+            let ey = half - (ix as f32 + 0.5) * cfg.cell_m;
+            (s_fwd * ey, c_fwd * ey)
+        })
+        .collect();
     for iy in 0..n {
-        for ix in 0..n {
-            let ego = Vec2::new(
-                cfg.forward_offset - half + (iy as f32 + 0.5) * cfg.cell_m,
-                half - (ix as f32 + 0.5) * cfg.cell_m,
-            );
-            let world = pose.to_world(ego);
-            if road.is_road(world) {
-                channels[channel::ROAD][iy * n + ix] = true;
-            }
+        let ex = cfg.forward_offset - half + (iy as f32 + 0.5) * cfg.cell_m;
+        let (c_ex, s_ex) = (c_fwd * ex, s_fwd * ex);
+        let row = &mut channels[channel::ROAD][iy * n..(iy + 1) * n];
+        for (cell, &(s_ey, c_ey)) in row.iter_mut().zip(&col_terms) {
+            let world = Vec2::new(pose.pos.x + (c_ex - s_ey), pose.pos.y + (s_ex + c_ey));
+            // `reset` cleared the row, so the branchless store matches the
+            // reference's set-only-true writes.
+            *cell = road.is_road(world);
         }
     }
 
-    // Point-agent channels with a small footprint stamp.
-    let stamp = |ch: usize, world: Vec2, radius_cells: i32, channels: &mut [Vec<bool>; 4]| {
-        let ego = pose.to_ego(world);
+    // Point-agent channels with a small footprint stamp. The ego transform
+    // is computed once per agent (the reference recomputes it inside the
+    // stamp) using the hoisted inverse rotation.
+    let to_ego = |world: Vec2| -> Vec2 {
+        let d = world - pose.pos;
+        Vec2::new(c_inv * d.x - s_inv * d.y, s_inv * d.x + c_inv * d.y)
+    };
+    // Dividing by a power-of-two cell size (the default) is exactly a
+    // multiply by its reciprocal — same trick as `RoadRaster::is_road`.
+    let inv_cell = crate::world::exact_reciprocal(cfg.cell_m);
+    let over_cell = |v: f32| match inv_cell {
+        Some(inv) => v * inv,
+        None => v / cfg.cell_m,
+    };
+    let mut stamp = |ch: usize, ego: Vec2, radius_cells: i32| {
         // Invert the cell-center mapping used for the road channel.
-        let fy = (ego.x - cfg.forward_offset + half) / cfg.cell_m - 0.5;
-        let fx = (half - ego.y) / cfg.cell_m - 0.5;
+        let fy = over_cell(ego.x - cfg.forward_offset + half) - 0.5;
+        let fx = over_cell(half - ego.y) - 0.5;
         let (cx, cy) = (fx.round() as i32, fy.round() as i32);
         for dy in -radius_cells..=radius_cells {
             for dx in -radius_cells..=radius_cells {
@@ -198,23 +271,120 @@ pub fn rasterize(
             }
         }
     };
+    // Conservative pre-rotation reject: rotation preserves length, so an
+    // agent whose axis-aligned offset exceeds the window by 10% has a true
+    // ego distance > 1.1·window, and the rounded `ego.norm()` (three f32
+    // ops of relative error ~2⁻²³ each) cannot fall back under `window` —
+    // the reference's post-rotation check rejects exactly the same agents,
+    // just after paying for the transform.
+    let reject = 1.1 * cfg.window_m();
+    let far = |world: Vec2| -> bool {
+        let d = world - pose.pos;
+        d.x.abs() > reject || d.y.abs() > reject
+    };
     for &c in cars {
-        if pose.to_ego(c).norm() < cfg.window_m() {
-            stamp(channel::VEHICLES, c, 1, &mut channels);
+        if far(c) {
+            continue;
+        }
+        let ego = to_ego(c);
+        if ego.norm() < cfg.window_m() {
+            stamp(channel::VEHICLES, ego, 1);
         }
     }
     for &p in pedestrians {
-        if pose.to_ego(p).norm() < cfg.window_m() {
-            stamp(channel::PEDESTRIANS, p, 0, &mut channels);
+        if far(p) {
+            continue;
+        }
+        let ego = to_ego(p);
+        if ego.norm() < cfg.window_m() {
+            stamp(channel::PEDESTRIANS, ego, 0);
         }
     }
     for &r in route_ahead {
-        if pose.to_ego(r).norm() < cfg.window_m() {
-            stamp(channel::ROUTE, r, 0, &mut channels);
+        if far(r) {
+            continue;
+        }
+        let ego = to_ego(r);
+        if ego.norm() < cfg.window_m() {
+            stamp(channel::ROUTE, ego, 0);
         }
     }
+}
 
-    Bev { cells: n, channels, speed }
+/// The pre-optimization rasterizer, kept verbatim as the golden baseline:
+/// [`rasterize`] must produce the same occupancy bit for bit
+/// (`tests/properties.rs` proves it on random scenes), and
+/// `lbchat-bench --reference` times it to quantify the speedup.
+pub mod reference {
+    use super::{channel, Bev, BevConfig, Pose};
+    use crate::world::RoadRaster;
+    use simnet::geom::Vec2;
+
+    /// BEV rasterization exactly as first implemented: fresh channel
+    /// allocations and a full `sin`/`cos` rotation per cell and per stamp.
+    pub fn rasterize(
+        cfg: &BevConfig,
+        pose: Pose,
+        speed: f32,
+        road: &RoadRaster,
+        cars: &[Vec2],
+        pedestrians: &[Vec2],
+        route_ahead: &[Vec2],
+    ) -> Bev {
+        let n = cfg.cells;
+        let mut channels: [Vec<bool>; channel::COUNT] = [
+            vec![false; n * n],
+            vec![false; n * n],
+            vec![false; n * n],
+            vec![false; n * n],
+        ];
+        let half = cfg.window_m() / 2.0;
+
+        for iy in 0..n {
+            for ix in 0..n {
+                let ego = Vec2::new(
+                    cfg.forward_offset - half + (iy as f32 + 0.5) * cfg.cell_m,
+                    half - (ix as f32 + 0.5) * cfg.cell_m,
+                );
+                let world = pose.to_world(ego);
+                if road.is_road(world) {
+                    channels[channel::ROAD][iy * n + ix] = true;
+                }
+            }
+        }
+
+        let stamp = |ch: usize, world: Vec2, radius_cells: i32, channels: &mut [Vec<bool>; 4]| {
+            let ego = pose.to_ego(world);
+            let fy = (ego.x - cfg.forward_offset + half) / cfg.cell_m - 0.5;
+            let fx = (half - ego.y) / cfg.cell_m - 0.5;
+            let (cx, cy) = (fx.round() as i32, fy.round() as i32);
+            for dy in -radius_cells..=radius_cells {
+                for dx in -radius_cells..=radius_cells {
+                    let (x, y) = (cx + dx, cy + dy);
+                    if x >= 0 && y >= 0 && (x as usize) < n && (y as usize) < n {
+                        channels[ch][y as usize * n + x as usize] = true;
+                    }
+                }
+            }
+        };
+        for &c in cars {
+            if pose.to_ego(c).norm() < cfg.window_m() {
+                stamp(channel::VEHICLES, c, 1, &mut channels);
+            }
+        }
+        for &p in pedestrians {
+            if pose.to_ego(p).norm() < cfg.window_m() {
+                stamp(channel::PEDESTRIANS, p, 0, &mut channels);
+            }
+        }
+        for &r in route_ahead {
+            if pose.to_ego(r).norm() < cfg.window_m() {
+                stamp(channel::ROUTE, r, 0, &mut channels);
+            }
+        }
+
+        Bev { cells: n, channels, speed }
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +499,45 @@ mod tests {
         for f in bev.features(cfg.pool) {
             assert!((0.0..=1.0).contains(&f), "feature out of range: {f}");
         }
+    }
+
+    #[test]
+    fn optimized_rasterize_matches_reference_bit_for_bit() {
+        let cfg = BevConfig::default();
+        let road = straight_road_raster();
+        for (heading, speed) in [(0.0f32, 4.0f32), (0.7, 9.5), (-2.3, 0.0), (3.1, 14.0)] {
+            let pose = Pose { pos: Vec2::new(500.0, 500.0), heading };
+            let cars = [Vec2::new(515.0, 500.0), Vec2::new(488.0, 507.0)];
+            let peds = [Vec2::new(505.0, 495.0), Vec2::new(700.0, 700.0)];
+            let route = [Vec2::new(510.0, 500.0), Vec2::new(520.0, 501.0)];
+            let fast = rasterize(&cfg, pose, speed, &road, &cars, &peds, &route);
+            let slow = reference::rasterize(&cfg, pose, speed, &road, &cars, &peds, &route);
+            assert_eq!(fast, slow, "heading {heading}");
+        }
+    }
+
+    #[test]
+    fn rasterize_into_reuse_is_bit_identical() {
+        let cfg = BevConfig::default();
+        let road = straight_road_raster();
+        let mut frame = Bev::blank(cfg.cells);
+        // Dirty the frame with one scene, then overwrite with another: the
+        // reused buffers must not leak the first scene's bits.
+        rasterize_into(
+            &cfg,
+            Pose { pos: Vec2::new(500.0, 500.0), heading: 1.1 },
+            7.0,
+            &road,
+            &[Vec2::new(505.0, 505.0)],
+            &[],
+            &[],
+            &mut frame,
+        );
+        let pose = Pose { pos: Vec2::new(480.0, 502.0), heading: -0.4 };
+        let cars = [Vec2::new(490.0, 500.0)];
+        rasterize_into(&cfg, pose, 3.0, &road, &cars, &[], &[], &mut frame);
+        let fresh = rasterize(&cfg, pose, 3.0, &road, &cars, &[], &[]);
+        assert_eq!(frame, fresh);
     }
 
     #[test]

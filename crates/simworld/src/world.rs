@@ -17,15 +17,29 @@ use std::collections::HashMap;
 pub struct RoadRaster {
     extent: f32,
     cell: f32,
+    /// `1 / cell` when multiplying by it is bit-identical to dividing by
+    /// `cell` (i.e. `cell` is a power of two, the map default): both are
+    /// correctly-rounded results of the same exact real value, so
+    /// [`RoadRaster::is_road`] can use the multiply on its hot path without
+    /// any lookup changing.
+    inv_cell: Option<f32>,
     side: usize,
     bits: Vec<bool>,
+}
+
+/// Whether `x` is a (positive, normal) power of two, i.e. its reciprocal is
+/// exactly representable and scaling by it is exact.
+pub(crate) fn exact_reciprocal(x: f32) -> Option<f32> {
+    let mantissa = x.to_bits() & 0x007f_ffff;
+    let inv = x.recip();
+    (x.is_normal() && x > 0.0 && mantissa == 0 && inv.is_normal()).then_some(inv)
 }
 
 impl RoadRaster {
     /// An all-empty raster (for tests).
     pub fn empty(extent: f32, cell: f32) -> Self {
         let side = (extent / cell).ceil() as usize;
-        Self { extent, cell, side, bits: vec![false; side * side] }
+        Self { extent, cell, inv_cell: exact_reciprocal(cell), side, bits: vec![false; side * side] }
     }
 
     /// Rasterizes a set of road polylines with the given half-width.
@@ -70,12 +84,15 @@ impl RoadRaster {
     }
 
     /// Whether `p` lies on drivable road.
+    #[inline]
     pub fn is_road(&self, p: Vec2) -> bool {
         if p.x < 0.0 || p.y < 0.0 || p.x >= self.extent || p.y >= self.extent {
             return false;
         }
-        let x = (p.x / self.cell) as usize;
-        let y = (p.y / self.cell) as usize;
+        let (x, y) = match self.inv_cell {
+            Some(inv) => ((p.x * inv) as usize, (p.y * inv) as usize),
+            None => ((p.x / self.cell) as usize, (p.y / self.cell) as usize),
+        };
         self.bits[y * self.side + x]
     }
 }
@@ -473,6 +490,27 @@ mod tests {
 
     fn small_world() -> World {
         World::new(WorldConfig::small(3))
+    }
+
+    #[test]
+    fn reciprocal_cell_lookup_matches_division_exactly() {
+        // Power-of-two cells take the multiply path; it must agree with the
+        // division the raster was built with on every probe, including cell
+        // boundaries and near-edge points.
+        assert_eq!(exact_reciprocal(2.0), Some(0.5));
+        assert_eq!(exact_reciprocal(3.0), None);
+        assert_eq!(exact_reciprocal(0.0), None);
+        assert_eq!(exact_reciprocal(-4.0), None);
+        let pts: Vec<Vec2> = (0..=200).map(|i| Vec2::new(i as f32, 77.3)).collect();
+        let fast = RoadRaster::from_polylines(200.0, 2.0, std::slice::from_ref(&pts), 4.0);
+        let mut slow = fast.clone();
+        slow.inv_cell = None;
+        for i in 0..4000 {
+            let p = Vec2::new((i as f32 * 0.0501) - 2.0, (i as f32 * 0.0777) - 2.0);
+            assert_eq!(fast.is_road(p), slow.is_road(p), "probe {p:?}");
+            let edge = Vec2::new((i % 110) as f32 * 2.0, 77.0);
+            assert_eq!(fast.is_road(edge), slow.is_road(edge), "boundary {edge:?}");
+        }
     }
 
     #[test]

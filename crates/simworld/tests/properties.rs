@@ -1,6 +1,8 @@
 //! Property-based tests over the driving world's invariants.
 
 use proptest::prelude::*;
+use simnet::geom::Vec2;
+use simworld::bev::{self, rasterize, rasterize_into, Bev, BevConfig, Pose};
 use simworld::map::{RoadKind, RoadNetwork};
 use simworld::route::Router;
 use simworld::world::{World, WorldConfig};
@@ -51,6 +53,45 @@ proptest! {
             let p = v.position(w.map());
             prop_assert!(raster.is_road(p), "vehicle off-road at {p:?} (seed {seed})");
         }
+    }
+
+    #[test]
+    fn bev_fast_path_matches_reference_on_random_scenes(
+        seed in 0u64..6,
+        (px, py) in (100.0f32..500.0, 100.0f32..500.0),
+        heading in -3.2f32..3.2,
+        speed in 0.0f32..25.0,
+        route in prop::collection::vec((-60.0f32..60.0, -60.0f32..60.0), 0..8),
+    ) {
+        // A real road raster plus the world's live agents: the optimized
+        // rasterizer must reproduce the reference's sparse occupancy (all
+        // four channels, every cell) bit for bit.
+        let w = World::new(WorldConfig::small(seed));
+        let cfg = BevConfig::default();
+        let pose = Pose { pos: Vec2::new(px, py), heading };
+        let cars = w.car_positions();
+        let peds = w.pedestrian_positions();
+        let route: Vec<Vec2> =
+            route.into_iter().map(|(dx, dy)| Vec2::new(px + dx, py + dy)).collect();
+        let fast = rasterize(&cfg, pose, speed, w.raster(), &cars, &peds, &route);
+        let slow =
+            bev::reference::rasterize(&cfg, pose, speed, w.raster(), &cars, &peds, &route);
+        prop_assert_eq!(&fast, &slow);
+
+        // Reusing a dirty frame must match a fresh rasterization exactly.
+        let mut frame = Bev::blank(cfg.cells);
+        rasterize_into(
+            &cfg,
+            Pose { pos: Vec2::new(py, px), heading: -heading },
+            speed + 1.0,
+            w.raster(),
+            &peds,
+            &cars,
+            &[],
+            &mut frame,
+        );
+        rasterize_into(&cfg, pose, speed, w.raster(), &cars, &peds, &route, &mut frame);
+        prop_assert_eq!(&frame, &fast);
     }
 
     #[test]

@@ -137,3 +137,23 @@ proptest! {
         }
     }
 }
+
+/// Pinned from a proptest-discovered failure of `equal_compression_always_fits`
+/// (seed file since retired): a ~154 MB model against a 24.27 s budget put the
+/// chosen ψ's transfer time a few f64 ULPs past the deadline, because the
+/// f64→f32 rounding of the computed ratio could round *up*.
+/// `equal_compression_choice` now nudges the ratio down to the next f32 before
+/// clamping; this case must stay within budget forever.
+#[test]
+fn equal_compression_regression_154mb_tight_budget() {
+    let (bytes, budget, contact) = (154_254_037usize, 24.273599310384462f64, 85.40229807312959f64);
+    let c = equal_compression_choice(bytes, 31e6, budget, contact);
+    assert!(
+        c.transfer_time <= budget.min(contact) + 1e-6,
+        "transfer {} exceeds deadline {}",
+        c.transfer_time,
+        budget.min(contact)
+    );
+    assert!((0.0..=1.0).contains(&c.psi_i));
+    assert_eq!(c.psi_i, c.psi_j);
+}
