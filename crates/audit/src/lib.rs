@@ -1,0 +1,80 @@
+//! `lbchat-audit`: a workspace-wide determinism & panic-safety scanner.
+//!
+//! The reproduction's evaluation claims rest on bit-for-bit deterministic
+//! runs (the jobs=1 ≡ jobs=4 guarantee, the golden fixtures). Nothing in
+//! the compiler prevents a future change from smuggling a `HashMap`
+//! iteration, a wall-clock read, or an unseeded RNG into a seeded path and
+//! silently breaking them — so this crate checks the *source* on every
+//! push. It is a dependency-free, hand-rolled scanner (no `syn`,
+//! consistent with the vendored-offline policy): a line-based lexer that
+//! understands string literals, comments, and `#[cfg(test)]`/`mod tests`
+//! regions, plus a small set of repo-specific lint families:
+//!
+//! * **D-lints** (determinism): wall-clock reads, unordered collections,
+//!   and ambient entropy in seeded crates.
+//! * **P-lints** (panic-safety): `unwrap`/`expect`/`panic!`/inline index
+//!   arithmetic in the runtime/exec/node/simnet hot paths.
+//! * **O-lints** (observability): every event kind, counter, and gauge
+//!   emitted through `lbchat::obs` must be documented in
+//!   `docs/OBSERVABILITY.md`, and vice versa.
+//! * **A-lints** (suppression hygiene): unused or malformed
+//!   `// audit:allow(<id>): <reason>` comments are themselves errors.
+//!
+//! Findings are emitted human-readably and as a machine-diffable JSON
+//! report (schema [`report::SCHEMA`], hand-rolled JSON via `lbchat::obs`);
+//! see `docs/AUDIT.md` for the catalogue and suppression syntax.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod walk;
+
+pub use lints::{Finding, Profile, Suppressed, LINTS};
+pub use report::Report;
+
+use std::path::Path;
+
+/// Errors from a whole-tree audit run (I/O problems; lint findings are
+/// *data*, not errors).
+#[derive(Debug)]
+pub enum AuditError {
+    /// A file or directory could not be read.
+    Io(String, std::io::Error),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io(path, e) => write!(f, "{path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Scans the workspace under `root` with `profile` and returns the full
+/// report: per-file D/P findings, cross-file O-lint findings, and the
+/// suppression bookkeeping (A-lints).
+pub fn audit(root: &Path, profile: &Profile) -> Result<Report, AuditError> {
+    let files = walk::workspace_files(root, profile)?;
+    let mut raw = Vec::new();
+    let mut allows = Vec::new();
+    let mut emitted = Vec::new();
+    for rel in &files {
+        let abs = root.join(rel);
+        let text = std::fs::read_to_string(&abs)
+            .map_err(|e| AuditError::Io(abs.display().to_string(), e))?;
+        let scan = lexer::FileScan::new(rel, &text);
+        raw.append(&mut lints::check_file(&scan, profile));
+        allows.append(&mut lints::collect_allows(&scan));
+        emitted.append(&mut scan.obs_names());
+    }
+    let doc_abs = root.join(&profile.obs_doc);
+    let doc_text = std::fs::read_to_string(&doc_abs)
+        .map_err(|e| AuditError::Io(doc_abs.display().to_string(), e))?;
+    raw.append(&mut lints::check_obs(&profile.obs_doc, &doc_text, &emitted));
+    let (findings, suppressed) = lints::apply_allows(raw, allows);
+    Ok(Report::new(files.len(), findings, suppressed))
+}

@@ -1,0 +1,121 @@
+//! `lbchat-audit` command-line entry point.
+//!
+//! Exit codes: `0` clean (or, with `--baseline`, no *new* findings),
+//! `1` un-suppressed findings, `2` usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use lbchat_audit::{audit, Profile, Report, LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lbchat-audit: workspace determinism & panic-safety scanner
+
+USAGE:
+    lbchat-audit [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        Workspace root to scan (default: .)
+    --out <FILE>        Write the JSON report (schema lbchat-audit/v1)
+    --baseline <FILE>   Ratchet mode: fail only on findings not present
+                        in this previously written report
+    --list-lints        Print the lint catalogue and exit
+    --help              Show this help
+
+EXIT CODES:
+    0  clean (with --baseline: no new findings)
+    1  un-suppressed findings
+    2  usage or I/O error
+
+See docs/AUDIT.md for the lint catalogue and suppression syntax.";
+
+struct Args {
+    root: PathBuf,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        out: None,
+        baseline: None,
+        list_lints: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--list-lints" => args.list_lints = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(args) = parse_args()? else {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    };
+    if args.list_lints {
+        for l in LINTS {
+            println!("{}  {:<24} {}", l.id, l.name, l.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = audit(&args.root, &Profile::lbchat()).map_err(|e| e.to_string())?;
+    if let Some(out) = &args.out {
+        if let Some(dir) = out.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        std::fs::write(out, text).map_err(|e| format!("write {}: {e}", out.display()))?;
+    }
+    print!("{}", report.human());
+    if let Some(baseline_path) = &args.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        let baseline = Report::from_json(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let new = report.diff(&baseline);
+        if new.is_empty() {
+            println!(
+                "baseline: no new findings ({} in baseline)",
+                baseline.findings.len()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!("baseline: {} NEW finding(s) vs {}:", new.len(), baseline_path.display());
+        for f in &new {
+            println!("  {}: {}:{}: {}", f.lint, f.path, f.line, f.message);
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    if report.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lbchat-audit: {msg}");
+            eprintln!("run with --help for usage");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The audit report: human rendering, machine-diffable JSON
+//! (schema [`SCHEMA`]), and the `--baseline` ratchet diff.
+//!
+//! The JSON serialization is deliberately timestamp-free and fully
+//! determined by the findings (sorted by the [`crate::lints::Finding`]
+//! ordering), so two runs over the same tree produce byte-identical
+//! reports and a committed baseline diffs cleanly in review.
+
+use crate::lints::{Finding, Suppressed};
+use lbchat::obs::{parse, Json};
+use std::collections::BTreeMap;
+
+/// Report schema identifier, bumped on breaking format changes.
+pub const SCHEMA: &str = "lbchat-audit/v1";
+
+/// The result of one audit run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Un-suppressed findings, sorted.
+    pub findings: Vec<Finding>,
+    /// Findings an `audit:allow` suppressed, sorted.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Failures reading a report back from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportError(pub String);
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad report: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl Report {
+    /// Builds a report (inputs are assumed already sorted by
+    /// [`crate::lints::apply_allows`]).
+    pub fn new(files_scanned: usize, findings: Vec<Finding>, suppressed: Vec<Suppressed>) -> Self {
+        Report { files_scanned, findings, suppressed }
+    }
+
+    /// Whether the tree is audit-clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts per lint id, sorted by id.
+    pub fn counts(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.lint.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Serializes to the [`SCHEMA`] JSON document.
+    pub fn to_json(&self) -> Json {
+        let finding_json = |f: &Finding| {
+            Json::Obj(vec![
+                ("lint".into(), f.lint.as_str().into()),
+                ("path".into(), f.path.as_str().into()),
+                ("line".into(), f.line.into()),
+                ("message".into(), f.message.as_str().into()),
+                ("snippet".into(), f.snippet.as_str().into()),
+            ])
+        };
+        let suppressed_json = |s: &Suppressed| {
+            Json::Obj(vec![
+                ("lint".into(), s.lint.as_str().into()),
+                ("path".into(), s.path.as_str().into()),
+                ("line".into(), s.line.into()),
+                ("reason".into(), s.reason.as_str().into()),
+            ])
+        };
+        Json::Obj(vec![
+            ("schema".into(), SCHEMA.into()),
+            ("files_scanned".into(), self.files_scanned.into()),
+            (
+                "counts".into(),
+                Json::Obj(self.counts().into_iter().map(|(k, v)| (k, v.into())).collect()),
+            ),
+            ("findings".into(), Json::Arr(self.findings.iter().map(finding_json).collect())),
+            ("suppressed".into(), Json::Arr(self.suppressed.iter().map(suppressed_json).collect())),
+        ])
+    }
+
+    /// Parses a report written by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Result<Report, ReportError> {
+        let v = parse(text).map_err(|e| ReportError(e.to_string()))?;
+        let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(ReportError(format!("schema {schema:?}, expected {SCHEMA:?}")));
+        }
+        let files_scanned = v
+            .get("files_scanned")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ReportError("missing files_scanned".into()))?
+            as usize;
+        let str_field = |o: &Json, k: &str| -> Result<String, ReportError> {
+            o.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ReportError(format!("missing string field {k:?}")))
+        };
+        let line_field = |o: &Json| -> Result<usize, ReportError> {
+            o.get("line")
+                .and_then(Json::as_u64)
+                .map(|u| u as usize)
+                .ok_or_else(|| ReportError("missing line".into()))
+        };
+        let mut findings = Vec::new();
+        for o in v.get("findings").and_then(Json::as_arr).unwrap_or(&[]) {
+            findings.push(Finding {
+                lint: str_field(o, "lint")?,
+                path: str_field(o, "path")?,
+                line: line_field(o)?,
+                message: str_field(o, "message")?,
+                snippet: str_field(o, "snippet")?,
+            });
+        }
+        let mut suppressed = Vec::new();
+        for o in v.get("suppressed").and_then(Json::as_arr).unwrap_or(&[]) {
+            suppressed.push(Suppressed {
+                lint: str_field(o, "lint")?,
+                path: str_field(o, "path")?,
+                line: line_field(o)?,
+                reason: str_field(o, "reason")?,
+            });
+        }
+        Ok(Report { files_scanned, findings, suppressed })
+    }
+
+    /// Human-readable rendering, one finding per line plus a summary.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}: {}:{}: {}", f.lint, f.path, f.line, f.message));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("\n      | {}", f.snippet));
+            }
+            out.push('\n');
+        }
+        let counts = self.counts();
+        if counts.is_empty() {
+            out.push_str(&format!(
+                "audit clean: {} files scanned, {} suppressed finding(s)\n",
+                self.files_scanned,
+                self.suppressed.len()
+            ));
+        } else {
+            let by_lint: Vec<String> =
+                counts.iter().map(|(k, v)| format!("{k}×{v}")).collect();
+            out.push_str(&format!(
+                "audit FAILED: {} finding(s) [{}] across {} files scanned ({} suppressed)\n",
+                self.findings.len(),
+                by_lint.join(", "),
+                self.files_scanned,
+                self.suppressed.len()
+            ));
+        }
+        out
+    }
+
+    /// Ratchet diff against a baseline report: the findings of `self`
+    /// not present in `baseline`. Matching is by the multiset of
+    /// `(lint, path, snippet)` — line numbers are excluded so unrelated
+    /// edits moving a known finding up or down do not break the ratchet.
+    pub fn diff(&self, baseline: &Report) -> Vec<Finding> {
+        let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        for f in &baseline.findings {
+            *budget.entry((&f.lint, &f.path, &f.snippet)).or_insert(0) += 1;
+        }
+        let mut new = Vec::new();
+        for f in &self.findings {
+            match budget.get_mut(&(f.lint.as_str(), f.path.as_str(), f.snippet.as_str())) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => new.push(f.clone()),
+            }
+        }
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, path: &str, line: usize, snippet: &str) -> Finding {
+        Finding {
+            lint: lint.into(),
+            path: path.into(),
+            line,
+            message: format!("{lint} message"),
+            snippet: snippet.into(),
+        }
+    }
+
+    fn sample() -> Report {
+        Report::new(
+            42,
+            vec![
+                finding("D002", "crates/x/src/a.rs", 7, "use std::collections::HashMap;"),
+                finding("P001", "crates/x/src/b.rs", 3, "v.last().unwrap()"),
+            ],
+            vec![Suppressed {
+                path: "crates/x/src/c.rs".into(),
+                line: 11,
+                lint: "P004".into(),
+                reason: "i < n and j < n by construction".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let text = r.to_json().to_string();
+        assert!(text.starts_with("{\"schema\":\"lbchat-audit/v1\""));
+        let back = Report::from_json(&text).expect("reparse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = sample().to_json().to_string();
+        let b = sample().to_json().to_string();
+        assert_eq!(a, b);
+        assert!(!a.contains("time"), "no timestamps in reports");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = Report::from_json("{\"schema\":\"other/v9\"}").unwrap_err();
+        assert!(err.0.contains("schema"));
+    }
+
+    #[test]
+    fn counts_group_by_lint() {
+        let r = Report::new(
+            1,
+            vec![
+                finding("P001", "a.rs", 1, "x"),
+                finding("P001", "a.rs", 2, "y"),
+                finding("D001", "a.rs", 3, "z"),
+            ],
+            vec![],
+        );
+        let c = r.counts();
+        assert_eq!(c.get("P001"), Some(&2));
+        assert_eq!(c.get("D001"), Some(&1));
+    }
+
+    #[test]
+    fn human_summary_reports_clean_and_failed() {
+        let clean = Report::new(10, vec![], vec![]);
+        assert!(clean.human().contains("audit clean"));
+        assert!(sample().human().contains("audit FAILED: 2 finding(s)"));
+    }
+
+    #[test]
+    fn diff_ignores_line_moves_but_catches_new_findings() {
+        let base = sample();
+        let mut moved = sample();
+        moved.findings[0].line = 99; // same snippet, shifted by an edit
+        assert!(moved.diff(&base).is_empty());
+
+        let mut grown = sample();
+        grown.findings.push(finding("P001", "crates/x/src/b.rs", 8, "w.unwrap()"));
+        let new = grown.diff(&base);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].snippet, "w.unwrap()");
+    }
+
+    #[test]
+    fn diff_counts_multiplicity() {
+        let base = Report::new(1, vec![finding("P001", "a.rs", 1, "x.unwrap()")], vec![]);
+        let twice = Report::new(
+            1,
+            vec![
+                finding("P001", "a.rs", 1, "x.unwrap()"),
+                finding("P001", "a.rs", 9, "x.unwrap()"),
+            ],
+            vec![],
+        );
+        assert_eq!(twice.diff(&base).len(), 1, "second identical finding is new");
+    }
+}

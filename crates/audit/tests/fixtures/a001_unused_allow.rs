@@ -1,0 +1,6 @@
+// Bad snippet: a stale suppression with nothing to suppress. Must fire
+// A001 exactly once.
+// audit:allow(P001): this comment suppresses nothing and is an error
+pub fn fine() -> u32 {
+    7
+}

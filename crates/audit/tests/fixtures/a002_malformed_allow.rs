@@ -1,0 +1,5 @@
+// Bad snippet: a suppression without a reason. Must fire A002 exactly
+// once.
+pub fn truncated(v: &[u8]) -> u8 {
+    v[0] // audit:allow(P001)
+}

@@ -1,0 +1,5 @@
+// Bad snippet: reads the wall clock in a seeded crate. Must fire D001
+// exactly once when placed on a seeded path.
+pub fn elapsed_marker() -> std::time::Instant {
+    std::time::Instant::now()
+}

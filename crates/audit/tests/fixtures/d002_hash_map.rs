@@ -1,0 +1,9 @@
+// Bad snippet: unordered collection in a seeded crate. Must fire D002
+// exactly once.
+pub fn tally(keys: &[u32]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0usize) += 1;
+    }
+    m.len()
+}

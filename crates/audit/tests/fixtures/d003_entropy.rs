@@ -1,0 +1,6 @@
+// Bad snippet: ambient entropy in a seeded crate. Must fire D003
+// exactly once.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+// Bad snippet: epoch timestamp within reach of a result payload. Must
+// fire D004 exactly once.
+pub fn stamp() -> std::time::Duration {
+    let epoch = std::time::UNIX_EPOCH;
+    epoch.elapsed().unwrap_or_default()
+}

@@ -1,0 +1,5 @@
+// Bad snippet: emits an event kind that the observability doc does not
+// list. Must fire O001 exactly once (with the fixture doc).
+pub fn announce(obs: &lbchat::obs::ObsSink) {
+    obs.emit("ghost_kind", &[]);
+}

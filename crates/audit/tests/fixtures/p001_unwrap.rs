@@ -1,0 +1,4 @@
+// Bad snippet: unwrap in a hot path. Must fire P001 exactly once.
+pub fn last(v: &[f64]) -> f64 {
+    *v.last().unwrap()
+}

@@ -1,0 +1,4 @@
+// Bad snippet: expect in a hot path. Must fire P002 exactly once.
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().expect("non-empty")
+}

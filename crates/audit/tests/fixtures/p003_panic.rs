@@ -1,0 +1,8 @@
+// Bad snippet: explicit panic in a hot path. Must fire P003 exactly
+// once.
+pub fn checked(v: i64) -> i64 {
+    if v < 0 {
+        panic!("negative input");
+    }
+    v
+}

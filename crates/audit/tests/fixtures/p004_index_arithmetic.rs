@@ -1,0 +1,5 @@
+// Bad snippet: inline index arithmetic in a hot path. Must fire P004
+// exactly once.
+pub fn cell(grid: &[f64], i: usize, j: usize, n: usize) -> f64 {
+    grid[i * n + j]
+}

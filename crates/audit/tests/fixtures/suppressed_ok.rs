@@ -1,0 +1,5 @@
+// Good snippet: a real finding carrying a well-formed justification.
+// Must produce zero findings and exactly one suppression.
+pub fn head(v: &[f64]) -> f64 {
+    v.first().copied().unwrap() // audit:allow(P001): callers pass the non-empty roster
+}

@@ -64,7 +64,7 @@ fn bench_coreset(c: &mut Criterion) {
     let data = dataset(10_000);
     c.bench_function("micro_coreset_construct_10k_to_150", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        b.iter(|| construct(&learner, &data, &CoresetConfig { size: 150 }, &mut rng))
+        b.iter(|| construct(&learner, &data, &CoresetConfig { size: 150 }, &mut rng));
     });
     let big = construct(
         &learner,
@@ -78,7 +78,7 @@ fn bench_coreset(c: &mut Criterion) {
             || (big.clone(), big.clone()),
             |(a, bb)| reduce(a.merge(bb), 150, &mut rng),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -88,10 +88,10 @@ fn bench_compress(c: &mut Criterion) {
         (0..25_000).map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0).collect(),
     );
     c.bench_function("micro_topk_25k_params_psi_0.1", |b| {
-        b.iter(|| top_k(&params, 0.1))
+        b.iter(|| top_k(&params, 0.1));
     });
     c.bench_function("micro_topk_densify_25k", |b| {
-        b.iter(|| compress_dense(&params, 0.3))
+        b.iter(|| compress_dense(&params, 0.3));
     });
 }
 
@@ -106,7 +106,7 @@ fn bench_phi_and_solver(c: &mut Criterion) {
                 acc += a.eval(k as f64 / 100.0);
             }
             acc
-        })
+        });
     });
     let phi = PhiCurve::from_points(
         vec![0.02, 0.1, 0.3, 0.6, 1.0],
@@ -143,7 +143,7 @@ fn bench_phi_sampling(c: &mut Criterion) {
                 lbchat::phi::DEFAULT_PSI_GRID,
                 &PenaltyConfig::none(),
             )
-        })
+        });
     });
 }
 
@@ -152,10 +152,10 @@ fn bench_aggregate(c: &mut Criterion) {
     let b_ = ParamVec::from_vec((0..25_000).map(|i| 1.0 - i as f32 / 25_000.0).collect());
     // The Eq. (8) printed-vs-intended ablation, side by side.
     c.bench_function("ablation_eq8_inverse_loss", |bch| {
-        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::InverseLoss))
+        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::InverseLoss));
     });
     c.bench_function("ablation_eq8_as_printed", |bch| {
-        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::AsPrinted))
+        bch.iter(|| aggregate(&a, 1.0, &b_, 2.0, AggregationRule::AsPrinted));
     });
 }
 
@@ -167,7 +167,7 @@ fn bench_bev(c: &mut Criterion) {
     let peds: Vec<Vec2> = world.pedestrian_positions();
     let pose = Pose { pos: Vec2::new(300.0, 300.0), heading: 0.5 };
     c.bench_function("micro_bev_rasterize", |b| {
-        b.iter(|| rasterize(&cfg, pose, 8.0, raster, &cars, &peds, &[]))
+        b.iter(|| rasterize(&cfg, pose, 8.0, raster, &cars, &peds, &[]));
     });
 }
 
@@ -175,11 +175,11 @@ fn bench_channel(c: &mut Criterion) {
     let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
     c.bench_function("micro_channel_transfer_coreset_0.6MB", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng))
+        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng));
     });
     c.bench_function("micro_channel_transfer_model_5.2MB", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        b.iter(|| ch.transfer(5 * 1024 * 1024, 100.0, |_| 150.0, &mut rng))
+        b.iter(|| ch.transfer(5 * 1024 * 1024, 100.0, |_| 150.0, &mut rng));
     });
 }
 

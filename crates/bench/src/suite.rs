@@ -169,7 +169,7 @@ fn bench_coreset(c: &mut Criterion, opts: &SuiteOpts) {
                 } else {
                     construct_with_scratch(&learner, &data, &cfg, &mut rng, &mut scratch)
                 }
-            })
+            });
         });
     }
     let data = dataset(10_000);
@@ -191,7 +191,7 @@ fn bench_coreset(c: &mut Criterion, opts: &SuiteOpts) {
                 }
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -206,7 +206,7 @@ fn bench_valuation(c: &mut Criterion, _opts: &SuiteOpts) {
     );
     let pen = PenaltyConfig::none();
     c.bench_function("valuation/coreset_loss_150", |b| {
-        b.iter(|| coreset_loss(&learner, learner.params(), &coreset, &pen))
+        b.iter(|| coreset_loss(&learner, learner.params(), &coreset, &pen));
     });
 }
 
@@ -223,7 +223,7 @@ fn bench_compress(c: &mut Criterion, _opts: &SuiteOpts) {
                 sizer.observe_exchange(0.4 + (k % 5) as f64 * 0.1);
             }
             sizer.adjust()
-        })
+        });
     });
 }
 
@@ -268,7 +268,7 @@ fn bench_bev(c: &mut Criterion, opts: &SuiteOpts) {
             } else {
                 bev::rasterize_into(&cfg, pose, 8.0, road, &cars, &peds, &route, &mut frame);
             }
-        })
+        });
     });
 }
 
@@ -281,7 +281,7 @@ fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
     mlp.init(&mut params, &mut rng);
     let input: Vec<f32> = (0..32).map(|i| (i as f32 / 32.0) - 0.5).collect();
     c.bench_function("vnn/mlp_forward_32x64x64x4", |b| {
-        b.iter(|| mlp.forward(&params, &input))
+        b.iter(|| mlp.forward(&params, &input));
     });
     let cache = mlp.forward(&params, &input);
     let d_out = vec![1.0f32, -0.5, 0.25, 0.0];
@@ -290,13 +290,13 @@ fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
         b.iter(|| {
             grad.iter_mut().for_each(|g| *g = 0.0);
             mlp.backward(&params, &cache, &d_out, &mut grad)
-        })
+        });
     });
     let grad: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 100.0).collect();
     c.bench_function("vnn/adam_step", |b| {
         let mut adam = Adam::new(1e-3);
         let mut p = params.as_slice().to_vec();
-        b.iter(|| adam.step(&mut p, &grad))
+        b.iter(|| adam.step(&mut p, &grad));
     });
 }
 
@@ -317,7 +317,7 @@ fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
     let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
     c.bench_function("simnet/channel_transfer_0.6MB", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng))
+        b.iter(|| ch.transfer(614_400, 100.0, |_| 150.0, &mut rng));
     });
     c.bench_function("simnet/trace_build_and_scan", |b| {
         b.iter(|| {
@@ -330,7 +330,7 @@ fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
                 t += 1.0;
             }
             hits
-        })
+        });
     });
     let trace = crossing_trace();
     let predictor =
@@ -340,7 +340,7 @@ fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
     let route_a = trace.future(0, 25.0, 0.5, 60);
     let route_b = trace.future(1, 25.0, 0.5, 60);
     c.bench_function("simnet/contact_estimate_60pt", |b| {
-        b.iter(|| predictor.estimate(&route_a, &route_b, 0.5))
+        b.iter(|| predictor.estimate(&route_a, &route_b, 0.5));
     });
 }
 
@@ -384,7 +384,7 @@ fn bench_e2e(c: &mut Criterion, opts: &SuiteOpts) {
         Duration::from_secs(8)
     });
     g.bench_function("lbchat_quick_no_loss", |b| {
-        b.iter(|| run_method(Method::LbChat, &s, Condition::NoLoss).metrics.sessions)
+        b.iter(|| run_method(Method::LbChat, &s, Condition::NoLoss).metrics.sessions);
     });
     g.finish();
 }

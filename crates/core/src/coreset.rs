@@ -216,7 +216,7 @@ where
     scratch.losses.clear();
     scratch.losses.extend(dataset.samples().iter().map(|s| learner.loss(s)));
     let losses = &scratch.losses;
-    let center = losses.iter().cloned().fold(f32::INFINITY, f32::min);
+    let center = losses.iter().copied().fold(f32::INFINITY, f32::min);
     let weighted_total: f32 = losses
         .iter()
         .zip(dataset.weights())
@@ -233,7 +233,7 @@ where
     scratch.layer_of.clear();
     scratch.layer_start.clear();
     scratch.layer_start.resize(n_layers + 1, 0);
-    for &l in losses.iter() {
+    for &l in losses {
         let dist = (l - center).max(0.0);
         let layer = if dist <= radius {
             0
@@ -289,7 +289,7 @@ where
         // w_C(d) = (layer total weight) / (picked total weight), scaled by
         // the sample's own original weight so non-uniform weights survive.
         let scale = scratch.layer_weights[layer_idx] / picked_weight;
-        for &(_, i) in scratch.keyed.iter() {
+        for &(_, i) in &scratch.keyed {
             samples.push(dataset.sample(i).clone());
             weights.push(dataset.weight(i) * scale);
         }
@@ -355,7 +355,7 @@ pub mod reference {
         }
 
         let losses: Vec<f32> = dataset.samples().iter().map(|s| learner.loss(s)).collect();
-        let center = losses.iter().cloned().fold(f32::INFINITY, f32::min);
+        let center = losses.iter().copied().fold(f32::INFINITY, f32::min);
         let weighted_total: f32 = losses
             .iter()
             .zip(dataset.weights())

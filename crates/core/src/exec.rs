@@ -57,7 +57,7 @@ pub fn jobs() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Runs `f(0..n)` across up to [`jobs`] worker threads and returns the

@@ -139,7 +139,7 @@ struct Inner {
 /// Recovers the guard even if a worker panicked while holding the lock;
 /// the sink's data stays usable for post-mortem inspection.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 thread_local! {
@@ -228,7 +228,7 @@ impl ObsSink {
     /// when disabled — but prefer guarding with [`ObsSink::enabled`] so
     /// the field list is not even built.
     pub fn emit(&self, kind: &str, fields: &[(&str, Json)]) {
-        self.emit_owned(kind, fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect());
+        self.emit_owned(kind, fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect());
     }
 
     fn emit_owned(&self, kind: &str, fields: Vec<(String, Json)>) {

@@ -458,7 +458,7 @@ impl Runtime {
                 if busy_until[i] > time || busy_until[j] > time {
                     continue;
                 }
-                if pair_cooldown_until[i * n + j] > time {
+                if pair_cooldown_until[pair_idx(i, j, n)] > time {
                     continue;
                 }
                 let fut_i = trace.future(i, time, dt, cfg.route_share_samples);
@@ -472,7 +472,9 @@ impl Runtime {
             }
             // Greedy matching by descending priority — each vehicle serves
             // its best-scored neighbor first (§III-A).
-            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite priorities"));
+            // total_cmp: scores are finite (non-finite ones are filtered
+            // above), and a total order never panics mid-sort.
+            candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
             let mut taken = vec![false; n];
             for (score, i, j, est) in candidates {
                 if taken[i] || taken[j] {
@@ -510,8 +512,8 @@ impl Runtime {
                 let until = time + duration.max(dt);
                 busy_until[i] = until;
                 busy_until[j] = until;
-                pair_cooldown_until[i * n + j] = until + cfg.pair_cooldown;
-                pair_cooldown_until[j * n + i] = until + cfg.pair_cooldown;
+                pair_cooldown_until[pair_idx(i, j, n)] = until + cfg.pair_cooldown;
+                pair_cooldown_until[pair_idx(j, i, n)] = until + cfg.pair_cooldown;
             }
 
             // 3. Local training for free vehicles (fractional iteration
@@ -547,6 +549,13 @@ impl Runtime {
 }
 
 /// One `round` event per loss-curve sample: the quantity Fig. 2 plots.
+/// Flat index of the ordered pair `(i, j)` in the `n × n` cooldown
+/// matrix. Both ids come from the trace roster, so `i < n` and `j < n`
+/// by construction and the product stays within the `n * n` allocation.
+fn pair_idx(i: usize, j: usize, n: usize) -> usize {
+    i * n + j
+}
+
 fn emit_round(obs: &ObsSink, method: &str, t: f64, loss: f64) {
     if obs.enabled() {
         obs.add("rounds", 1);

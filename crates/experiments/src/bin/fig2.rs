@@ -39,7 +39,7 @@ fn main() {
             println!("\nSuccessful model receiving rate (W wireless loss):");
             let mut rate_table = Table::new(
                 "Fig. 2 — successful model receiving rate (W wireless loss) (%)",
-                rates.iter().map(|(n, _)| n.to_string()).collect(),
+                rates.iter().map(|(n, _)| (*n).to_string()).collect(),
             );
             rate_table.row_pct("receiving rate", &rates.iter().map(|(_, r)| r * 100.0).collect::<Vec<_>>());
             for (name, r) in &rates {

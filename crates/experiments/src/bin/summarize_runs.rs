@@ -134,7 +134,7 @@ fn main() {
 fn default_manifests() -> Vec<PathBuf> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(RUNS_DIR)
         .map(|rd| {
-            rd.filter_map(|e| e.ok())
+            rd.filter_map(std::result::Result::ok)
                 .map(|e| e.path())
                 .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
                 .collect()

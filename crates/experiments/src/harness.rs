@@ -58,6 +58,7 @@ pub fn train_and_evaluate_obs(
     index: usize,
 ) -> (Vec<f64>, RunOutput) {
     emit_cell_start(obs, method, condition, index);
+    // audit:allow(D001): feeds wall_ms, a documented TIMING_FIELDS key the result comparators strip
     let started = std::time::Instant::now();
     let cell = obs.scoped(&cell_label(method, condition));
     let out = run_method_obs(method, s, condition, &cell);
@@ -82,6 +83,7 @@ pub fn run_cell_obs(
     index: usize,
 ) -> RunOutput {
     emit_cell_start(obs, method, condition, index);
+    // audit:allow(D001): feeds wall_ms, a documented TIMING_FIELDS key the result comparators strip
     let started = std::time::Instant::now();
     let out = run_method_obs(method, s, condition, &obs.scoped(&cell_label(method, condition)));
     emit_cell_finish(obs, method, condition, index, &out, None, started);

@@ -168,7 +168,7 @@ mod tests {
     use super::*;
 
     fn strs(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Table {
     pub fn row_pct(&mut self, label: impl Into<String>, values: &[f64]) {
         self.rows.push((
             label.into(),
-            values.iter().map(|v| format!("{:.0}", v)).collect(),
+            values.iter().map(|v| format!("{v:.0}")).collect(),
         ));
     }
 
@@ -69,7 +69,7 @@ impl Table {
             let w = self
                 .rows
                 .iter()
-                .map(|(_, cells)| cells.get(c).map_or(0, |s| s.len()))
+                .map(|(_, cells)| cells.get(c).map_or(0, std::string::String::len))
                 .chain(std::iter::once(col.len()))
                 .max()
                 .unwrap_or(col.len());
@@ -118,7 +118,7 @@ pub fn write_csv(name: &str, content: &str) -> std::io::Result<std::path::PathBu
 pub fn curve_csv(curves: &[(&str, &[(f64, f64)])]) -> String {
     let mut out = String::from("method,time_s,loss\n");
     for (name, curve) in curves {
-        for (t, l) in curve.iter() {
+        for (t, l) in *curve {
             let _ = writeln!(out, "{name},{t:.0},{l:.6}");
         }
     }

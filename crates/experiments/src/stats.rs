@@ -35,8 +35,8 @@ impl Summary {
         } else {
             0.0
         };
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self { n, mean, std: var.sqrt(), min, max }
     }
 
@@ -61,7 +61,7 @@ pub fn summarize_curves(curves: &[Vec<(f64, f64)>]) -> Vec<(f64, f64, f64)> {
     if curves.is_empty() {
         return Vec::new();
     }
-    let len = curves.iter().map(|c| c.len()).min().unwrap_or(0);
+    let len = curves.iter().map(std::vec::Vec::len).min().unwrap_or(0);
     (0..len)
         .map(|k| {
             let t = curves[0][k].0;

@@ -17,6 +17,8 @@ const KNOWN_FLAGS: &[&str] = &[
     // lbchat-bench / bench_report (see crates/bench/src/main.rs and
     // crates/bench/src/bin/bench_report.rs)
     "smoke", "reference", "filter", "out", "name", "threshold",
+    // lbchat-audit (see crates/audit/src/main.rs)
+    "root", "baseline", "list-lints",
     // cargo itself
     "release", "bin", "example", "workspace", "no-deps", "all-targets", "test", "package",
 ];
@@ -33,7 +35,7 @@ fn doc_files(root: &Path) -> Vec<PathBuf> {
         .collect();
     if let Ok(rd) = std::fs::read_dir(root.join("docs")) {
         let mut extra: Vec<PathBuf> = rd
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.path())
             .filter(|p| p.extension().is_some_and(|x| x == "md"))
             .collect();
@@ -52,7 +54,7 @@ fn bin_exists(root: &Path, name: &str) -> bool {
         Ok(rd) => rd,
         Err(_) => return false,
     };
-    for entry in crates.filter_map(|e| e.ok()) {
+    for entry in crates.filter_map(std::result::Result::ok) {
         let dir = entry.path();
         if dir.join(format!("src/bin/{name}.rs")).is_file() {
             return true;
@@ -134,6 +136,57 @@ fn docs_reference_only_real_flags_bins_and_examples() {
         }
     }
     assert!(problems.is_empty(), "stale documentation references:\n{}", problems.join("\n"));
+}
+
+/// Yields every audit-lint-shaped token (`D001`, `P004`, …) in `text`:
+/// one of the four family letters followed by exactly three digits, with
+/// identifier boundaries on both sides.
+fn lint_ids(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..bytes.len().saturating_sub(3) {
+        if !matches!(bytes[i], b'D' | b'P' | b'O' | b'A') {
+            continue;
+        }
+        if !(bytes[i + 1].is_ascii_digit() && bytes[i + 2].is_ascii_digit() && bytes[i + 3].is_ascii_digit()) {
+            continue;
+        }
+        let left_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let right_ok = bytes.get(i + 4).is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        if left_ok && right_ok {
+            out.push(text[i..i + 4].to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn lint_ids_in_prose_exist_in_the_audit_binary() {
+    let root = repo_root();
+    let known: Vec<&str> = lbchat_audit::LINTS.iter().map(|l| l.id).collect();
+    let mut problems = Vec::new();
+    for path in doc_files(&root) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rel = path.strip_prefix(&root).unwrap_or(&path).display().to_string();
+        for id in lint_ids(&text) {
+            if !known.contains(&id.as_str()) {
+                problems.push(format!("{rel}: lint id {id} does not exist in lbchat-audit"));
+            }
+        }
+    }
+    assert!(problems.is_empty(), "stale lint ids in prose:\n{}", problems.join("\n"));
+    // The catalogue doc must actually name every lint the binary knows.
+    let audit_doc = std::fs::read_to_string(root.join("docs/AUDIT.md")).expect("docs/AUDIT.md");
+    for id in known {
+        assert!(audit_doc.contains(id), "docs/AUDIT.md is missing lint {id}");
+    }
+}
+
+#[test]
+fn lint_id_scanner_respects_boundaries() {
+    assert_eq!(lint_ids("fires D001 once"), ["D001"]);
+    assert_eq!(lint_ids("`P004`/`A002`"), ["P004", "A002"]);
+    assert!(lint_ids("ID0012 and XP004 and P04 and P0045").is_empty());
 }
 
 #[test]

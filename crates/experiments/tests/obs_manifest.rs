@@ -58,7 +58,7 @@ fn manifest_events_are_deterministic_modulo_timing() {
     // Raw streams do differ (timestamps), proving canonicalization is
     // doing real work rather than comparing equal strings.
     let raw = |sink: &ObsSink| {
-        let mut lines: Vec<String> = sink.events().iter().map(|e| e.line()).collect();
+        let mut lines: Vec<String> = sink.events().iter().map(lbchat::obs::Event::line).collect();
         lines.sort_unstable();
         lines
     };

@@ -121,8 +121,9 @@ pub fn polyline_length(points: &[Vec2]) -> f32 {
 /// Panics if `points` is empty.
 pub fn point_at_arclength(points: &[Vec2], s: f32) -> Vec2 {
     assert!(!points.is_empty(), "polyline must have at least one point");
-    if s <= 0.0 || points.len() == 1 {
-        return points[0];
+    let mut reached = points[0];
+    if s <= 0.0 {
+        return reached;
     }
     let mut remaining = s;
     for w in points.windows(2) {
@@ -134,26 +135,29 @@ pub fn point_at_arclength(points: &[Vec2], s: f32) -> Vec2 {
             return w[0].lerp(w[1], remaining / seg);
         }
         remaining -= seg;
+        reached = w[1];
     }
-    *points.last().expect("non-empty")
+    reached // s ran past the end: clamp to the final point
 }
 
-/// Tangent (unit direction) at arc-length `s` along a polyline.
+/// Tangent (unit direction) at arc-length `s` along a polyline, clamped
+/// to the last segment's direction when `s` runs past the end.
 ///
 /// # Panics
 /// Panics if `points` has fewer than two points.
 pub fn tangent_at_arclength(points: &[Vec2], s: f32) -> Vec2 {
     assert!(points.len() >= 2, "polyline needs two points for a tangent");
     let mut remaining = s.max(0.0);
+    let mut dir = points[1] - points[0];
     for w in points.windows(2) {
+        dir = w[1] - w[0];
         let seg = w[0].distance(w[1]);
-        if remaining <= seg || w == points.windows(2).last().unwrap() {
-            return (w[1] - w[0]).normalized();
+        if remaining <= seg {
+            break;
         }
         remaining -= seg;
     }
-    let n = points.len();
-    (points[n - 1] - points[n - 2]).normalized()
+    dir.normalized()
 }
 
 #[cfg(test)]

@@ -80,11 +80,12 @@ impl MobilityTrace {
         assert!(!series.is_empty(), "trace has no frames");
         let ft = (t * self.fps).max(0.0);
         let i = ft.floor() as usize;
-        if i + 1 >= series.len() {
-            return *series.last().expect("non-empty");
+        if let (Some(a), Some(b)) = (series.get(i), series.get(i + 1)) {
+            let frac = (ft - i as f64) as f32;
+            return a.lerp(*b, frac);
         }
-        let frac = (ft - i as f64) as f32;
-        series[i].lerp(series[i + 1], frac)
+        // Past the last frame (or at it exactly): clamp to the end.
+        *series.last().unwrap_or(&Vec2::ZERO)
     }
 
     /// Distance between two agents at time `t`.

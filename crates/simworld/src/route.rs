@@ -51,7 +51,7 @@ impl Route {
         let mut out: Vec<Vec2> = Vec::new();
         for &eid in &self.edges {
             for p in &map.edge(eid).polyline {
-                if out.last().map(|l| l.distance(*p) > 1e-6).unwrap_or(true) {
+                if out.last().map_or(true, |l| l.distance(*p) > 1e-6) {
                     out.push(*p);
                 }
             }

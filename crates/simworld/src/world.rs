@@ -8,7 +8,7 @@ use crate::route::{Route, Router};
 use rand::{Rng, RngExt, SeedableRng};
 use simnet::geom::Vec2;
 use simnet::trace::MobilityTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Precomputed drivable-area raster of the whole map, shared by every BEV
 /// rasterization (sampling this grid is far cheaper than re-walking all road
@@ -295,13 +295,15 @@ impl World {
     fn compute_gaps(&self) -> Vec<Option<f32>> {
         let all: Vec<&RoadVehicle> =
             self.experts.iter().chain(&self.background).collect();
-        // Group (s, slot) by edge.
-        let mut by_edge: HashMap<usize, Vec<(f32, usize)>> = HashMap::new();
+        // Group (s, slot) by edge. BTreeMap keeps iteration (and thus any
+        // future order-sensitive use) deterministic; the map is tiny, so
+        // the tree overhead is irrelevant here.
+        let mut by_edge: BTreeMap<usize, Vec<(f32, usize)>> = BTreeMap::new();
         for (slot, v) in all.iter().enumerate() {
             by_edge.entry(v.edge()).or_default().push((v.s, slot));
         }
         for list in by_edge.values_mut() {
-            list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            list.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         all.iter()
             .map(|v| {
