@@ -120,10 +120,16 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
         self.nodes[node].learner.params()
     }
 
-    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+    fn local_training(
+        &mut self,
+        node: usize,
+        iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> lbchat::TrainStats {
         for _ in 0..iters {
             self.nodes[node].local_iteration(rng);
         }
+        self.nodes[node].learner.take_train_stats()
     }
 
     fn on_frame(&mut self, ctx: &mut FrameCtx<'_>) {

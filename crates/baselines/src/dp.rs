@@ -94,10 +94,16 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
         self.nodes[node].learner.params()
     }
 
-    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+    fn local_training(
+        &mut self,
+        node: usize,
+        iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> lbchat::TrainStats {
         for _ in 0..iters {
             self.nodes[node].local_iteration(rng);
         }
+        self.nodes[node].learner.take_train_stats()
     }
 
     fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {

@@ -98,7 +98,12 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
         self.nodes[node].learner.params()
     }
 
-    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+    fn local_training(
+        &mut self,
+        node: usize,
+        iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> lbchat::TrainStats {
         for _ in 0..iters {
             self.nodes[node].local_iteration(rng);
             // Control-variate drift: x ← x + γ̂ h (the −γ(−h_i) term of the
@@ -109,6 +114,7 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
                 self.nodes[node].learner.set_params(p);
             }
         }
+        self.nodes[node].learner.take_train_stats()
     }
 
     /// Vehicles never talk to each other in ProxSkip.

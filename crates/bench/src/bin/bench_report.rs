@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! cargo run -p lbchat-bench --bin bench_report -- OLD.json NEW.json
-//!     [--threshold FRACTION]
+//!     [--threshold FRACTION] [--filter SUBSTR]
 //! ```
 //!
-//! Exits 0 when no row regresses, 1 otherwise (or on malformed input), so
-//! CI can gate on it directly. The regression policy is documented in
-//! `lbchat_bench::report` and `docs/BENCHMARKS.md`.
+//! `--filter` restricts the comparison to ids containing the substring, so
+//! CI can gate one subsystem (e.g. `--filter vnn/`) against a tighter
+//! baseline without the noise of unrelated cells; it is an error if the
+//! filter matches nothing in the new run. Exits 0 when no compared row
+//! regresses, 1 otherwise (or on malformed input), so CI can gate on it
+//! directly. The regression policy is documented in `lbchat_bench::report`
+//! and `docs/BENCHMARKS.md`.
 
 use lbchat_bench::report::{compare, render, DEFAULT_THRESHOLD};
 use lbchat_bench::results::BenchRun;
@@ -16,12 +20,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: bench_report OLD.json NEW.json [--threshold FRACTION]"
+    "usage: bench_report OLD.json NEW.json [--threshold FRACTION] [--filter SUBSTR]"
 }
 
-fn parse_args(argv: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
+fn parse_args(argv: &[String]) -> Result<(PathBuf, PathBuf, f64, Option<String>), String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut filter = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -34,6 +39,9 @@ fn parse_args(argv: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
                     return Err(format!("threshold must be a non-negative number, got `{raw}`"));
                 }
             }
+            "--filter" => {
+                filter = Some(it.next().ok_or("--filter needs a value")?.clone());
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()))
@@ -42,29 +50,38 @@ fn parse_args(argv: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
         }
     }
     match <[PathBuf; 2]>::try_from(paths) {
-        Ok([old, new]) => Ok((old, new, threshold)),
+        Ok([old, new]) => Ok((old, new, threshold, filter)),
         Err(_) => Err(usage().to_string()),
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (old_path, new_path, threshold) = match parse_args(&argv) {
+    let (old_path, new_path, threshold, filter) = match parse_args(&argv) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let (old, new) = match (BenchRun::read_from(&old_path), BenchRun::read_from(&new_path)) {
-        (Ok(old), Ok(new)) => (old, new),
-        (old, new) => {
-            for err in [old.err(), new.err()].into_iter().flatten() {
-                eprintln!("{err}");
+    let (mut old, mut new) =
+        match (BenchRun::read_from(&old_path), BenchRun::read_from(&new_path)) {
+            (Ok(old), Ok(new)) => (old, new),
+            (old, new) => {
+                for err in [old.err(), new.err()].into_iter().flatten() {
+                    eprintln!("{err}");
+                }
+                return ExitCode::FAILURE;
             }
+        };
+    if let Some(f) = &filter {
+        old.entries.retain(|e| e.id.contains(f.as_str()));
+        new.entries.retain(|e| e.id.contains(f.as_str()));
+        if new.entries.is_empty() {
+            eprintln!("filter `{f}` matched no rows in {}", new_path.display());
             return ExitCode::FAILURE;
         }
-    };
+    }
     if old.mode != new.mode {
         eprintln!(
             "warning: comparing a `{}` run against a `{}` run — absolute times are not comparable across modes",

@@ -88,6 +88,13 @@ fn main() -> ExitCode {
     match run.write_to(&args.out) {
         Ok(path) => {
             println!("{}", path.display());
+            // Keep a repo-root copy of the latest optimized run so a bench
+            // refresh is always one `git diff BENCH_current.json` away.
+            if name == "current" {
+                if let Err(e) = std::fs::copy(&path, "BENCH_current.json") {
+                    eprintln!("warning: could not copy to BENCH_current.json: {e}");
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

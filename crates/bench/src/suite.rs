@@ -28,7 +28,9 @@ use simworld::world::{World, WorldConfig};
 use std::time::Duration;
 use vnn::adam::Adam;
 use vnn::mlp::{Mlp, MlpSpec};
-use vnn::ParamVec;
+use vnn::{
+    BranchedPolicy, MlpScratch, ParamVec, PolicySample, PolicySpec, Sgd, TrainScratch, SHARD,
+};
 
 /// What to run and how.
 #[derive(Debug, Clone, Default)]
@@ -272,7 +274,7 @@ fn bench_bev(c: &mut Criterion, opts: &SuiteOpts) {
     });
 }
 
-fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
+fn bench_vnn(c: &mut Criterion, opts: &SuiteOpts) {
     let spec = MlpSpec::relu(vec![32, 64, 64, 4]);
     let mlp = Mlp::new(spec, 0);
     let n = mlp.param_count();
@@ -280,6 +282,8 @@ fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     mlp.init(&mut params, &mut rng);
     let input: Vec<f32> = (0..32).map(|i| (i as f32 / 32.0) - 0.5).collect();
+    // Single-sample cells, ids pinned since PR 3 (no reference arm: the
+    // per-sample kernels *are* the reference).
     c.bench_function("vnn/mlp_forward_32x64x64x4", |b| {
         b.iter(|| mlp.forward(&params, &input));
     });
@@ -297,6 +301,140 @@ fn bench_vnn(c: &mut Criterion, _opts: &SuiteOpts) {
         let mut adam = Adam::new(1e-3);
         let mut p = params.as_slice().to_vec();
         b.iter(|| adam.step(&mut p, &grad));
+    });
+
+    // Batched minibatch kernels (PR 5) against the per-sample reference
+    // composition. The reference arm times exactly what local training did
+    // before batching: one allocating forward/backward per sample, folded in
+    // sample order.
+    let reference = opts.reference;
+    let inputs: Vec<Vec<f32>> = (0..64)
+        .map(|s| (0..32).map(|i| ((s * 31 + i * 7) % 97) as f32 / 97.0 - 0.5).collect())
+        .collect();
+    let weights: Vec<f32> = (0..64).map(|s| 0.5 + (s % 7) as f32 * 0.25).collect();
+    for bsz in [1usize, 16, 64] {
+        let id = format!("vnn/mlp_forward_batch_b{bsz}");
+        c.bench_function(id, |b| {
+            let mut scratch = MlpScratch::new();
+            b.iter(|| {
+                if reference {
+                    let mut acc = 0.0f32;
+                    for x in &inputs[..bsz] {
+                        acc += vnn::reference::forward(&mlp, &params, x).output()[0];
+                    }
+                    acc
+                } else {
+                    let stage = mlp.stage_batch(&mut scratch, bsz);
+                    for (row, x) in stage.chunks_mut(32).zip(&inputs) {
+                        row.copy_from_slice(x);
+                    }
+                    mlp.forward_batch(&params, &mut scratch, bsz);
+                    mlp.batch_outputs(&scratch, bsz)[0]
+                }
+            });
+        });
+    }
+    let caches: Vec<vnn::mlp::Cache> =
+        inputs.iter().map(|x| mlp.forward(&params, x)).collect();
+    for bsz in [1usize, 16, 64] {
+        let id = format!("vnn/mlp_backward_batch_b{bsz}");
+        c.bench_function(id, |b| {
+            let mut scratch = MlpScratch::new();
+            if !reference {
+                // Activations staged once; each iteration restages d_out and
+                // times the weighted batched backward pass alone.
+                let stage = mlp.stage_batch(&mut scratch, bsz);
+                for (row, x) in stage.chunks_mut(32).zip(&inputs) {
+                    row.copy_from_slice(x);
+                }
+                mlp.forward_batch(&params, &mut scratch, bsz);
+            }
+            let mut grad = vec![0.0f32; n];
+            b.iter(|| {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                if reference {
+                    // PR 3's composition: per-sample backward into a fresh
+                    // gradient vector, weighted fold in sample order.
+                    for s in 0..bsz {
+                        let mut g = vec![0.0f32; n];
+                        vnn::reference::backward(&mlp, &params, &caches[s], &d_out, &mut g);
+                        for (acc, gi) in grad.iter_mut().zip(&g) {
+                            *acc += weights[s] * gi;
+                        }
+                    }
+                } else {
+                    let staged = mlp.stage_d_out(&mut scratch, bsz);
+                    for row in staged.chunks_mut(4) {
+                        row.copy_from_slice(&d_out);
+                    }
+                    mlp.backward_batch(&params, &mut scratch, bsz, &weights, &mut grad);
+                }
+                grad[0]
+            });
+        });
+    }
+    c.bench_function("vnn/adam_step_fused", |b| {
+        let mut adam = Adam::new(1e-3);
+        let mut p = params.as_slice().to_vec();
+        let mut scaled = vec![0.0f32; n];
+        let scale = 1.0 / 64.0f32;
+        b.iter(|| {
+            if reference {
+                // Separate scaling pass, then the plain step.
+                for (d, g) in scaled.iter_mut().zip(&grad) {
+                    *d = g * scale;
+                }
+                adam.step(&mut p, &scaled);
+            } else {
+                adam.step_scaled(&mut p, &grad, scale);
+            }
+        });
+    });
+
+    // A full local-training round on a driving-scale branched policy: the
+    // whole per-iteration path `runtime` executes, minus data sampling.
+    let pspec = PolicySpec {
+        input_dim: 64,
+        trunk: vec![96, 64],
+        n_branches: 4,
+        waypoints: 4,
+        skip_inputs: 2,
+    };
+    let mut prng = rand::rngs::StdRng::seed_from_u64(11);
+    let policy = BranchedPolicy::new(&pspec, &mut prng);
+    let owned: Vec<(Vec<f32>, usize, Vec<f32>, f32)> = (0..64)
+        .map(|s| {
+            let x: Vec<f32> =
+                (0..64).map(|i| ((s * 13 + i * 5) % 89) as f32 / 89.0 - 0.5).collect();
+            let t: Vec<f32> = (0..8).map(|i| ((s * 7 + i * 3) % 23) as f32 / 23.0).collect();
+            (x, s % 4, t, 0.5 + (s % 5) as f32 * 0.3)
+        })
+        .collect();
+    let batch: Vec<PolicySample<'_>> = owned
+        .iter()
+        .map(|(x, br, t, w)| PolicySample { input: x, branch: *br, target: t, weight: *w })
+        .collect();
+    c.bench_function("vnn/policy_train_round_b64", |b| {
+        let mut scratch = TrainScratch::new();
+        b.iter_batched(
+            || (policy.clone(), Sgd::new(5e-3, 0.9, 1e-5)),
+            |(mut pol, mut opt)| {
+                if reference {
+                    vnn::reference::policy_train_step(&mut pol, &mut opt, &batch)
+                } else {
+                    let n = batch.len();
+                    let shards = scratch.shards_mut(n);
+                    for (s, shard) in shards.iter_mut().enumerate() {
+                        pol.train_shard(&batch[..], s * SHARD, shard);
+                    }
+                    let out = pol.reduce_shards(&mut scratch, n);
+                    let inv = 1.0 / out.weight_sum;
+                    opt.step_scaled(pol.params_mut().as_mut_slice(), scratch.grad(), inv);
+                    out.loss_sum * inv
+                }
+            },
+            BatchSize::SmallInput,
+        );
     });
 }
 

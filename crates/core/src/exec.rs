@@ -158,6 +158,51 @@ where
     par_run_traced(sink, stage, items.len(), |i| f(i, &items[i]))
 }
 
+/// Runs `f(index, &mut item)` over every item, splitting the slice into one
+/// contiguous chunk per worker. Unlike [`par_map`] there is no result
+/// collection and no work stealing: each worker owns a fixed range, which is
+/// what in-place mutation needs.
+///
+/// Used by batched local training to process fixed-size gradient shards in
+/// parallel: because each shard's content depends only on its index (never
+/// on scheduling), any worker count — including the inline 1-worker path —
+/// produces bit-identical shard states.
+///
+/// # Panics
+/// Re-raises a panic from any work item on the calling thread.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slab)| {
+                scope.spawn(move || {
+                    for (off, item) in slab.iter_mut().enumerate() {
+                        f(c * chunk + off, item);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+}
+
 /// The splitmix64 finalizer — a full-avalanche 64-bit mixer.
 fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -249,6 +294,20 @@ mod tests {
     #[test]
     fn jobs_is_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_item_once() {
+        let mut items: Vec<u64> = vec![0; 57];
+        par_for_each_mut(&mut items, |i, v| *v = (i as u64) * 3 + 1);
+        let expect: Vec<u64> = (0..57).map(|i| i * 3 + 1).collect();
+        assert_eq!(items, expect);
+        // Edge sizes run inline.
+        let mut empty: Vec<u64> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| unreachable!("no items"));
+        let mut one = [9u64];
+        par_for_each_mut(&mut one, |i, v| *v += i as u64 + 1);
+        assert_eq!(one, [10]);
     }
 
     #[test]

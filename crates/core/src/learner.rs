@@ -9,6 +9,8 @@
 
 use vnn::ParamVec;
 
+pub use vnn::TrainStats;
+
 /// A trainable model over samples of type `Self::Sample`.
 ///
 /// Implementations must keep their entire state in the [`ParamVec`] exposed
@@ -51,6 +53,15 @@ pub trait Learner {
     /// (aggregation), so stale optimizer state (momentum) can be reset.
     /// Default: no-op.
     fn on_params_replaced(&mut self) {}
+
+    /// Drains the training-kernel statistics accumulated since the last
+    /// call (batches, samples, scratch reuses — see [`TrainStats`]). The
+    /// runtime emits them as `train.*` observability counters after each
+    /// local-training burst. Default: always zero, for learners that do not
+    /// instrument their training path.
+    fn take_train_stats(&mut self) -> TrainStats {
+        TrainStats::default()
+    }
 }
 
 /// Convenience: weighted mean loss of a learner over `(sample, weight)`

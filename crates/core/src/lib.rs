@@ -62,7 +62,7 @@ pub use aggregate::AggregationRule;
 pub use config::{ConfigError, LbChatConfig};
 pub use coreset::Coreset;
 pub use dataset::WeightedDataset;
-pub use learner::Learner;
+pub use learner::{Learner, TrainStats};
 pub use node::LbChatNode;
 pub use obs::ObsSink;
 pub use runtime::{CollabAlgorithm, Runtime, RuntimeConfig};

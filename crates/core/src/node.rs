@@ -249,10 +249,16 @@ impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
         self.nodes[node].learner.params()
     }
 
-    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng) {
+    fn local_training(
+        &mut self,
+        node: usize,
+        iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> crate::learner::TrainStats {
         for _ in 0..iters {
             self.nodes[node].local_iteration(rng);
         }
+        self.nodes[node].learner.take_train_stats()
     }
 
     /// Eq. (5): `c = z · p · min(B_i, B_j)`. Bandwidths are homogeneous in

@@ -11,7 +11,7 @@
 //! imports stay available through the individual modules.
 
 pub use crate::config::{ConfigError, LbChatConfig};
-pub use crate::learner::Learner;
+pub use crate::learner::{Learner, TrainStats};
 pub use crate::metrics::Metrics;
 pub use crate::obs::ObsSink;
 pub use crate::runtime::{

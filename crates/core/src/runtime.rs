@@ -352,8 +352,16 @@ pub trait CollabAlgorithm {
     /// The current model of a node (for inspection / driving evaluation).
     fn model(&self, node: usize) -> &ParamVec;
 
-    /// Performs `iters` local training iterations on `node`.
-    fn local_training(&mut self, node: usize, iters: usize, rng: &mut rand::rngs::StdRng);
+    /// Performs `iters` local training iterations on `node` and returns the
+    /// training-kernel statistics drained from the node's learner (zero for
+    /// uninstrumented implementations). The runtime aggregates them into
+    /// the `train.*` observability counters.
+    fn local_training(
+        &mut self,
+        node: usize,
+        iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> crate::learner::TrainStats;
 
     /// Handles a pairwise encounter; returns the session duration in
     /// seconds (both nodes stay busy that long). Use `link.transfer` for
@@ -526,8 +534,13 @@ impl Runtime {
                 let iters = train_debt[v].floor() as usize;
                 if iters > 0 {
                     train_debt[v] -= iters as f64;
-                    algo.local_training(v, iters, &mut rng);
+                    let stats = algo.local_training(v, iters, &mut rng);
                     metrics.train_iterations += iters as u64;
+                    if cfg.obs.enabled() && stats.batches > 0 {
+                        cfg.obs.add("train.batch", stats.batches);
+                        cfg.obs.add("train.samples", stats.samples);
+                        cfg.obs.add("train.scratch_reuse", stats.scratch_reuse);
+                    }
                 }
             }
 
@@ -587,8 +600,14 @@ mod tests {
         fn model(&self, _node: usize) -> &ParamVec {
             &self.params
         }
-        fn local_training(&mut self, _n: usize, iters: usize, _r: &mut rand::rngs::StdRng) {
+        fn local_training(
+            &mut self,
+            _n: usize,
+            iters: usize,
+            _r: &mut rand::rngs::StdRng,
+        ) -> crate::learner::TrainStats {
             self.train_calls += iters as u64;
+            crate::learner::TrainStats::default()
         }
         fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
             self.encounters += 1;
@@ -724,8 +743,14 @@ mod tests {
             fn model(&self, _n: usize) -> &ParamVec {
                 &self.params
             }
-            fn local_training(&mut self, _n: usize, iters: usize, _r: &mut rand::rngs::StdRng) {
+            fn local_training(
+                &mut self,
+                _n: usize,
+                iters: usize,
+                _r: &mut rand::rngs::StdRng,
+            ) -> crate::learner::TrainStats {
                 self.train_calls += iters as u64;
+                crate::learner::TrainStats::default()
             }
             fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
                 link.charge(10.0);

@@ -20,6 +20,7 @@ use simworld::expert::Command;
 use simworld::map::RoadNetwork;
 use simworld::route::{classify_turn, Route, TurnKind};
 use simworld::world::{World, WorldConfig};
+use vnn::TrainScratch;
 
 /// The CARLA-benchmark-style task suite (§IV-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -347,8 +348,13 @@ fn run_trial(learner: &DrivingLearner, world: &mut World, route: Route, cfg: &Ev
     let mut ego = FreeVehicle::new(start, heading);
     let mut tracker = RouteTracker::new(route);
     let destination = tracker.destination(world.map());
-    // One BEV frame reused across every step of the trial.
+    // One BEV frame — and one feature/waypoint/scratch set — reused across
+    // every step of the trial: the per-step loop allocates nothing after
+    // the first iteration.
     let mut bev = Bev::blank(world.config().bev.cells);
+    let mut features: Vec<f32> = Vec::new();
+    let mut wp: Vec<f32> = Vec::new();
+    let mut scratch = TrainScratch::new();
 
     let mut t = 0.0f64;
     while t < budget {
@@ -378,11 +384,11 @@ fn run_trial(learner: &DrivingLearner, world: &mut World, route: Route, cfg: &Ev
             &mut bev,
         );
         let command = tracker.command(world.map());
-        let mut features = bev.features(pool);
+        bev.features_into(pool, &mut features);
         let (nav_d, nav_s) = tracker.nav_features(world.map());
         features.push(nav_d);
         features.push(nav_s);
-        let wp = learner.predict(&features, command);
+        learner.predict_into(&features, command, &mut wp, &mut scratch);
 
         // Low-level control: pure pursuit on the second waypoint, speed
         // from the first (time-spaced at dt).
@@ -429,6 +435,9 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
     let destination = tracker.destination(world.map());
     let budget = (map_len as f64 * cfg.seconds_per_meter).max(60.0);
     let mut bev = Bev::blank(world.config().bev.cells);
+    let mut features: Vec<f32> = Vec::new();
+    let mut wp: Vec<f32> = Vec::new();
+    let mut scratch = TrainScratch::new();
     let mut t = 0.0f64;
     let mut frame = 0u64;
     while t < budget {
@@ -453,11 +462,11 @@ pub fn debug_one_trial(learner: &DrivingLearner, task: Task, cfg: &EvalConfig) {
             &mut bev,
         );
         let command = tracker.command(world.map());
-        let mut features = bev.features(pool);
+        bev.features_into(pool, &mut features);
         let (nav_d, nav_s) = tracker.nav_features(world.map());
         features.push(nav_d);
         features.push(nav_s);
-        let wp = learner.predict(&features, command);
+        learner.predict_into(&features, command, &mut wp, &mut scratch);
         if frame % 10 == 0 {
             eprintln!(
                 "t={t:>5.1} pos=({:>5.0},{:>5.0}) v={:>4.1} dev={:>5.1} cmd={:?} w1=({:.1},{:.1}) w2=({:.1},{:.1}) dest={:>4.0}",

@@ -1,10 +1,39 @@
 //! The [`lbchat::Learner`] implementation for the driving task.
+//!
+//! Training runs through the batched `vnn` kernels: each minibatch is split
+//! into fixed [`vnn::SHARD`]-sized gradient shards, the shards are processed
+//! (possibly in parallel, via [`lbchat::exec::par_for_each_mut`]) into a
+//! reusable [`TrainScratch`] arena, and the fixed-order reduction plus a
+//! fused scaled SGD step make the result bit-identical for every `--jobs`
+//! setting — and to the per-sample `vnn::reference` composition.
 
 use crate::frame::Frame;
-use lbchat::Learner;
+use lbchat::{Learner, TrainStats};
 use rand::Rng;
 use simworld::expert::Command;
-use vnn::{BranchedPolicy, ParamVec, PolicySpec, Sgd};
+use vnn::{
+    BatchSource, BranchedPolicy, ParamVec, PolicySample, PolicySpec, Sgd, TrainScratch, SHARD,
+};
+
+/// A minibatch view over the `(frame, weight)` pairs the [`Learner`] trait
+/// hands to [`DrivingLearner::train_step`].
+struct FrameBatch<'a, 'b>(&'a [(&'b Frame, f32)]);
+
+impl BatchSource for FrameBatch<'_, '_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn at(&self, i: usize) -> PolicySample<'_> {
+        let (frame, weight) = &self.0[i];
+        PolicySample {
+            input: &frame.features,
+            branch: frame.command.index(),
+            target: &frame.waypoints,
+            weight: *weight,
+        }
+    }
+}
 
 /// The paper's learning-rate default (§IV-A: 1e-4). Our model is three
 /// orders of magnitude smaller than the 52 MB CNN, so the effective default
@@ -18,6 +47,7 @@ pub const PAPER_LEARNING_RATE: f32 = 1e-4;
 pub struct DrivingLearner {
     policy: BranchedPolicy,
     opt: Sgd,
+    scratch: TrainScratch,
 }
 
 impl DrivingLearner {
@@ -30,6 +60,7 @@ impl DrivingLearner {
         Self {
             policy: BranchedPolicy::new(spec, rng),
             opt: Sgd::new(lr, 0.9, 1e-5),
+            scratch: TrainScratch::new(),
         }
     }
 
@@ -56,6 +87,19 @@ impl DrivingLearner {
     /// Predicted waypoints for `features` under `command`.
     pub fn predict(&self, features: &[f32], command: Command) -> Vec<f32> {
         self.policy.forward(features, command.index())
+    }
+
+    /// [`DrivingLearner::predict`] into a caller-owned buffer through a
+    /// reusable scratch arena — bit-identical output, no allocation after
+    /// warmup. The closed-loop evaluator calls this once per control step.
+    pub fn predict_into(
+        &self,
+        features: &[f32],
+        command: Command,
+        out: &mut Vec<f32>,
+        scratch: &mut TrainScratch,
+    ) {
+        self.policy.forward_into(features, command.index(), out, scratch);
     }
 }
 
@@ -84,28 +128,22 @@ impl Learner for DrivingLearner {
         if batch.is_empty() {
             return 0.0;
         }
-        let n_params = self.policy.param_count();
-        let mut grad = vec![0.0f32; n_params];
-        let mut loss_acc = 0.0f32;
-        let mut w_acc = 0.0f32;
-        for (frame, w) in batch {
-            let (l, g) = self.policy.loss_and_grad(
-                &frame.features,
-                frame.command.index(),
-                &frame.waypoints,
-            );
-            loss_acc += w * l;
-            w_acc += w;
-            for (acc, gi) in grad.iter_mut().zip(&g) {
-                *acc += w * gi;
-            }
-        }
-        let inv = 1.0 / w_acc;
-        for g in &mut grad {
-            *g *= inv;
-        }
-        self.opt.step(self.policy.params_mut().as_mut_slice(), &grad);
-        loss_acc * inv
+        let n = batch.len();
+        let src = FrameBatch(batch);
+        // Fixed SHARD-sized shards, fanned over the worker pool: shard
+        // contents depend only on the batch, never on the worker count, and
+        // the reduction below runs in shard order on this thread — so
+        // jobs=1 and jobs=4 produce bit-identical models.
+        let policy = &self.policy;
+        lbchat::exec::par_for_each_mut(self.scratch.shards_mut(n), |s, shard| {
+            policy.train_shard(&src, s * SHARD, shard);
+        });
+        let out = policy.reduce_shards(&mut self.scratch, n);
+        // Fused normalization: the gradient is Σ w·g, divided by Σ w inside
+        // the optimizer step (bit-identical to a separate scaling pass).
+        let inv = 1.0 / out.weight_sum;
+        self.opt.step_scaled(self.policy.params_mut().as_mut_slice(), self.scratch.grad(), inv);
+        out.loss_sum * inv
     }
 
     fn group_of(&self, sample: &Frame) -> usize {
@@ -118,6 +156,10 @@ impl Learner for DrivingLearner {
 
     fn on_params_replaced(&mut self) {
         self.opt.reset_momentum();
+    }
+
+    fn take_train_stats(&mut self) -> TrainStats {
+        self.scratch.take_stats()
     }
 }
 

@@ -152,7 +152,8 @@ fn lint_ids(text: &str) -> Vec<String> {
             continue;
         }
         let left_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
-        let right_ok = bytes.get(i + 4).is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        let right_ok =
+            bytes.get(i + 4).map_or(true, |b| !(b.is_ascii_alphanumeric() || *b == b'_'));
         if left_ok && right_ok {
             out.push(text[i..i + 4].to_string());
         }

@@ -137,9 +137,23 @@ impl Bev {
     /// # Panics
     /// Panics if `pool` does not divide the grid side.
     pub fn features(&self, pool: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.features_into(pool, &mut out);
+        out
+    }
+
+    /// [`Bev::features`] into a caller-owned buffer, so per-step feature
+    /// extraction in closed-loop rollouts reuses one allocation. The buffer
+    /// is cleared first; push order (and therefore every bit of the output)
+    /// matches [`Bev::features`].
+    ///
+    /// # Panics
+    /// Panics if `pool` does not divide the grid side.
+    pub fn features_into(&self, pool: usize, out: &mut Vec<f32>) {
         assert!(pool > 0 && self.cells % pool == 0, "pool must divide grid side");
         let side = self.cells / pool;
-        let mut out = Vec::with_capacity(side * side * channel::COUNT + 1);
+        out.clear();
+        out.reserve(side * side * channel::COUNT + 1);
         let norm = 1.0 / (pool * pool) as f32;
         for ch in &self.channels {
             for by in 0..side {
@@ -159,7 +173,6 @@ impl Bev {
             }
         }
         out.push(self.speed / 25.0); // normalize by the map's top speed
-        out
     }
 }
 

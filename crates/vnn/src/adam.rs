@@ -71,6 +71,33 @@ impl Adam {
             params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
     }
+
+    /// [`Adam::step`] with every gradient entry multiplied by `scale` on the
+    /// fly — the fused form of "scale the gradient buffer, then step", and
+    /// bit-identical to it: `g * scale` rounds exactly as the separate
+    /// scaling pass would, and the moment updates are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grad` lengths differ.
+    pub fn step_scaled(&mut self, params: &mut [f32], grad: &[f32], scale: f32) {
+        assert_eq!(params.len(), grad.len(), "params/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grad[i] * scale;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +165,21 @@ mod tests {
         let mut opt = Adam::new(0.1);
         let mut p = [0.0f32; 2];
         opt.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn step_scaled_matches_prescaled_step_bits() {
+        let grad = [0.37f32, -1.2, 0.004, 9.5];
+        let scale = 0.311f32;
+        let prescaled: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+        let mut fused = Adam::new(0.05);
+        let mut plain = Adam::new(0.05);
+        let mut pf = [1.0f32, -2.0, 0.5, 3.0];
+        let mut pp = pf;
+        for _ in 0..5 {
+            fused.step_scaled(&mut pf, &grad, scale);
+            plain.step(&mut pp, &prescaled);
+        }
+        assert_eq!(pf, pp, "fused scaling must be bit-identical");
     }
 }

@@ -47,6 +47,8 @@ pub mod loss;
 pub mod mlp;
 pub mod param;
 pub mod policy;
+pub mod reference;
+pub mod scratch;
 pub mod sgd;
 pub mod wire;
 
@@ -54,6 +56,7 @@ pub use adam::Adam;
 pub use batch::Minibatcher;
 pub use mlp::{Activation, Mlp, MlpSpec};
 pub use param::ParamVec;
-pub use policy::{BranchedPolicy, PolicySpec};
+pub use policy::{BatchOutcome, BatchSource, BranchedPolicy, PolicySample, PolicySpec};
+pub use scratch::{MlpScratch, TrainScratch, TrainStats, SHARD};
 pub use sgd::Sgd;
 pub use wire::WireError;

@@ -69,20 +69,35 @@ pub fn mean_loss(kind: LossKind, pred: &[f32], target: &[f32]) -> f32 {
 /// # Panics
 /// Panics if the slices have different lengths or are empty.
 pub fn mean_loss_and_grad(kind: LossKind, pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    let mut grad = vec![0.0f32; pred.len()];
+    let loss = mean_loss_and_grad_into(kind, pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`mean_loss_and_grad`] writing the gradient into a caller-owned buffer —
+/// the allocation-free form the batched training kernels use. Identical
+/// operation order, so results are bit-for-bit the same.
+///
+/// # Panics
+/// Panics if the slices have different lengths, `pred` is empty, or `d_pred`
+/// is shorter than `pred`.
+pub fn mean_loss_and_grad_into(
+    kind: LossKind,
+    pred: &[f32],
+    target: &[f32],
+    d_pred: &mut [f32],
+) -> f32 {
     assert_eq!(pred.len(), target.len(), "loss length mismatch");
     assert!(!pred.is_empty(), "loss over empty prediction");
+    assert!(d_pred.len() >= pred.len(), "loss gradient buffer too short");
     let n = pred.len() as f32;
     let mut loss = 0.0f32;
-    let grad = pred
-        .iter()
-        .zip(target)
-        .map(|(p, t)| {
-            let r = p - t;
-            loss += kind.value(r);
-            kind.grad(r) / n
-        })
-        .collect();
-    (loss / n, grad)
+    for ((p, t), g) in pred.iter().zip(target).zip(&mut *d_pred) {
+        let r = p - t;
+        loss += kind.value(r);
+        *g = kind.grad(r) / n;
+    }
+    loss / n
 }
 
 #[cfg(test)]

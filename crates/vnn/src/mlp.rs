@@ -6,7 +6,12 @@
 //! aggregation code above.
 
 use crate::param::ParamVec;
+use crate::scratch::MlpScratch;
 use rand::Rng;
+
+/// Output units per blocked strip of the batched forward pass: a strip of
+/// weight rows stays cache-resident while the batch streams through it.
+const J_BLOCK: usize = 16;
 
 /// Activation function applied after each hidden layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +25,7 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f32) -> f32 {
+    pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
             Activation::Tanh => x.tanh(),
@@ -29,7 +34,7 @@ impl Activation {
     }
 
     /// Derivative expressed in terms of the activation *output* `y`.
-    fn grad_from_output(self, y: f32) -> f32 {
+    pub(crate) fn grad_from_output(self, y: f32) -> f32 {
         match self {
             Activation::Relu => {
                 if y > 0.0 {
@@ -95,7 +100,7 @@ pub struct Mlp {
 #[derive(Debug, Clone)]
 pub struct Cache {
     /// `acts[0]` is the input; `acts[l]` the output of layer `l - 1`.
-    acts: Vec<Vec<f32>>,
+    pub(crate) acts: Vec<Vec<f32>>,
 }
 
 impl Cache {
@@ -256,6 +261,201 @@ impl Mlp {
         }
         unreachable!("loop returns at l == 0");
     }
+
+    // ----- batched kernels -------------------------------------------------
+    //
+    // The methods below run a whole minibatch through the network using
+    // caller-owned [`MlpScratch`] buffers: zero allocation after warmup, and
+    // bit-identical outputs/gradients to the per-sample kernels above (which
+    // [`crate::reference`] retains verbatim). Identity holds because every
+    // per-dot-product order (bias first, then ascending input index) and
+    // every per-element accumulation order (ascending sample index,
+    // ascending output-unit index) matches the per-sample kernels; batching
+    // only reorders work *between* independent accumulators.
+
+    /// The activation applied by layer `l` (hidden activation everywhere
+    /// except the final, linear layer).
+    fn layer_activation(&self, l: usize) -> Activation {
+        if l + 1 == self.spec.sizes.len() - 1 {
+            Activation::Identity
+        } else {
+            self.spec.hidden_activation
+        }
+    }
+
+    /// Sizes `scratch` for a batch of `n` samples and returns the input
+    /// buffer — `n` sample-major rows of `input_dim` floats — for the caller
+    /// to fill before [`Mlp::forward_batch`].
+    pub fn stage_batch<'s>(&self, scratch: &'s mut MlpScratch, n: usize) -> &'s mut [f32] {
+        scratch.prepare(&self.spec.sizes, n);
+        &mut scratch.acts[0][..n * self.spec.input_dim()]
+    }
+
+    /// Runs the forward pass over the `n` staged input rows, leaving every
+    /// layer's activations in `scratch` (read the last with
+    /// [`Mlp::batch_outputs`]).
+    ///
+    /// Bit-identical to `n` calls of [`Mlp::forward`]: each output element
+    /// is the same bias-first, ascending-index dot product.
+    ///
+    /// # Panics
+    /// Panics if the batch was not staged via [`Mlp::stage_batch`].
+    pub fn forward_batch(&self, params: &ParamVec, scratch: &mut MlpScratch, n: usize) {
+        let sizes = &self.spec.sizes;
+        assert!(
+            scratch.acts.len() >= sizes.len()
+                && scratch.acts[0].len() >= n * self.spec.input_dim(),
+            "batch not staged"
+        );
+        let p = params.as_slice();
+        let n_layers = sizes.len() - 1;
+        let mut off = self.offset;
+        for l in 0..n_layers {
+            let (fan_in, fan_out) = (sizes[l], sizes[l + 1]);
+            let weights = &p[off..off + fan_in * fan_out];
+            let biases = &p[off + fan_in * fan_out..off + fan_in * fan_out + fan_out];
+            let act = self.layer_activation(l);
+            let (lo, hi) = scratch.acts.split_at_mut(l + 1);
+            let xs = &lo[l][..n * fan_in];
+            let ys = &mut hi[0][..n * fan_out];
+            for jb in (0..fan_out).step_by(J_BLOCK) {
+                let je = (jb + J_BLOCK).min(fan_out);
+                for b in 0..n {
+                    let x = &xs[b * fan_in..(b + 1) * fan_in];
+                    let yrow = &mut ys[b * fan_out..(b + 1) * fan_out];
+                    for j in jb..je {
+                        let row = &weights[j * fan_in..(j + 1) * fan_in];
+                        let mut acc = biases[j];
+                        for (xi, wji) in x.iter().zip(row) {
+                            acc += xi * wji;
+                        }
+                        yrow[j] = act.apply(acc);
+                    }
+                }
+            }
+            off += fan_in * fan_out + fan_out;
+        }
+    }
+
+    /// The final-layer activations of the last [`Mlp::forward_batch`] call:
+    /// `n` sample-major rows of `output_dim` floats.
+    pub fn batch_outputs<'s>(&self, scratch: &'s MlpScratch, n: usize) -> &'s [f32] {
+        &scratch.acts[self.spec.sizes.len() - 1][..n * self.spec.output_dim()]
+    }
+
+    /// The output-gradient staging buffer — `n` rows of `output_dim` floats
+    /// for the caller to fill before [`Mlp::backward_batch`].
+    pub fn stage_d_out<'s>(&self, scratch: &'s mut MlpScratch, n: usize) -> &'s mut [f32] {
+        &mut scratch.delta[..n * self.spec.output_dim()]
+    }
+
+    /// [`Mlp::batch_outputs`] and [`Mlp::stage_d_out`] in one call, for
+    /// callers that derive each sample's output gradient from its output
+    /// (e.g. a loss) without cloning either buffer.
+    pub fn batch_outputs_and_d_out<'s>(
+        &self,
+        scratch: &'s mut MlpScratch,
+        n: usize,
+    ) -> (&'s [f32], &'s mut [f32]) {
+        let width = n * self.spec.output_dim();
+        let y = &scratch.acts[self.spec.sizes.len() - 1][..width];
+        (y, &mut scratch.delta[..width])
+    }
+
+    /// Backpropagates the staged output gradients through the activations of
+    /// the last [`Mlp::forward_batch`], accumulating each sample's parameter
+    /// gradient scaled by its `sample_w` entry into `grad`; the input
+    /// gradients are left behind for [`Mlp::batch_d_input`].
+    ///
+    /// Every gradient element visits samples in ascending order and adds
+    /// `w[b] * (delta * x)` with exactly the per-sample kernel's rounding,
+    /// so the result is bit-identical to backpropagating each sample alone
+    /// and folding the weighted per-sample gradients in sample order (the
+    /// [`crate::reference`] composition). Zero deltas — dead ReLU units,
+    /// inactive heads — contribute exactly `±0.0` in the per-sample kernel,
+    /// which never changes an accumulator that starts at `+0.0`, so they
+    /// are skipped outright. Consumes the staged `d_out`; restage before
+    /// calling again.
+    ///
+    /// # Panics
+    /// Panics if `sample_w` has fewer than `n` entries or `grad` is shorter
+    /// than the parameter vector.
+    pub fn backward_batch(
+        &self,
+        params: &ParamVec,
+        scratch: &mut MlpScratch,
+        n: usize,
+        sample_w: &[f32],
+        grad: &mut [f32],
+    ) {
+        assert!(sample_w.len() >= n, "sample weight length mismatch");
+        assert!(grad.len() >= self.offset + self.param_count(), "gradient buffer too short");
+        let sizes = &self.spec.sizes;
+        let p = params.as_slice();
+        let n_layers = sizes.len() - 1;
+        let mut layer_end = self.offset + self.param_count();
+        for l in (0..n_layers).rev() {
+            let (fan_in, fan_out) = (sizes[l], sizes[l + 1]);
+            let w_off = layer_end - (fan_in * fan_out + fan_out);
+            let b_off = w_off + fan_in * fan_out;
+            let act = self.layer_activation(l);
+            // Delta through the activation — exact per-element match with
+            // the per-sample kernel; `* 1.0` on the linear layer is skipped
+            // (multiplying by 1.0 is the identity for every f32 bit pattern).
+            if act != Activation::Identity {
+                let ys = &scratch.acts[l + 1][..n * fan_out];
+                for (d, yj) in scratch.delta[..n * fan_out].iter_mut().zip(ys) {
+                    *d *= act.grad_from_output(*yj);
+                }
+            }
+            let xs = &scratch.acts[l][..n * fan_in];
+            let deltas = &scratch.delta[..n * fan_out];
+            // Weighted parameter gradients, one output unit at a time so the
+            // unit's gradient row and bias stay hot across the whole batch.
+            let (gw, gb) = grad[w_off..b_off + fan_out].split_at_mut(fan_in * fan_out);
+            for j in 0..fan_out {
+                let grow = &mut gw[j * fan_in..(j + 1) * fan_in];
+                let mut gbias = gb[j];
+                for b in 0..n {
+                    let dj = deltas[b * fan_out + j];
+                    if dj != 0.0 {
+                        let wb = sample_w[b];
+                        let x = &xs[b * fan_in..(b + 1) * fan_in];
+                        for (g, xi) in grow.iter_mut().zip(x) {
+                            *g += wb * (dj * xi);
+                        }
+                        gbias += wb * dj;
+                    }
+                }
+                gb[j] = gbias;
+            }
+            // Gradient w.r.t. the layer input, ping-ponged into the second
+            // delta buffer (ascending-j accumulation, exactly as per sample).
+            let weights = &p[w_off..b_off];
+            let dl = &mut scratch.delta_lower[..n * fan_in];
+            dl.fill(0.0);
+            for j in 0..fan_out {
+                let wrow = &weights[j * fan_in..(j + 1) * fan_in];
+                for b in 0..n {
+                    let dj = deltas[b * fan_out + j];
+                    if dj != 0.0 {
+                        let drow = &mut dl[b * fan_in..(b + 1) * fan_in];
+                        for (di, wji) in drow.iter_mut().zip(wrow) {
+                            *di += dj * wji;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.delta, &mut scratch.delta_lower);
+            layer_end = w_off;
+        }
+    }
+
+    /// The per-sample input gradients computed by the last
+    /// [`Mlp::backward_batch`]: `n` rows of `input_dim` floats.
+    pub fn batch_d_input<'s>(&self, scratch: &'s MlpScratch, n: usize) -> &'s [f32] {
+        &scratch.delta[..n * self.spec.input_dim()]
+    }
 }
 
 #[cfg(test)]
@@ -372,5 +572,55 @@ mod tests {
     fn wrong_input_dim_panics() {
         let (mlp, params) = tiny();
         mlp.forward(&params, &[1.0]);
+    }
+
+    /// Quick smoke of the batched kernels against the per-sample ones; the
+    /// exhaustive bit-identity checks live in `tests/properties.rs`.
+    #[test]
+    fn batched_kernels_match_per_sample_bits() {
+        let (mlp, params) = tiny();
+        let inputs = [[0.5f32, -0.2, 1.0], [-0.9, 0.4, 0.1], [2.0, -1.5, 0.7]];
+        let weights = [1.0f32, 0.25, 2.5];
+        let n = inputs.len();
+
+        let mut scratch = MlpScratch::new();
+        let staged = mlp.stage_batch(&mut scratch, n);
+        for (row, x) in staged.chunks_exact_mut(3).zip(&inputs) {
+            row.copy_from_slice(x);
+        }
+        mlp.forward_batch(&params, &mut scratch, n);
+
+        let mut d_rows = Vec::new();
+        for (b, x) in inputs.iter().enumerate() {
+            let cache = mlp.forward(&params, x);
+            assert_eq!(
+                cache.output(),
+                &mlp.batch_outputs(&scratch, n)[b * 2..(b + 1) * 2],
+                "forward bits differ at sample {b}"
+            );
+            let d: Vec<f32> = cache.output().iter().map(|y| y + 0.3).collect();
+            d_rows.push((cache, d));
+        }
+
+        // Weighted batched backward vs per-sample grads folded in order.
+        let d_out = mlp.stage_d_out(&mut scratch, n);
+        for (row, (_, d)) in d_out.chunks_exact_mut(2).zip(&d_rows) {
+            row.copy_from_slice(d);
+        }
+        let mut batched = vec![0.0f32; params.len()];
+        mlp.backward_batch(&params, &mut scratch, n, &weights, &mut batched);
+
+        let mut folded = vec![0.0f32; params.len()];
+        let mut d_ins = Vec::new();
+        for ((cache, d), &w) in d_rows.iter().zip(&weights) {
+            let mut g = vec![0.0f32; params.len()];
+            d_ins.push(mlp.backward(&params, cache, d, &mut g));
+            for (acc, gi) in folded.iter_mut().zip(&g) {
+                *acc += w * *gi;
+            }
+        }
+        assert_eq!(batched, folded, "weighted gradient bits differ");
+        let flat: Vec<f32> = d_ins.concat();
+        assert_eq!(mlp.batch_d_input(&scratch, n), &flat[..], "input gradient bits differ");
     }
 }

@@ -6,10 +6,65 @@
 //! the next `waypoints` ego-frame waypoints. The loss is masked to the branch
 //! of the frame's command, exactly like conditional imitation learning.
 
-use crate::loss::{mean_loss, mean_loss_and_grad, LossKind};
+use crate::loss::{mean_loss, mean_loss_and_grad, mean_loss_and_grad_into, LossKind};
 use crate::mlp::{Mlp, MlpSpec};
 use crate::param::ParamVec;
+use crate::scratch::{ensure, PolicyShard, TrainScratch, SHARD};
 use rand::Rng;
+
+/// One imitation-learning sample as seen by the batched training kernels.
+///
+/// Borrows its feature and target rows from the caller's dataset, so staging
+/// a batch copies each row exactly once (into the scratch arena).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySample<'a> {
+    /// Featurized BEV input (length `input_dim`).
+    pub input: &'a [f32],
+    /// Active command branch.
+    pub branch: usize,
+    /// Expert waypoints (length `head_dim`).
+    pub target: &'a [f32],
+    /// Sample weight (coreset weight; 1.0 for raw frames).
+    pub weight: f32,
+}
+
+/// Random access to a minibatch for [`BranchedPolicy::train_shard`].
+///
+/// `Sync` because shards of one batch may be processed on different worker
+/// threads; `at` must be cheap (it is called a handful of times per sample).
+pub trait BatchSource: Sync {
+    /// Number of samples in the batch.
+    fn len(&self) -> usize;
+
+    /// Whether the batch is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th sample.
+    fn at(&self, i: usize) -> PolicySample<'_>;
+}
+
+impl BatchSource for [PolicySample<'_>] {
+    fn len(&self) -> usize {
+        <[PolicySample<'_>]>::len(self)
+    }
+
+    fn at(&self, i: usize) -> PolicySample<'_> {
+        self[i]
+    }
+}
+
+/// Weighted sums over a full minibatch, produced by
+/// [`BranchedPolicy::reduce_shards`]. The weighted mean loss of the batch is
+/// `loss_sum / weight_sum`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// `Σ weight · per-sample mean loss`, accumulated in sample order.
+    pub loss_sum: f32,
+    /// `Σ weight`, accumulated in sample order.
+    pub weight_sum: f32,
+}
 
 /// Architecture of a [`BranchedPolicy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,6 +259,248 @@ impl BranchedPolicy {
             .collect();
         self.trunk.backward(&self.params, &trunk_cache, &d_trunk_out, &mut grad);
         (loss, grad)
+    }
+
+    /// The shared trunk network (for the verbatim reference compositions).
+    pub(crate) fn trunk(&self) -> &Mlp {
+        &self.trunk
+    }
+
+    /// The per-command head networks (for the verbatim reference
+    /// compositions).
+    pub(crate) fn heads(&self) -> &[Mlp] {
+        &self.heads
+    }
+
+    // ----- batched training ------------------------------------------------
+
+    /// Computes one gradient shard of a weighted minibatch: processes
+    /// samples `[start, start + SHARD)` of `src` (clamped to the batch
+    /// length) through the batched kernels, leaving the shard's weighted
+    /// partial parameter gradient and per-sample losses in `shard`.
+    ///
+    /// Shards of one batch are independent — run them on any number of
+    /// worker threads — and always cover the same fixed sample ranges, so
+    /// the reduction in [`BranchedPolicy::reduce_shards`] is bit-identical
+    /// for every worker count. The result is also bit-identical to
+    /// backpropagating each sample alone and folding the weighted gradients
+    /// in sample order (the [`crate::reference`] composition): see
+    /// [`Mlp::backward_batch`] for the accumulation-order argument.
+    ///
+    /// # Panics
+    /// Panics if `start` is outside the batch, a sample's input/target
+    /// dimension is wrong, or a branch index is out of range.
+    pub fn train_shard<S: BatchSource + ?Sized>(
+        &self,
+        src: &S,
+        start: usize,
+        shard: &mut PolicyShard,
+    ) {
+        assert!(start < src.len(), "shard start out of range");
+        let n = (src.len() - start).min(SHARD);
+        let input_dim = self.spec.input_dim;
+        let skip = self.spec.skip_inputs;
+        let head_dim = self.spec.head_dim();
+        let nb = self.spec.n_branches;
+        let plen = self.params.len();
+        let mut grew = false;
+
+        // Per-sample metadata buffers.
+        grew |= ensure(&mut shard.weights, n);
+        grew |= ensure(&mut shard.losses, n);
+        if shard.branches.len() < n {
+            grew |= shard.branches.capacity() < n;
+            shard.branches.resize(n, 0);
+        }
+        if shard.order.len() < n {
+            grew |= shard.order.capacity() < n;
+            shard.order.resize(n, 0);
+        }
+        if shard.counts.len() < nb {
+            grew |= shard.counts.capacity() < nb;
+            shard.counts.resize(nb, 0);
+        }
+
+        // Stage the trunk inputs and run the shared trunk over the shard.
+        let staged = self.trunk.stage_batch(&mut shard.trunk, n);
+        for k in 0..n {
+            let s = src.at(start + k);
+            assert_eq!(s.input.len(), input_dim, "input dimension mismatch");
+            assert!(s.branch < nb, "branch out of range");
+            staged[k * input_dim..(k + 1) * input_dim].copy_from_slice(s.input);
+            shard.weights[k] = s.weight;
+            shard.branches[k] = s.branch;
+        }
+        self.trunk.forward_batch(&self.params, &mut shard.trunk, n);
+
+        // Head-input rows: ReLU of the trunk output plus the skip tail,
+        // exactly as in the per-sample path.
+        let trunk_out_dim = self.trunk.spec().output_dim();
+        let feat_dim = trunk_out_dim + skip;
+        grew |= ensure(&mut shard.feats, n * feat_dim);
+        grew |= ensure(&mut shard.d_feats, n * feat_dim);
+        let trunk_y = self.trunk.batch_outputs(&shard.trunk, n);
+        for k in 0..n {
+            let y = &trunk_y[k * trunk_out_dim..(k + 1) * trunk_out_dim];
+            let frow = &mut shard.feats[k * feat_dim..(k + 1) * feat_dim];
+            for (f, &v) in frow.iter_mut().zip(y) {
+                *f = v.max(0.0);
+            }
+            frow[trunk_out_dim..].copy_from_slice(&src.at(start + k).input[input_dim - skip..]);
+        }
+
+        // Group local sample indices by branch (stable, ascending within
+        // each group) with a counting sort; `counts[br]` ends up holding the
+        // END offset of group `br` inside `order`.
+        shard.counts[..nb].fill(0);
+        for &br in &shard.branches[..n] {
+            shard.counts[br] += 1;
+        }
+        let mut base = 0usize;
+        for c in &mut shard.counts[..nb] {
+            let cnt = *c;
+            *c = base;
+            base += cnt;
+        }
+        for k in 0..n {
+            let br = shard.branches[k];
+            shard.order[shard.counts[br]] = k;
+            shard.counts[br] += 1;
+        }
+
+        // This shard's weighted partial gradient accumulates from +0.0.
+        grew |= ensure(&mut shard.grad, plen);
+        shard.grad[..plen].fill(0.0);
+
+        // One batched pass per populated command head.
+        let mut group_start = 0usize;
+        for br in 0..nb {
+            let group_end = shard.counts[br];
+            let m = group_end - group_start;
+            if m > 0 {
+                let head = &self.heads[br];
+                grew |= ensure(&mut shard.head_w, m);
+                let h_staged = head.stage_batch(&mut shard.head, m);
+                for (local, &k) in shard.order[group_start..group_end].iter().enumerate() {
+                    h_staged[local * feat_dim..(local + 1) * feat_dim]
+                        .copy_from_slice(&shard.feats[k * feat_dim..(k + 1) * feat_dim]);
+                    shard.head_w[local] = shard.weights[k];
+                }
+                head.forward_batch(&self.params, &mut shard.head, m);
+                let (preds, d_out) = head.batch_outputs_and_d_out(&mut shard.head, m);
+                for (local, &k) in shard.order[group_start..group_end].iter().enumerate() {
+                    let s = src.at(start + k);
+                    let pred = &preds[local * head_dim..(local + 1) * head_dim];
+                    let d = &mut d_out[local * head_dim..(local + 1) * head_dim];
+                    shard.losses[k] = mean_loss_and_grad_into(self.loss_kind, pred, s.target, d);
+                }
+                head.backward_batch(
+                    &self.params,
+                    &mut shard.head,
+                    m,
+                    &shard.head_w[..m],
+                    &mut shard.grad,
+                );
+                let d_in = head.batch_d_input(&shard.head, m);
+                for (local, &k) in shard.order[group_start..group_end].iter().enumerate() {
+                    shard.d_feats[k * feat_dim..(k + 1) * feat_dim]
+                        .copy_from_slice(&d_in[local * feat_dim..(local + 1) * feat_dim]);
+                }
+            }
+            group_start = group_end;
+        }
+
+        // Backprop through the manual ReLU between trunk and head — masked
+        // on the RAW trunk output, as in the per-sample path — then through
+        // the trunk for the whole shard.
+        let (trunk_y, trunk_d) = self.trunk.batch_outputs_and_d_out(&mut shard.trunk, n);
+        for k in 0..n {
+            let y = &trunk_y[k * trunk_out_dim..(k + 1) * trunk_out_dim];
+            let dfe = &shard.d_feats[k * feat_dim..k * feat_dim + trunk_out_dim];
+            let drow = &mut trunk_d[k * trunk_out_dim..(k + 1) * trunk_out_dim];
+            for ((dt, d), &yv) in drow.iter_mut().zip(dfe).zip(y) {
+                *dt = if yv > 0.0 { *d } else { 0.0 };
+            }
+        }
+        self.trunk.backward_batch(
+            &self.params,
+            &mut shard.trunk,
+            n,
+            &shard.weights[..n],
+            &mut shard.grad,
+        );
+
+        shard.len = n;
+        grew |= shard.trunk.take_grew();
+        grew |= shard.head.take_grew();
+        shard.grew = grew;
+    }
+
+    /// Reduces the shards of an `n`-sample batch (each filled by
+    /// [`BranchedPolicy::train_shard`]) into the arena's gradient buffer —
+    /// partials added in shard order on the calling thread — and returns
+    /// the weighted loss/weight sums accumulated in global sample order.
+    /// Updates the arena's [`crate::TrainStats`].
+    pub fn reduce_shards(&self, scratch: &mut TrainScratch, n: usize) -> BatchOutcome {
+        let plen = self.params.len();
+        let k = TrainScratch::shard_count(n);
+        let mut grew = ensure(&mut scratch.grad, plen);
+        scratch.grad[..plen].fill(0.0);
+        let mut loss_sum = 0.0f32;
+        let mut weight_sum = 0.0f32;
+        for shard in &scratch.shards[..k] {
+            for (g, p) in scratch.grad[..plen].iter_mut().zip(&shard.grad[..plen]) {
+                *g += *p;
+            }
+            for (&l, &w) in shard.losses[..shard.len].iter().zip(&shard.weights[..shard.len]) {
+                loss_sum += w * l;
+                weight_sum += w;
+            }
+            grew |= shard.grew;
+        }
+        scratch.stats.batches += 1;
+        scratch.stats.samples += n as u64;
+        if !grew {
+            scratch.stats.scratch_reuse += 1;
+        }
+        BatchOutcome { loss_sum, weight_sum }
+    }
+
+    /// [`BranchedPolicy::forward`] into a caller-owned buffer through the
+    /// batched kernels (a batch of one) — bit-identical output, zero
+    /// allocation after warmup. Closed-loop rollouts call this every step.
+    /// Does not touch the arena's training statistics.
+    ///
+    /// # Panics
+    /// Panics if `branch` is out of range or the input dimension is wrong.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        branch: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut TrainScratch,
+    ) {
+        assert!(branch < self.spec.n_branches, "branch out of range");
+        assert_eq!(input.len(), self.spec.input_dim, "input dimension mismatch");
+        let shard = &mut scratch.shards_mut(1)[0];
+        let staged = self.trunk.stage_batch(&mut shard.trunk, 1);
+        staged.copy_from_slice(input);
+        self.trunk.forward_batch(&self.params, &mut shard.trunk, 1);
+        let trunk_out_dim = self.trunk.spec().output_dim();
+        let feat_dim = trunk_out_dim + self.spec.skip_inputs;
+        ensure(&mut shard.feats, feat_dim);
+        let trunk_y = self.trunk.batch_outputs(&shard.trunk, 1);
+        for (f, &v) in shard.feats[..trunk_out_dim].iter_mut().zip(trunk_y) {
+            *f = v.max(0.0);
+        }
+        shard.feats[trunk_out_dim..feat_dim]
+            .copy_from_slice(&input[input.len() - self.spec.skip_inputs..]);
+        let head = &self.heads[branch];
+        let h_staged = head.stage_batch(&mut shard.head, 1);
+        h_staged.copy_from_slice(&shard.feats[..feat_dim]);
+        head.forward_batch(&self.params, &mut shard.head, 1);
+        out.clear();
+        out.extend_from_slice(head.batch_outputs(&shard.head, 1));
     }
 }
 

@@ -1,0 +1,236 @@
+//! Reusable training arenas for the batched kernels.
+//!
+//! Per-sample training (`Mlp::forward` / `Mlp::backward` /
+//! `BranchedPolicy::loss_and_grad`) allocates fresh activation and gradient
+//! vectors on every call — fine for a unit test, ruinous for the local
+//! training rounds that dominate every experiment's wall-clock. The types
+//! here hold all of that state so a minibatch step performs **zero
+//! allocations after warmup**:
+//!
+//! * [`MlpScratch`] — batched per-layer activations plus ping-pong delta
+//!   buffers for one [`crate::Mlp`], laid out sample-major
+//!   (`acts[l][b * width + j]`).
+//! * [`PolicyShard`] — everything one gradient shard of a
+//!   [`crate::BranchedPolicy`] minibatch needs: trunk and head scratches,
+//!   feature rows, per-sample losses, and the shard's weighted partial
+//!   parameter gradient.
+//! * [`TrainScratch`] — the full arena: one [`PolicyShard`] per [`SHARD`]
+//!   samples plus the reduced gradient, with [`TrainStats`] counters that
+//!   back the `train.*` observability counters.
+//!
+//! ## Determinism contract
+//!
+//! A minibatch of `n` samples is always split into `ceil(n / SHARD)` shards
+//! of [`SHARD`] consecutive samples, **independent of the worker count**.
+//! Each shard accumulates its weighted partial gradient in sample order;
+//! partials are then reduced in shard order on a single thread. Because the
+//! shard structure is a function of `n` alone, running the shards serially
+//! or on any number of workers produces bit-identical gradients
+//! (`jobs=1 ≡ jobs=4`).
+
+/// Samples per gradient shard. Fixed (not derived from the worker count) so
+/// the floating-point reduction tree — and therefore every trained bit — is
+/// identical no matter how many threads process the shards.
+pub const SHARD: usize = 16;
+
+/// Training-kernel statistics, drained by
+/// `Learner::take_train_stats` implementations and emitted by the runtime
+/// as the `train.batch` / `train.samples` / `train.scratch_reuse` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Minibatch train steps executed.
+    pub batches: u64,
+    /// Samples consumed across those batches.
+    pub samples: u64,
+    /// Batches served entirely from warm scratch buffers (no allocation
+    /// anywhere in the step). After the first step at a given batch shape
+    /// this should track `batches` one-for-one.
+    pub scratch_reuse: u64,
+}
+
+impl TrainStats {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: TrainStats) {
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.scratch_reuse += other.scratch_reuse;
+    }
+
+    /// Returns the accumulated stats, resetting `self` to zero.
+    pub fn take(&mut self) -> TrainStats {
+        std::mem::take(self)
+    }
+}
+
+/// Grows `buf` to at least `len` elements (zero-filling any new tail) and
+/// reports whether the growth required a real allocation.
+pub(crate) fn ensure(buf: &mut Vec<f32>, len: usize) -> bool {
+    if buf.len() >= len {
+        return false;
+    }
+    let grew = buf.capacity() < len;
+    buf.resize(len, 0.0);
+    grew
+}
+
+/// Batched per-layer activation and delta buffers for one [`crate::Mlp`].
+///
+/// `acts[l]` holds the batch's activations of layer `l - 1` (`acts[0]` is
+/// the staged input), sample-major: row `b` occupies
+/// `[b * width, (b + 1) * width)`. The two delta buffers ping-pong through
+/// the backward pass; after [`crate::Mlp::backward_batch`] the final swap leaves
+/// the input gradients in `delta`.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    pub(crate) acts: Vec<Vec<f32>>,
+    pub(crate) delta: Vec<f32>,
+    pub(crate) delta_lower: Vec<f32>,
+    pub(crate) grew: bool,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes every buffer for a batch of `n` samples of the given layer
+    /// widths, recording whether anything had to allocate.
+    pub(crate) fn prepare(&mut self, sizes: &[usize], n: usize) {
+        if self.acts.len() < sizes.len() {
+            self.acts.resize_with(sizes.len(), Vec::new);
+            self.grew = true;
+        }
+        let mut grew = false;
+        for (buf, &w) in self.acts.iter_mut().zip(sizes) {
+            grew |= ensure(buf, n * w);
+        }
+        let wmax = sizes.iter().copied().max().unwrap_or(0);
+        grew |= ensure(&mut self.delta, n * wmax);
+        grew |= ensure(&mut self.delta_lower, n * wmax);
+        self.grew |= grew;
+    }
+
+    /// Reads and clears the grew-since-last-check flag.
+    pub(crate) fn take_grew(&mut self) -> bool {
+        std::mem::replace(&mut self.grew, false)
+    }
+}
+
+/// The arena for one gradient shard of a policy minibatch: batch scratches
+/// for the trunk and the (sequentially processed) branch heads, gathered
+/// feature rows, per-sample bookkeeping, and the shard's weighted partial
+/// parameter gradient.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyShard {
+    pub(crate) trunk: MlpScratch,
+    pub(crate) head: MlpScratch,
+    /// Head-input rows (`len × (trunk_out + skip_inputs)`).
+    pub(crate) feats: Vec<f32>,
+    /// Per-sample head input gradients, scattered back from branch groups.
+    pub(crate) d_feats: Vec<f32>,
+    /// Per-sample weights, local order.
+    pub(crate) weights: Vec<f32>,
+    /// Weights gathered for the branch group currently in flight.
+    pub(crate) head_w: Vec<f32>,
+    /// Per-sample losses, local order.
+    pub(crate) losses: Vec<f32>,
+    /// Active branch per sample, local order.
+    pub(crate) branches: Vec<usize>,
+    /// Local sample indices grouped by branch (each group ascending).
+    pub(crate) order: Vec<usize>,
+    /// Samples per branch for the current minibatch.
+    pub(crate) counts: Vec<usize>,
+    /// This shard's weighted partial gradient (full parameter length).
+    pub(crate) grad: Vec<f32>,
+    /// Samples in this shard for the current minibatch.
+    pub(crate) len: usize,
+    /// Whether any buffer allocated during the current minibatch.
+    pub(crate) grew: bool,
+}
+
+/// The full training arena for one [`crate::BranchedPolicy`] learner:
+/// per-shard buffers, the reduced gradient, and [`TrainStats`] counters.
+/// Also serves single-sample forward-only inference
+/// ([`crate::BranchedPolicy::forward_into`]) from shard 0's buffers.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    pub(crate) shards: Vec<PolicyShard>,
+    pub(crate) grad: Vec<f32>,
+    pub(crate) stats: TrainStats,
+}
+
+impl TrainScratch {
+    /// Creates an empty arena; everything is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gradient shards a batch of `n` samples splits into.
+    pub fn shard_count(n: usize) -> usize {
+        n.div_ceil(SHARD)
+    }
+
+    /// Ensures one arena per shard of an `n`-sample batch and returns them,
+    /// ready for (possibly parallel) [`crate::BranchedPolicy::train_shard`]
+    /// calls — shard `s` must process samples `[s * SHARD, s * SHARD + len)`.
+    pub fn shards_mut(&mut self, n: usize) -> &mut [PolicyShard] {
+        let k = Self::shard_count(n).max(1);
+        if self.shards.len() < k {
+            self.shards.resize_with(k, PolicyShard::default);
+        }
+        &mut self.shards[..k]
+    }
+
+    /// The reduced weighted-sum gradient of the last
+    /// [`crate::BranchedPolicy::reduce_shards`] call.
+    pub fn grad(&self) -> &[f32] {
+        &self.grad
+    }
+
+    /// Drains the accumulated statistics.
+    pub fn take_stats(&mut self) -> TrainStats {
+        self.stats.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up() {
+        assert_eq!(TrainScratch::shard_count(1), 1);
+        assert_eq!(TrainScratch::shard_count(SHARD), 1);
+        assert_eq!(TrainScratch::shard_count(SHARD + 1), 2);
+        assert_eq!(TrainScratch::shard_count(4 * SHARD), 4);
+    }
+
+    #[test]
+    fn ensure_reports_real_allocations_only() {
+        let mut v = Vec::with_capacity(8);
+        assert!(!ensure(&mut v, 8), "within capacity is not an allocation");
+        assert_eq!(v.len(), 8);
+        assert!(ensure(&mut v, 64), "growth past capacity is");
+        assert!(!ensure(&mut v, 16), "shrinking requests reuse the buffer");
+        assert_eq!(v.len(), 64, "buffers never shrink");
+    }
+
+    #[test]
+    fn stats_merge_and_take() {
+        let mut a = TrainStats { batches: 1, samples: 16, scratch_reuse: 0 };
+        a.merge(TrainStats { batches: 2, samples: 32, scratch_reuse: 2 });
+        assert_eq!(a, TrainStats { batches: 3, samples: 48, scratch_reuse: 2 });
+        assert_eq!(a.take(), TrainStats { batches: 3, samples: 48, scratch_reuse: 2 });
+        assert_eq!(a, TrainStats::default());
+    }
+
+    #[test]
+    fn shards_mut_reuses_arenas() {
+        let mut s = TrainScratch::new();
+        assert_eq!(s.shards_mut(40).len(), 3);
+        let ptr = s.shards_mut(40).as_ptr();
+        assert_eq!(s.shards_mut(16).len(), 1, "smaller batches reuse the prefix");
+        assert_eq!(s.shards_mut(40).as_ptr(), ptr, "no reallocation on reuse");
+    }
+}

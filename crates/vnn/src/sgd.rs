@@ -61,6 +61,29 @@ impl Sgd {
             *p -= self.lr * *v;
         }
     }
+
+    /// [`Sgd::step`] with every gradient entry multiplied by `scale` on the
+    /// fly — the fused form of "scale the gradient buffer, then step", and
+    /// bit-identical to it: `g * scale` here rounds exactly as the separate
+    /// scaling pass would, and the rest of the update is unchanged.
+    ///
+    /// Batched training uses this to divide the accumulated weighted
+    /// gradient sum by the total sample weight without an extra pass over
+    /// the parameter-sized buffer.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grad` lengths differ.
+    pub fn step_scaled(&mut self, params: &mut [f32], grad: &[f32], scale: f32) {
+        assert_eq!(params.len(), grad.len(), "params/grad length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            let eff = g * scale + self.weight_decay * *p;
+            *v = self.momentum * *v + eff;
+            *p -= self.lr * *v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +142,21 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn zero_lr_panics() {
         let _ = Sgd::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn step_scaled_matches_prescaled_step_bits() {
+        let grad = [0.37f32, -1.2, 0.004, 9.5];
+        let scale = 0.311f32;
+        let prescaled: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+        let mut fused = Sgd::new(0.05, 0.9, 1e-4);
+        let mut plain = fused.clone();
+        let mut pf = [1.0f32, -2.0, 0.5, 3.0];
+        let mut pp = pf;
+        for _ in 0..5 {
+            fused.step_scaled(&mut pf, &grad, scale);
+            plain.step(&mut pp, &prescaled);
+        }
+        assert_eq!(pf, pp, "fused scaling must be bit-identical");
     }
 }

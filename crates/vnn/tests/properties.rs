@@ -1,10 +1,13 @@
 //! Property-based tests over the NN substrate's invariants.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use vnn::loss::{mean_loss, mean_loss_and_grad, LossKind};
 use vnn::wire::{from_dense_bytes, to_dense_bytes, SparseModel};
-use vnn::{BranchedPolicy, Minibatcher, ParamVec, PolicySpec, Sgd};
+use vnn::{
+    Adam, BranchedPolicy, Minibatcher, ParamVec, PolicySample, PolicySpec, Sgd, TrainScratch,
+    SHARD,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -142,4 +145,175 @@ fn policy_loss_decreases_under_training_on_random_data() {
     }
     let after = mean(&policy);
     assert!(after < before * 0.5, "{before} -> {after}");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the batched kernels against `vnn::reference`.
+//
+// The batched hot path (PR 5) reorders loops for cache locality but must
+// keep every per-dot-product and per-sample accumulation order fixed; these
+// properties assert raw f32 bits, not tolerances.
+// ---------------------------------------------------------------------------
+
+/// Owned sample storage a `PolicySample` batch can borrow from.
+type OwnedBatch = Vec<(Vec<f32>, usize, Vec<f32>, f32)>;
+
+const PROP_INPUT_DIM: usize = 10;
+const PROP_WAYPOINTS: usize = 3;
+
+fn seeded_policy_and_batch(seed: u64, n: usize) -> (BranchedPolicy, OwnedBatch) {
+    let spec = PolicySpec {
+        input_dim: PROP_INPUT_DIM,
+        trunk: vec![18, 12],
+        n_branches: 4,
+        waypoints: PROP_WAYPOINTS,
+        skip_inputs: 2,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let policy = BranchedPolicy::new(&spec, &mut rng);
+    let data = (0..n)
+        .map(|_| {
+            let x: Vec<f32> =
+                (0..PROP_INPUT_DIM).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            let b = rng.random_range(0..4usize);
+            let t: Vec<f32> =
+                (0..2 * PROP_WAYPOINTS).map(|_| rng.random_range(-1.5f32..1.5)).collect();
+            let w = rng.random_range(0.25f32..3.0);
+            (x, b, t, w)
+        })
+        .collect();
+    (policy, data)
+}
+
+fn as_samples(data: &OwnedBatch) -> Vec<PolicySample<'_>> {
+    data.iter()
+        .map(|(x, b, t, w)| PolicySample { input: x, branch: *b, target: t, weight: *w })
+        .collect()
+}
+
+/// One batched gradient pass: shard (serially, in shard order `order`),
+/// reduce, return `(loss_sum, weight_sum)` with the gradient left in
+/// `scratch.grad()`.
+fn live_batch_grad(
+    policy: &BranchedPolicy,
+    samples: &[PolicySample<'_>],
+    scratch: &mut TrainScratch,
+    reverse_shard_order: bool,
+) -> (f32, f32) {
+    let n = samples.len();
+    let shards = scratch.shards_mut(n);
+    let k = shards.len();
+    for step in 0..k {
+        let s = if reverse_shard_order { k - 1 - step } else { step };
+        policy.train_shard(samples, s * SHARD, &mut shards[s]);
+    }
+    let out = policy.reduce_shards(scratch, n);
+    (out.loss_sum, out.weight_sum)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_forward_matches_reference_bits(seed in 0u64..1 << 48, n in 1usize..24) {
+        let (policy, data) = seeded_policy_and_batch(seed, n);
+        let mut scratch = TrainScratch::new();
+        let mut out = Vec::new();
+        for (x, b, _, _) in &data {
+            policy.forward_into(x, *b, &mut out, &mut scratch);
+            let reference = vnn::reference::policy_forward(&policy, x, *b);
+            prop_assert_eq!(bits(&out), bits(&reference));
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_reference_bits(seed in 0u64..1 << 48, n in 1usize..48) {
+        let (policy, data) = seeded_policy_and_batch(seed, n);
+        let samples = as_samples(&data);
+        let mut scratch = TrainScratch::new();
+        let (loss_sum, weight_sum) =
+            live_batch_grad(&policy, &samples, &mut scratch, false);
+        let mut ref_grad = vec![0.0f32; policy.param_count()];
+        let (ref_loss, ref_weight) =
+            vnn::reference::batch_loss_and_grad(&policy, &samples[..], &mut ref_grad);
+        prop_assert_eq!(loss_sum.to_bits(), ref_loss.to_bits());
+        prop_assert_eq!(weight_sum.to_bits(), ref_weight.to_bits());
+        prop_assert_eq!(bits(scratch.grad()), bits(&ref_grad));
+    }
+
+    #[test]
+    fn shard_processing_order_is_immaterial(seed in 0u64..1 << 48, n in 17usize..48) {
+        // Shard contents depend only on the batch; processing shards in
+        // reverse order (a stand-in for any parallel schedule) must leave
+        // identical bits after the fixed-order reduction.
+        let (policy, data) = seeded_policy_and_batch(seed, n);
+        let samples = as_samples(&data);
+        let mut fwd = TrainScratch::new();
+        let mut rev = TrainScratch::new();
+        let a = live_batch_grad(&policy, &samples, &mut fwd, false);
+        let b = live_batch_grad(&policy, &samples, &mut rev, true);
+        prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+        prop_assert_eq!(bits(fwd.grad()), bits(rev.grad()));
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_is_bit_identical(seed in 0u64..1 << 48, n in 1usize..20) {
+        // Dirty the arena with a larger, different batch first; the target
+        // batch must then produce the same bits as a fresh arena.
+        let (policy, data) = seeded_policy_and_batch(seed, n);
+        let (_, decoy) = seeded_policy_and_batch(seed ^ 0xDEAD_BEEF, n + 13);
+        let samples = as_samples(&data);
+        let decoy_samples = as_samples(&decoy);
+        let mut dirty = TrainScratch::new();
+        live_batch_grad(&policy, &decoy_samples, &mut dirty, false);
+        let a = live_batch_grad(&policy, &samples, &mut dirty, false);
+        let mut fresh = TrainScratch::new();
+        let b = live_batch_grad(&policy, &samples, &mut fresh, false);
+        prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+        prop_assert_eq!(bits(dirty.grad()), bits(fresh.grad()));
+        // A repeat of the same batch cannot grow any buffer, so it must be
+        // counted as a scratch reuse (the decoy/target passes may legitimately
+        // grow per-branch head buffers).
+        live_batch_grad(&policy, &samples, &mut dirty, false);
+        let stats = dirty.take_stats();
+        prop_assert_eq!(stats.batches, 3);
+        prop_assert!(stats.scratch_reuse >= 1);
+    }
+
+    #[test]
+    fn full_adam_epoch_matches_reference_bits(seed in 0u64..1 << 48, n in 1usize..40) {
+        // A whole training epoch — batched kernels + fused scaled Adam step,
+        // scratch reused across steps — against the reference composition
+        // with a separate gradient-scaling pass.
+        let (policy, data) = seeded_policy_and_batch(seed, n);
+        let samples = as_samples(&data);
+        let mut live = policy.clone();
+        let mut reference = policy;
+        let mut live_opt = Adam::new(3e-3);
+        let mut ref_opt = Adam::new(3e-3);
+        let mut scratch = TrainScratch::new();
+        let mut ref_grad = vec![0.0f32; reference.param_count()];
+        for _ in 0..4 {
+            let (loss, weight) = live_batch_grad(&live, &samples, &mut scratch, false);
+            let inv = 1.0 / weight;
+            live_opt.step_scaled(live.params_mut().as_mut_slice(), scratch.grad(), inv);
+            ref_grad.fill(0.0);
+            let (ref_loss, ref_weight) =
+                vnn::reference::batch_loss_and_grad(&reference, &samples[..], &mut ref_grad);
+            let ref_inv = 1.0 / ref_weight;
+            for g in &mut ref_grad {
+                *g *= ref_inv;
+            }
+            ref_opt.step(reference.params_mut().as_mut_slice(), &ref_grad);
+            prop_assert_eq!(loss.to_bits(), ref_loss.to_bits());
+            prop_assert_eq!(
+                bits(live.params().as_slice()),
+                bits(reference.params().as_slice())
+            );
+        }
+    }
 }
