@@ -139,7 +139,7 @@ impl Profile {
             ]),
             d001_exempt: s(&["crates/core/src/obs/"]),
             hot: s(&[
-                "crates/core/src/runtime.rs",
+                "crates/core/src/runtime",
                 "crates/core/src/exec.rs",
                 "crates/core/src/node.rs",
                 "crates/simnet/src/",

@@ -92,6 +92,6 @@ mod tests {
             files.iter().all(|f| !f.starts_with("crates/audit/tests/fixtures/")),
             "bad-snippet fixtures are excluded"
         );
-        assert!(files.iter().any(|f| f == "crates/core/src/runtime.rs"));
+        assert!(files.iter().any(|f| f == "crates/core/src/runtime/mod.rs"));
     }
 }

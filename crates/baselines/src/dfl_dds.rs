@@ -13,7 +13,9 @@
 
 use crate::node::{mean_eval_loss, BaseNode};
 use lbchat::optimize::equal_compression_choice;
-use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::prelude::{
+    CollabAlgorithm, FrameCtx, Learner, SessionCtx, SessionStep, TransferOutcome, TransferSpec,
+};
 use lbchat::WeightedDataset;
 use vnn::ParamVec;
 
@@ -53,6 +55,28 @@ fn merge_on_support(local: &ParamVec, peer: &ParamVec, w: f32) -> ParamVec {
         .map(|(l, p)| if *p == 0.0 { *l } else { (1.0 - w) * l + w * p })
         .collect();
     ParamVec::from_vec(data)
+}
+
+/// Which directed model transfer a DFL-DDS session is waiting on.
+enum DdsPhase {
+    /// `i → j` model in flight.
+    ModelIJ,
+    /// `j → i` model in flight.
+    ModelJI,
+}
+
+/// In-flight state of one DFL-DDS round exchange.
+pub struct DdsSession {
+    phase: DdsPhase,
+    /// Compressed wire size used for both directions.
+    bytes: usize,
+    /// Contact-fitted compression ratios.
+    psi_i: f32,
+    psi_j: f32,
+    /// Model received by `j` (i.e. `i`'s compressed model), if delivered.
+    model_i: Option<ParamVec>,
+    /// Model received by `i` (i.e. `j`'s compressed model), if delivered.
+    model_j: Option<ParamVec>,
 }
 
 /// The synchronous decentralized baseline with data-source diversification.
@@ -111,6 +135,7 @@ impl<L: Learner> DflDds<L> {
 
 impl<L: Learner> CollabAlgorithm for DflDds<L> {
     type Sample = L::Sample;
+    type Session = DdsSession;
 
     fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -137,17 +162,18 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
         self.current_round = (ctx.time / self.config.round_seconds) as u64;
     }
 
-    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(DdsSession, SessionStep)> {
+        let (i, j) = (ctx.i, ctx.j);
         // Synchronous gating: one exchange per node per round.
         let round = self.current_round;
         if self.last_round[i] == round || self.last_round[j] == round {
-            return 0.0;
+            return None;
         }
         self.last_round[i] = round;
         self.last_round[j] = round;
 
         // Contact-fitted equal compression (per §IV-B's adaptation).
-        let contact = link.contact().duration;
+        let contact = ctx.contact().duration;
         let choice = equal_compression_choice(
             self.config.model_bytes,
             31e6,
@@ -155,7 +181,7 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
             contact,
         );
         if choice.psi_i <= 0.0 {
-            return link.elapsed();
+            return None;
         }
         let bytes = lbchat::compress::wire_bytes(self.config.model_bytes, choice.psi_i);
         let limit = self.config.round_seconds.min(contact);
@@ -165,20 +191,50 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
         // keeps transmitting while still in range — failures come from the
         // contact actually ending (or retransmission storms), not from an
         // artificial cutoff.
-        let deadline = (link.contact().duration - link.elapsed()).max(limit - link.elapsed()).max(0.0);
-        let out_ij = link.transfer(bytes, deadline);
-        link.metrics.record_model_send(out_ij.is_delivered(), bytes, out_ij.elapsed());
-        let model_i = out_ij
-            .is_delivered()
-            .then(|| lbchat::compress::compress_dense(self.nodes[i].learner.params(), choice.psi_i));
-        // j → i.
-        let deadline = (link.contact().duration - link.elapsed()).max(0.0);
-        let out_ji = link.transfer(bytes, deadline);
-        link.metrics.record_model_send(out_ji.is_delivered(), bytes, out_ji.elapsed());
-        let model_j = out_ji
-            .is_delivered()
-            .then(|| lbchat::compress::compress_dense(self.nodes[j].learner.params(), choice.psi_j));
+        let deadline =
+            (contact - ctx.elapsed()).max(limit - ctx.elapsed()).max(0.0);
+        let state = DdsSession {
+            phase: DdsPhase::ModelIJ,
+            bytes,
+            psi_i: choice.psi_i,
+            psi_j: choice.psi_j,
+            model_i: None,
+            model_j: None,
+        };
+        Some((state, SessionStep::Transfer(TransferSpec::link(bytes, deadline))))
+    }
 
+    fn session_step(
+        &mut self,
+        state: &mut DdsSession,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        let (i, j) = (ctx.i, ctx.j);
+        match state.phase {
+            DdsPhase::ModelIJ => {
+                ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
+                state.model_i = out.is_delivered().then(|| {
+                    lbchat::compress::compress_dense(self.nodes[i].learner.params(), state.psi_i)
+                });
+                // j → i.
+                state.phase = DdsPhase::ModelJI;
+                let deadline = (ctx.contact().duration - ctx.elapsed()).max(0.0);
+                SessionStep::Transfer(TransferSpec::link(state.bytes, deadline))
+            }
+            DdsPhase::ModelJI => {
+                ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
+                state.model_j = out.is_delivered().then(|| {
+                    lbchat::compress::compress_dense(self.nodes[j].learner.params(), state.psi_j)
+                });
+                SessionStep::Done
+            }
+        }
+    }
+
+    fn session_close(&mut self, state: DdsSession, ctx: &mut SessionCtx<'_>) -> f64 {
+        let (i, j) = (ctx.i, ctx.j);
+        let DdsSession { model_i, model_j, .. } = state;
         // Aggregate with diversity-boosted weights and update source mixes.
         if let Some(m) = model_j {
             let gain = Self::diversity_gain(&self.sources[i], &self.sources[j]);
@@ -214,7 +270,7 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
                 *a = (1.0 - w) * *a + w * b;
             }
         }
-        link.elapsed()
+        ctx.elapsed()
     }
 
     fn mean_eval_loss(&self, eval: &[L::Sample]) -> f64 {
@@ -260,7 +316,7 @@ mod tests {
         let eval = line_data(0.0, 0.0, 20);
         let runtime =
             Runtime::new(RuntimeConfig { duration: 300.0, ..RuntimeConfig::default() });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(m.model_receives > 0, "parked pair must exchange");
         // Node 0's source mix should now include node 1.
         assert!(algo.sources(0)[1] > 0.05, "{:?}", algo.sources(0));
@@ -286,7 +342,7 @@ mod tests {
             pair_cooldown: 0.0,
             ..RuntimeConfig::default()
         });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(
             m.model_sends <= 2,
             "a single round allows one bidirectional exchange: {}",

@@ -10,7 +10,9 @@
 
 use crate::node::{mean_eval_loss, BaseNode};
 use lbchat::optimize::equal_compression_choice;
-use lbchat::prelude::{CollabAlgorithm, Learner, LinkCtx};
+use lbchat::prelude::{
+    CollabAlgorithm, Learner, SessionCtx, SessionStep, TransferOutcome, TransferSpec,
+};
 use lbchat::WeightedDataset;
 use vnn::ParamVec;
 
@@ -49,6 +51,28 @@ pub struct Dp<L: Learner> {
     config: DpConfig,
 }
 
+/// Which directed model transfer a DP session is waiting on.
+enum DpPhase {
+    /// `i → j` model in flight.
+    ModelIJ,
+    /// `j → i` model in flight.
+    ModelJI,
+}
+
+/// In-flight state of one DP gossip session.
+pub struct DpSession {
+    phase: DpPhase,
+    /// Compressed wire size used for both directions.
+    bytes: usize,
+    /// Contact-fitted compression ratios.
+    psi_i: f32,
+    psi_j: f32,
+    /// Model received by `j` (i.e. `i`'s compressed model), if delivered.
+    model_i: Option<ParamVec>,
+    /// Model received by `i` (i.e. `j`'s compressed model), if delivered.
+    model_j: Option<ParamVec>,
+}
+
 impl<L: Learner> Dp<L> {
     /// Builds the fleet.
     ///
@@ -85,6 +109,7 @@ impl<L: Learner> Dp<L> {
 
 impl<L: Learner> CollabAlgorithm for Dp<L> {
     type Sample = L::Sample;
+    type Session = DpSession;
 
     fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -106,8 +131,8 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
         self.nodes[node].learner.take_train_stats()
     }
 
-    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {
-        let contact = link.contact().duration;
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(DpSession, SessionStep)> {
+        let contact = ctx.contact().duration;
         let choice = equal_compression_choice(
             self.config.model_bytes,
             31e6,
@@ -115,7 +140,7 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
             contact,
         );
         if choice.psi_i <= 0.0 {
-            return link.elapsed();
+            return None;
         }
         let bytes = lbchat::compress::wire_bytes(self.config.model_bytes, choice.psi_i);
         let limit = self.config.time_budget.min(contact);
@@ -124,20 +149,49 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
         // keeps transmitting while still in range — failures come from the
         // contact actually ending (or retransmission storms), not from an
         // artificial cutoff.
-        let deadline = (link.contact().duration - link.elapsed()).max(limit - link.elapsed()).max(0.0);
-        let out_ij = link.transfer(bytes, deadline);
-        link.metrics.record_model_send(out_ij.is_delivered(), bytes, out_ij.elapsed());
-        let model_i = out_ij
-            .is_delivered()
-            .then(|| lbchat::compress::compress_dense(self.nodes[i].learner.params(), choice.psi_i));
-        let deadline = (link.contact().duration - link.elapsed()).max(0.0);
-        let out_ji = link.transfer(bytes, deadline);
-        link.metrics.record_model_send(out_ji.is_delivered(), bytes, out_ji.elapsed());
-        let model_j = out_ji
-            .is_delivered()
-            .then(|| lbchat::compress::compress_dense(self.nodes[j].learner.params(), choice.psi_j));
+        let deadline =
+            (contact - ctx.elapsed()).max(limit - ctx.elapsed()).max(0.0);
+        let state = DpSession {
+            phase: DpPhase::ModelIJ,
+            bytes,
+            psi_i: choice.psi_i,
+            psi_j: choice.psi_j,
+            model_i: None,
+            model_j: None,
+        };
+        Some((state, SessionStep::Transfer(TransferSpec::link(bytes, deadline))))
+    }
 
-        if let Some(m) = model_j {
+    fn session_step(
+        &mut self,
+        state: &mut DpSession,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        let (i, j) = (ctx.i, ctx.j);
+        match state.phase {
+            DpPhase::ModelIJ => {
+                ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
+                state.model_i = out.is_delivered().then(|| {
+                    lbchat::compress::compress_dense(self.nodes[i].learner.params(), state.psi_i)
+                });
+                state.phase = DpPhase::ModelJI;
+                let deadline = (ctx.contact().duration - ctx.elapsed()).max(0.0);
+                SessionStep::Transfer(TransferSpec::link(state.bytes, deadline))
+            }
+            DpPhase::ModelJI => {
+                ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
+                state.model_j = out.is_delivered().then(|| {
+                    lbchat::compress::compress_dense(self.nodes[j].learner.params(), state.psi_j)
+                });
+                SessionStep::Done
+            }
+        }
+    }
+
+    fn session_close(&mut self, state: DpSession, ctx: &mut SessionCtx<'_>) -> f64 {
+        let (i, j) = (ctx.i, ctx.j);
+        if let Some(m) = state.model_j {
             let own = self.nodes[i].validation_loss(self.nodes[i].learner.params());
             let peer = self.nodes[i].validation_loss(&m);
             let w_peer = Self::merge_weight(own, peer);
@@ -145,7 +199,7 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
             self.nodes[i].learner.set_params(merged);
             self.nodes[i].learner.on_params_replaced();
         }
-        if let Some(m) = model_i {
+        if let Some(m) = state.model_i {
             let own = self.nodes[j].validation_loss(self.nodes[j].learner.params());
             let peer = self.nodes[j].validation_loss(&m);
             let w_peer = Self::merge_weight(own, peer);
@@ -153,7 +207,7 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
             self.nodes[j].learner.set_params(merged);
             self.nodes[j].learner.on_params_replaced();
         }
-        link.elapsed()
+        ctx.elapsed()
     }
 
     fn mean_eval_loss(&self, eval: &[L::Sample]) -> f64 {
@@ -205,7 +259,7 @@ mod tests {
         let eval = line_data(0.0, 0.0, 20);
         let runtime =
             Runtime::new(RuntimeConfig { duration: 300.0, ..RuntimeConfig::default() });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(m.model_receives >= 2, "gossip must exchange models");
         // Merged models should sit between the two pure slopes.
         let slope0 = algo.model(0).as_slice()[0];

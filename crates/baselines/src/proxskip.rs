@@ -16,7 +16,7 @@
 //! uniformly from the distance-loss table.
 
 use crate::node::{mean_eval_loss, BaseNode};
-use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, SessionCtx, SessionStep};
 use lbchat::WeightedDataset;
 use rand::RngExt;
 use vnn::ParamVec;
@@ -89,6 +89,7 @@ impl<L: Learner> ProxSkip<L> {
 
 impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
     type Sample = L::Sample;
+    type Session = ();
 
     fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -117,9 +118,23 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
         self.nodes[node].learner.take_train_stats()
     }
 
-    /// Vehicles never talk to each other in ProxSkip.
-    fn encounter(&mut self, _i: usize, _j: usize, _link: &mut LinkCtx<'_>) -> f64 {
-        0.0
+    /// Vehicles never talk to each other in ProxSkip: sessions never open
+    /// (and `pair_priority` already opts out of matching).
+    fn session_open(&mut self, _ctx: &mut SessionCtx<'_>) -> Option<((), SessionStep)> {
+        None
+    }
+
+    fn session_step(
+        &mut self,
+        _state: &mut (),
+        _out: lbchat::prelude::TransferOutcome,
+        _ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        SessionStep::Done
+    }
+
+    fn session_close(&mut self, _state: (), ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
     }
 
     fn pair_priority(&self, _i: usize, _j: usize, _est: &simnet::contact::ContactEstimate) -> f64 {
@@ -216,10 +231,10 @@ mod tests {
         let runtime =
             Runtime::new(RuntimeConfig { duration: 400.0, ..RuntimeConfig::default() });
         let mut federated = fleet(3);
-        runtime.run(&mut federated, &trace, &eval);
+        runtime.run(&mut federated, &trace, &eval).expect("trace fits");
         let mut isolated = fleet(3);
         isolated.config.comm_prob = 0.0; // never communicate
-        runtime.run(&mut isolated, &trace, &eval);
+        runtime.run(&mut isolated, &trace, &eval).expect("trace fits");
         let fed_loss = federated.mean_eval_loss(&eval);
         let iso_loss = isolated.mean_eval_loss(&eval);
         assert!(
@@ -240,7 +255,7 @@ mod tests {
         );
         let eval = line_data(0.0, 0.0, 10);
         let runtime = Runtime::new(RuntimeConfig { duration: 100.0, ..RuntimeConfig::default() });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert_eq!(m.sessions, 0);
         assert!(m.model_sends > 0, "backend messages still flow");
     }
@@ -255,7 +270,7 @@ mod tests {
             loss_model: simnet::loss::LossModel::distance_default(),
             ..RuntimeConfig::default()
         });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(m.model_sends > 0);
         let rate = m.model_receiving_rate();
         assert!(rate < 0.95, "uniform table loss must cost messages: {rate}");

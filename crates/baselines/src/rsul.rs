@@ -9,7 +9,7 @@
 //! message losses follow the same uniform table draw as ProxSkip.
 
 use crate::node::{mean_eval_loss, BaseNode};
-use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, LinkCtx};
+use lbchat::prelude::{CollabAlgorithm, FrameCtx, Learner, SessionCtx, SessionStep};
 use lbchat::WeightedDataset;
 use simnet::geom::Vec2;
 use vnn::ParamVec;
@@ -89,6 +89,7 @@ impl<L: Learner> RsuL<L> {
 
 impl<L: Learner> CollabAlgorithm for RsuL<L> {
     type Sample = L::Sample;
+    type Session = ();
 
     fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -110,9 +111,23 @@ impl<L: Learner> CollabAlgorithm for RsuL<L> {
         self.nodes[node].learner.take_train_stats()
     }
 
-    /// No V2V exchanges in RSU-L.
-    fn encounter(&mut self, _i: usize, _j: usize, _link: &mut LinkCtx<'_>) -> f64 {
-        0.0
+    /// No V2V exchanges in RSU-L: sessions never open
+    /// (and `pair_priority` already opts out of matching).
+    fn session_open(&mut self, _ctx: &mut SessionCtx<'_>) -> Option<((), SessionStep)> {
+        None
+    }
+
+    fn session_step(
+        &mut self,
+        _state: &mut (),
+        _out: lbchat::prelude::TransferOutcome,
+        _ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        SessionStep::Done
+    }
+
+    fn session_close(&mut self, _state: (), ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
     }
 
     fn pair_priority(&self, _i: usize, _j: usize, _est: &simnet::contact::ContactEstimate) -> f64 {
@@ -208,7 +223,7 @@ mod tests {
         let eval = line_data(0.5, 0.0, 10);
         let runtime =
             Runtime::new(RuntimeConfig { duration: 200.0, ..RuntimeConfig::default() });
-        let m = runtime.run(&mut algo, &trace, &eval);
+        let m = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(m.model_sends > 0, "the near vehicle must talk to the RSU");
         assert!(algo.rsu_models()[0].l2_norm() >= 0.0);
         // Vehicle far away should keep its own model (trained on a=1 data):
@@ -226,7 +241,7 @@ mod tests {
         let eval = line_data(0.0, 0.0, 10);
         let runtime =
             Runtime::new(RuntimeConfig { duration: 400.0, ..RuntimeConfig::default() });
-        runtime.run(&mut algo, &trace, &eval);
+        runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         // The RSU should have absorbed a trained (non-zero) model.
         assert!(algo.rsu_models()[0].l2_norm() > 0.01);
     }

@@ -17,8 +17,11 @@ use lbchat::penalty::PenaltyConfig;
 use lbchat::phi::PhiCurve;
 use lbchat::valuation::coreset_loss;
 use lbchat::{Learner, WeightedDataset};
+use lbchat::prelude::{
+    CollabAlgorithm, Runtime, RuntimeConfig, SessionCtx, SessionStep, TrainStats,
+};
 use rand::SeedableRng;
-use simnet::channel::{Channel, RadioConfig};
+use simnet::channel::{Channel, Medium, MediumConfig, RadioConfig, TransferOutcome, TransferSpec};
 use simnet::contact::ContactPredictor;
 use simnet::geom::Vec2;
 use simnet::loss::LossModel;
@@ -93,6 +96,7 @@ pub fn run(opts: &SuiteOpts) -> Vec<BenchResult> {
         ("bev", bench_bev),
         ("vnn", bench_vnn),
         ("simnet", bench_simnet),
+        ("runtime", bench_runtime),
         ("e2e", bench_e2e),
     ];
     for (group, cell) in cells {
@@ -480,6 +484,175 @@ fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
     c.bench_function("simnet/contact_estimate_60pt", |b| {
         b.iter(|| predictor.estimate(&route_a, &route_b, 0.5));
     });
+    // The per-window bookkeeping of the shared medium under saturating
+    // load: 64 contenders across 8 cells, 40 windows of share / collision
+    // queries plus registration and booking — the serial portion of every
+    // contention-mode transfer batch.
+    c.bench_function("simnet/contention_step", |b| {
+        let cfg = MediumConfig::default();
+        b.iter(|| {
+            let mut medium = Medium::new(cfg.clone());
+            let mut acc = 0.0f64;
+            for w in 0..40 {
+                medium.advance_to(w as f64 * cfg.window_s);
+                for k in 0..64 {
+                    let cell = medium.cell_of(Vec2::new((k % 8) as f32 * cfg.cell_m, 0.0));
+                    acc += medium.fair_share(cell) + medium.collision_per(cell) as f64;
+                    medium.register(cell);
+                    medium.book(cell, 0.003);
+                }
+            }
+            acc
+        });
+    });
+}
+
+/// A minimal session protocol for runtime benches: one small exchange per
+/// session plus a declining tail, so the timings isolate the scheduler
+/// (matching, queue churn, session lifecycle) from learning costs.
+struct ProbeAlgo {
+    n: usize,
+    params: ParamVec,
+    /// Streaming payload bytes; sessions re-request while delivered.
+    bytes: usize,
+    greedy: bool,
+}
+
+impl CollabAlgorithm for ProbeAlgo {
+    type Sample = ();
+    type Session = u32;
+
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn model(&self, _node: usize) -> &ParamVec {
+        &self.params
+    }
+
+    fn local_training(
+        &mut self,
+        _node: usize,
+        _iters: usize,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> TrainStats {
+        TrainStats::default()
+    }
+
+    fn session_open(&mut self, _ctx: &mut SessionCtx<'_>) -> Option<(u32, SessionStep)> {
+        Some((0, SessionStep::Transfer(TransferSpec::link(self.bytes, 1e9))))
+    }
+
+    fn session_step(
+        &mut self,
+        sent: &mut u32,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        *sent += 1;
+        ctx.metrics.record_coreset_send(out.is_delivered(), self.bytes, out.elapsed());
+        if out.is_delivered() && (self.greedy || *sent < 2) {
+            return SessionStep::Transfer(TransferSpec::link(self.bytes, 1e9));
+        }
+        SessionStep::Done
+    }
+
+    fn session_close(&mut self, _sent: u32, ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
+    }
+
+    fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+}
+
+/// A parked grid fleet, 140 m spacing: every node has several radio
+/// neighbors, so the matcher and the session lifecycle stay busy.
+fn grid_trace(n: usize, seconds: f64) -> MobilityTrace {
+    let fps = 2.0;
+    let frames = (seconds * fps) as usize + 1;
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let positions = (0..n)
+        .map(|k| {
+            let p = Vec2::new((k % cols) as f32 * 140.0, (k / cols) as f32 * 140.0);
+            vec![p; frames]
+        })
+        .collect();
+    MobilityTrace::new(fps, positions)
+}
+
+fn bench_runtime(c: &mut Criterion, opts: &SuiteOpts) {
+    let reference = opts.reference;
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    g.measurement_time(if opts.smoke {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_secs(4)
+    });
+    // Event scheduler vs the retained frame loop over identical fleets:
+    // under `--reference` these cells time `run_reference`, so the
+    // baseline-vs-current diff is exactly the scheduler's overhead.
+    for n in [32usize, 256] {
+        let seconds = if n == 32 { 60.0 } else { 20.0 };
+        let trace = grid_trace(n, seconds);
+        let cfg = RuntimeConfig {
+            duration: seconds,
+            eval_every: seconds,
+            pair_cooldown: 10.0,
+            seed: 9,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::new(cfg);
+        g.bench_function(format!("event_loop_{n}nodes"), |b| {
+            b.iter(|| {
+                let mut algo =
+                    ProbeAlgo { n, params: ParamVec::zeros(1), bytes: 20_000, greedy: false };
+                let run = if reference {
+                    rt.run_reference(&mut algo, &trace, &[])
+                } else {
+                    rt.run(&mut algo, &trace, &[])
+                };
+                run.map_or(0, |m| m.sessions)
+            });
+        });
+    }
+    // Saturating contention: 16 isolated pairs stream unbounded payloads
+    // through one shared medium cell — the windowed streaming hot path.
+    // (Identical under `--reference`; the frame loop has no medium.)
+    {
+        let fps = 2.0;
+        let seconds = 15.0;
+        let frames = (seconds * fps) as usize + 1;
+        let positions = (0..32)
+            .map(|k| {
+                let x = (k / 2) as f32 * 1500.0 + (k % 2) as f32 * 100.0;
+                vec![Vec2::new(x, 0.0); frames]
+            })
+            .collect();
+        let trace = MobilityTrace::new(fps, positions);
+        let cfg = RuntimeConfig {
+            duration: seconds,
+            eval_every: seconds,
+            pair_cooldown: 0.0,
+            seed: 9,
+            contention: Some(MediumConfig { cell_m: 100_000.0, ..MediumConfig::default() }),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::new(cfg);
+        g.bench_function("contended_16pairs", |b| {
+            b.iter(|| {
+                let mut algo =
+                    ProbeAlgo { n: 32, params: ParamVec::zeros(1), bytes: 2_000_000, greedy: true };
+                rt.run(&mut algo, &trace, &[]).map_or(0, |m| m.bytes_delivered)
+            });
+        });
+    }
+    g.finish();
 }
 
 /// A scenario small enough to re-run inside a bench iteration; the smoke
@@ -522,7 +695,7 @@ fn bench_e2e(c: &mut Criterion, opts: &SuiteOpts) {
         Duration::from_secs(8)
     });
     g.bench_function("lbchat_quick_no_loss", |b| {
-        b.iter(|| run_method(Method::LbChat, &s, Condition::NoLoss).metrics.sessions);
+        b.iter(|| run_method(Method::LbChat, &s, Condition::NoLoss).map_or(0, |o| o.metrics.sessions));
     });
     g.finish();
 }

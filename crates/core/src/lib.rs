@@ -65,4 +65,4 @@ pub use dataset::WeightedDataset;
 pub use learner::{Learner, TrainStats};
 pub use node::LbChatNode;
 pub use obs::ObsSink;
-pub use runtime::{CollabAlgorithm, Runtime, RuntimeConfig};
+pub use runtime::{CollabAlgorithm, Runtime, RuntimeConfig, RuntimeError};

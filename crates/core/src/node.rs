@@ -17,9 +17,10 @@ use crate::learner::Learner;
 use crate::optimize::{equal_compression_choice, CompressionChoice, CompressionProblem};
 use crate::penalty::penalized_loss;
 use crate::phi::PhiCurve;
-use crate::runtime::{CollabAlgorithm, LinkCtx};
+use crate::runtime::{CollabAlgorithm, SessionCtx, SessionStep};
 use crate::valuation::coreset_loss;
 use rand::Rng;
+use simnet::channel::{TransferOutcome, TransferSpec};
 use simnet::contact::ContactEstimate;
 use vnn::{Minibatcher, ParamVec};
 
@@ -238,8 +239,198 @@ impl<L: Learner> LbChatAlgorithm<L> {
     }
 }
 
+/// Protocol position of one in-flight chat — which transfer the session is
+/// waiting on.
+enum ChatPhase {
+    /// Assist messages (route + bandwidth) both ways.
+    Assist,
+    /// Coreset `i → j`.
+    CoresetIJ,
+    /// Coreset `j → i`.
+    CoresetJI,
+    /// φ curve points + valuation losses both ways.
+    PhiExchange,
+    /// Sparsified model `i → j`.
+    ModelIJ,
+    /// Sparsified model `j → i`.
+    ModelJI,
+}
+
+/// One chat (Algorithm 2) in flight: the per-session state carried between
+/// [`CollabAlgorithm`] lifecycle calls while the runtime streams the chat's
+/// transfers. Created by `session_open`, advanced by `session_step` on each
+/// transfer outcome, finalized (aggregation + dataset expansion) by
+/// `session_close`.
+pub struct ChatSession<S> {
+    phase: ChatPhase,
+    /// `min(time_budget, contact duration)` — every deadline derives from it.
+    time_limit: f64,
+    /// Whether the `i → j` coreset arrived (the chat needs both).
+    c_ij_ok: bool,
+    coreset_i: Option<Coreset<S>>,
+    coreset_j: Option<Coreset<S>>,
+    loss_i_on_cj: f32,
+    loss_j_on_ci: f32,
+    phi_i: Option<PhiCurve>,
+    phi_j: Option<PhiCurve>,
+    choice: CompressionChoice,
+    /// Sparsified parameters node `i` received from `j`, if any.
+    received_i: Option<ParamVec>,
+    /// Sparsified parameters node `j` received from `i`, if any.
+    received_j: Option<ParamVec>,
+    /// Whether close should absorb the exchanged coresets (§III-D) — true
+    /// once both coresets arrived.
+    absorb_on_close: bool,
+    /// Minimum session duration reported at close (0.1 s after an aborted
+    /// assist exchange, else 0).
+    duration_floor: f64,
+}
+
+impl<L: Learner> LbChatAlgorithm<L> {
+    /// Deadline for the next transfer: whatever remains of the session's
+    /// time limit.
+    fn remaining(limit: f64, ctx: &SessionCtx<'_>) -> f64 {
+        (limit - ctx.elapsed()).max(0.0)
+    }
+
+    /// Runs the mutual valuation + compression choice once both coresets
+    /// are in hand (protocol phases 3–4), and returns the next step: a φ
+    /// exchange when the full Eq. (7) optimization needs one, otherwise the
+    /// model-exchange decision.
+    fn choose_compression(
+        &mut self,
+        state: &mut ChatSession<L::Sample>,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        let cfg = self.config.clone();
+        let (i, j) = (ctx.i, ctx.j);
+        let (Some(coreset_i), Some(coreset_j)) = (&state.coreset_i, &state.coreset_j) else {
+            return SessionStep::Done;
+        };
+
+        // --- 3. Mutual valuation (computation, §IV-A: not charged to the
+        // simulated clock). ---
+        let pen = cfg.penalty;
+        state.loss_i_on_cj = coreset_loss(
+            &self.nodes[i].learner,
+            self.nodes[i].learner.params(),
+            coreset_j,
+            &pen,
+        );
+        state.loss_j_on_ci = coreset_loss(
+            &self.nodes[j].learner,
+            self.nodes[j].learner.params(),
+            coreset_i,
+            &pen,
+        );
+
+        // --- 4. Compression-ratio optimization (Eq. 7) or ablations. ---
+        if !cfg.share_model {
+            // SCO: no model exchange at all.
+            state.choice =
+                CompressionChoice { psi_i: 0.0, psi_j: 0.0, transfer_time: 0.0, objective: 0.0 };
+        } else if cfg.equal_compression {
+            let remaining = Self::remaining(state.time_limit, ctx);
+            state.choice = equal_compression_choice(
+                cfg.model_wire_bytes,
+                ctx.contact().p.max(0.01) * 31e6, // effective rate under loss
+                cfg.time_budget,
+                remaining,
+            );
+        } else {
+            state.phi_i =
+                Some(PhiCurve::sample(&self.nodes[i].learner, coreset_i, &cfg.psi_grid, &pen));
+            state.phi_j =
+                Some(PhiCurve::sample(&self.nodes[j].learner, coreset_j, &cfg.psi_grid, &pen));
+            let (Some(phi_i), Some(phi_j)) = (&state.phi_i, &state.phi_j) else {
+                return SessionStep::Done;
+            };
+            // Exchange of φ points + losses: negligible but real bytes.
+            let bytes = phi_i.wire_bytes() + phi_j.wire_bytes() + 16;
+            state.phase = ChatPhase::PhiExchange;
+            return SessionStep::Transfer(TransferSpec::link(
+                bytes,
+                Self::remaining(state.time_limit, ctx),
+            ));
+        }
+        self.emit_chat(state, ctx);
+        self.model_exchange_step(state, ctx)
+    }
+
+    /// One `chat` event per encounter with the valuation losses and chosen
+    /// ψ ratios.
+    fn emit_chat(&self, state: &ChatSession<L::Sample>, ctx: &SessionCtx<'_>) {
+        if !ctx.obs().enabled() {
+            return;
+        }
+        let (ci_len, cj_len) = (
+            state.coreset_i.as_ref().map_or(0, Coreset::len),
+            state.coreset_j.as_ref().map_or(0, Coreset::len),
+        );
+        let obs = ctx.obs();
+        obs.add("chats", 1);
+        obs.add("coreset_points", (ci_len + cj_len) as u64);
+        obs.observe("psi", state.choice.psi_i as f64);
+        obs.observe("psi", state.choice.psi_j as f64);
+        obs.emit(
+            "chat",
+            &[
+                ("i", ctx.i.into()),
+                ("j", ctx.j.into()),
+                ("t", ctx.now().into()),
+                ("coreset_i", ci_len.into()),
+                ("coreset_j", cj_len.into()),
+                ("loss_i_on_cj", state.loss_i_on_cj.into()),
+                ("loss_j_on_ci", state.loss_j_on_ci.into()),
+                ("psi_i", state.choice.psi_i.into()),
+                ("psi_j", state.choice.psi_j.into()),
+                ("objective", state.choice.objective.into()),
+            ],
+        );
+    }
+
+    /// Phase 5 sequencing: request the `i → j` model transfer if ψ_i
+    /// warrants one, else fall through to [`Self::model_ji_step`].
+    fn model_exchange_step(
+        &mut self,
+        state: &mut ChatSession<L::Sample>,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        state.absorb_on_close = true;
+        if self.config.share_model && state.choice.psi_i >= PSI_MIN {
+            let bytes =
+                self.config.compression.wire_bytes(self.config.model_wire_bytes, state.choice.psi_i);
+            state.phase = ChatPhase::ModelIJ;
+            return SessionStep::Transfer(TransferSpec::link(
+                bytes,
+                Self::remaining(state.time_limit, ctx),
+            ));
+        }
+        self.model_ji_step(state, ctx)
+    }
+
+    /// Request the `j → i` model transfer if ψ_j warrants one, else finish.
+    fn model_ji_step(
+        &mut self,
+        state: &mut ChatSession<L::Sample>,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        if self.config.share_model && state.choice.psi_j >= PSI_MIN {
+            let bytes =
+                self.config.compression.wire_bytes(self.config.model_wire_bytes, state.choice.psi_j);
+            state.phase = ChatPhase::ModelJI;
+            return SessionStep::Transfer(TransferSpec::link(
+                bytes,
+                Self::remaining(state.time_limit, ctx),
+            ));
+        }
+        SessionStep::Done
+    }
+}
+
 impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
     type Sample = L::Sample;
+    type Session = ChatSession<L::Sample>;
 
     fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -268,197 +459,182 @@ impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
         est.z * est.p * 31e6
     }
 
-    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64 {
-        let cfg = self.config.clone();
-        let time_limit = cfg.time_budget.min(link.contact().duration.max(0.0));
-
-        // --- 1. Assist messages (route + bandwidth, 184 B each way). ---
-        let assist = link.transfer(2 * 184, time_limit.max(1.0));
-        if !assist.is_delivered() {
-            return link.elapsed().max(0.1);
-        }
-
-        // --- 2. Coreset construction & exchange. ---
-        {
-            let (a, b) = self.two_nodes(i, j);
-            if a.coreset_stale {
-                a.refresh_coreset(link.rng());
-            }
-            if b.coreset_stale {
-                b.refresh_coreset(link.rng());
-            }
-        }
-        let coreset_bytes = cfg.coreset_wire_bytes();
-        let deadline = (time_limit - link.elapsed()).max(0.0);
-        let c_i_to_j = link.transfer(coreset_bytes, deadline);
-        link.metrics
-            .record_coreset_send(c_i_to_j.is_delivered(), coreset_bytes, c_i_to_j.elapsed());
-        let deadline = (time_limit - link.elapsed()).max(0.0);
-        let c_j_to_i = link.transfer(coreset_bytes, deadline);
-        link.metrics
-            .record_coreset_send(c_j_to_i.is_delivered(), coreset_bytes, c_j_to_i.elapsed());
-        if !c_i_to_j.is_delivered() || !c_j_to_i.is_delivered() {
-            // Without both coresets there is no valuation; end the session.
-            // A failed coreset exchange is the strongest oversize signal.
-            if cfg.adaptive_coreset {
-                self.nodes[i].observe_exchange_share(1.5);
-                self.nodes[j].observe_exchange_share(1.5);
-            }
-            return link.elapsed();
-        }
-        if cfg.adaptive_coreset && time_limit > 0.0 {
-            let share = link.elapsed() / time_limit;
-            self.nodes[i].observe_exchange_share(share);
-            self.nodes[j].observe_exchange_share(share);
-        }
-        let coreset_i = self.nodes[i].coreset.clone();
-        let coreset_j = self.nodes[j].coreset.clone();
-
-        // --- 3. Mutual valuation + φ sampling (computation, §IV-A: not
-        // charged to the simulated clock). ---
-        let pen = cfg.penalty;
-        let loss_i_on_cj = coreset_loss(
-            &self.nodes[i].learner,
-            self.nodes[i].learner.params(),
-            &coreset_j,
-            &pen,
-        );
-        let loss_j_on_ci = coreset_loss(
-            &self.nodes[j].learner,
-            self.nodes[j].learner.params(),
-            &coreset_i,
-            &pen,
-        );
-
-        // --- 4. Compression-ratio optimization (Eq. 7) or ablations. ---
-        let choice: CompressionChoice = if !cfg.share_model {
-            // SCO: no model exchange at all.
-            CompressionChoice { psi_i: 0.0, psi_j: 0.0, transfer_time: 0.0, objective: 0.0 }
-        } else if cfg.equal_compression {
-            let remaining = (time_limit - link.elapsed()).max(0.0);
-            equal_compression_choice(
-                cfg.model_wire_bytes,
-                link.contact().p.max(0.01) * 31e6, // effective rate under loss
-                cfg.time_budget,
-                remaining,
-            )
-        } else {
-            let phi_i = PhiCurve::sample(
-                &self.nodes[i].learner,
-                &coreset_i,
-                &cfg.psi_grid,
-                &pen,
-            );
-            let phi_j = PhiCurve::sample(
-                &self.nodes[j].learner,
-                &coreset_j,
-                &cfg.psi_grid,
-                &pen,
-            );
-            // Exchange of φ points + losses: negligible but real bytes.
-            let deadline = (time_limit - link.elapsed()).max(0.0);
-            let results = link.transfer(phi_i.wire_bytes() + phi_j.wire_bytes() + 16, deadline);
-            if !results.is_delivered() {
-                // Can't agree on ψ: absorb coresets and leave.
-                let (a, b) = self.two_nodes(i, j);
-                a.absorb(&coreset_j, link.rng());
-                b.absorb(&coreset_i, link.rng());
-                return link.elapsed();
-            }
-            let remaining = (time_limit - link.elapsed()).max(0.0);
-            // Budget against expected *goodput*: retransmissions inflate
-            // airtime by ~1/(1-PER), and the contact estimate's delivery
-            // probability p is exactly the link-quality signal the assist
-            // exchange bought us. Without this, transfers sized to the raw
-            // bandwidth overrun their deadline whenever the channel is
-            // lossy — the failure mode the paper's 87 % receiving rate
-            // shows LbChat avoiding.
-            let goodput = 31e6 * link.contact().p.clamp(0.05, 1.0);
-            CompressionProblem {
-                phi_i: &phi_i,
-                phi_j: &phi_j,
-                loss_j_on_ci,
-                loss_i_on_cj,
-                model_bytes: cfg.model_wire_bytes,
-                bandwidth_bps: goodput,
-                time_budget: remaining,
-                contact: (link.contact().duration - link.elapsed()).max(0.0),
-                lambda_c: cfg.lambda_c,
-            }
-            .solve()
+    fn session_open(
+        &mut self,
+        ctx: &mut SessionCtx<'_>,
+    ) -> Option<(ChatSession<L::Sample>, SessionStep)> {
+        let time_limit = self.config.time_budget.min(ctx.contact().duration.max(0.0));
+        let state = ChatSession {
+            phase: ChatPhase::Assist,
+            time_limit,
+            c_ij_ok: false,
+            coreset_i: None,
+            coreset_j: None,
+            loss_i_on_cj: 0.0,
+            loss_j_on_ci: 0.0,
+            phi_i: None,
+            phi_j: None,
+            choice: CompressionChoice {
+                psi_i: 0.0,
+                psi_j: 0.0,
+                transfer_time: 0.0,
+                objective: 0.0,
+            },
+            received_i: None,
+            received_j: None,
+            absorb_on_close: false,
+            duration_floor: 0.0,
         };
+        // --- 1. Assist messages (route + bandwidth, 184 B each way). ---
+        Some((state, SessionStep::Transfer(TransferSpec::link(2 * 184, time_limit.max(1.0)))))
+    }
 
-        if link.obs().enabled() {
-            let obs = link.obs();
-            obs.add("chats", 1);
-            obs.add("coreset_points", (coreset_i.len() + coreset_j.len()) as u64);
-            obs.observe("psi", choice.psi_i as f64);
-            obs.observe("psi", choice.psi_j as f64);
-            obs.emit(
-                "chat",
-                &[
-                    ("i", i.into()),
-                    ("j", j.into()),
-                    ("t", link.now().into()),
-                    ("coreset_i", coreset_i.len().into()),
-                    ("coreset_j", coreset_j.len().into()),
-                    ("loss_i_on_cj", loss_i_on_cj.into()),
-                    ("loss_j_on_ci", loss_j_on_ci.into()),
-                    ("psi_i", choice.psi_i.into()),
-                    ("psi_j", choice.psi_j.into()),
-                    ("objective", choice.objective.into()),
-                ],
-            );
-        }
-
-        // --- 5. Model exchange (top-k sparsified both ways). ---
-        let mut received_i: Option<ParamVec> = None; // what i receives from j
-        let mut received_j: Option<ParamVec> = None; // what j receives from i
-        if cfg.share_model {
-            if choice.psi_i >= PSI_MIN {
-                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, choice.psi_i);
-                let deadline = (time_limit - link.elapsed()).max(0.0);
-                let out = link.transfer(bytes, deadline);
-                link.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
-                if out.is_delivered() {
-                    received_j =
-                        Some(cfg.compression.apply(self.nodes[i].learner.params(), choice.psi_i));
+    fn session_step(
+        &mut self,
+        state: &mut ChatSession<L::Sample>,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        let cfg = self.config.clone();
+        let (i, j) = (ctx.i, ctx.j);
+        match state.phase {
+            ChatPhase::Assist => {
+                if !out.is_delivered() {
+                    state.duration_floor = 0.1;
+                    return SessionStep::Done;
                 }
-            }
-            if choice.psi_j >= PSI_MIN {
-                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, choice.psi_j);
-                let deadline = (time_limit - link.elapsed()).max(0.0);
-                let out = link.transfer(bytes, deadline);
-                link.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
-                if out.is_delivered() {
-                    received_i =
-                        Some(cfg.compression.apply(self.nodes[j].learner.params(), choice.psi_j));
+                // --- 2. Coreset construction & exchange. ---
+                {
+                    let (a, b) = self.two_nodes(i, j);
+                    if a.coreset_stale {
+                        a.refresh_coreset(ctx.rng());
+                    }
+                    if b.coreset_stale {
+                        b.refresh_coreset(ctx.rng());
+                    }
                 }
+                state.phase = ChatPhase::CoresetIJ;
+                SessionStep::Transfer(TransferSpec::link(
+                    cfg.coreset_wire_bytes(),
+                    Self::remaining(state.time_limit, ctx),
+                ))
+            }
+            ChatPhase::CoresetIJ => {
+                let coreset_bytes = cfg.coreset_wire_bytes();
+                ctx.metrics.record_coreset_send(out.is_delivered(), coreset_bytes, out.elapsed());
+                state.c_ij_ok = out.is_delivered();
+                state.phase = ChatPhase::CoresetJI;
+                SessionStep::Transfer(TransferSpec::link(
+                    coreset_bytes,
+                    Self::remaining(state.time_limit, ctx),
+                ))
+            }
+            ChatPhase::CoresetJI => {
+                let coreset_bytes = cfg.coreset_wire_bytes();
+                ctx.metrics.record_coreset_send(out.is_delivered(), coreset_bytes, out.elapsed());
+                if !state.c_ij_ok || !out.is_delivered() {
+                    // Without both coresets there is no valuation; end the
+                    // session. A failed coreset exchange is the strongest
+                    // oversize signal.
+                    if cfg.adaptive_coreset {
+                        self.nodes[i].observe_exchange_share(1.5);
+                        self.nodes[j].observe_exchange_share(1.5);
+                    }
+                    return SessionStep::Done;
+                }
+                if cfg.adaptive_coreset && state.time_limit > 0.0 {
+                    let share = ctx.elapsed() / state.time_limit;
+                    self.nodes[i].observe_exchange_share(share);
+                    self.nodes[j].observe_exchange_share(share);
+                }
+                state.coreset_i = Some(self.nodes[i].coreset.clone());
+                state.coreset_j = Some(self.nodes[j].coreset.clone());
+                self.choose_compression(state, ctx)
+            }
+            ChatPhase::PhiExchange => {
+                if !out.is_delivered() {
+                    // Can't agree on ψ: absorb coresets and leave.
+                    state.absorb_on_close = true;
+                    return SessionStep::Done;
+                }
+                let (Some(phi_i), Some(phi_j)) = (&state.phi_i, &state.phi_j) else {
+                    return SessionStep::Done;
+                };
+                let remaining = Self::remaining(state.time_limit, ctx);
+                // Budget against expected *goodput*: retransmissions inflate
+                // airtime by ~1/(1-PER), and the contact estimate's delivery
+                // probability p is exactly the link-quality signal the assist
+                // exchange bought us. Without this, transfers sized to the raw
+                // bandwidth overrun their deadline whenever the channel is
+                // lossy — the failure mode the paper's 87 % receiving rate
+                // shows LbChat avoiding.
+                let goodput = 31e6 * ctx.contact().p.clamp(0.05, 1.0);
+                state.choice = CompressionProblem {
+                    phi_i,
+                    phi_j,
+                    loss_j_on_ci: state.loss_j_on_ci,
+                    loss_i_on_cj: state.loss_i_on_cj,
+                    model_bytes: cfg.model_wire_bytes,
+                    bandwidth_bps: goodput,
+                    time_budget: remaining,
+                    contact: (ctx.contact().duration - ctx.elapsed()).max(0.0),
+                    lambda_c: cfg.lambda_c,
+                }
+                .solve();
+                self.emit_chat(state, ctx);
+                self.model_exchange_step(state, ctx)
+            }
+            ChatPhase::ModelIJ => {
+                // --- 5. Model exchange (top-k sparsified both ways). ---
+                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, state.choice.psi_i);
+                ctx.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                if out.is_delivered() {
+                    state.received_j =
+                        Some(cfg.compression.apply(self.nodes[i].learner.params(), state.choice.psi_i));
+                }
+                self.model_ji_step(state, ctx)
+            }
+            ChatPhase::ModelJI => {
+                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, state.choice.psi_j);
+                ctx.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                if out.is_delivered() {
+                    state.received_i =
+                        Some(cfg.compression.apply(self.nodes[j].learner.params(), state.choice.psi_j));
+                }
+                SessionStep::Done
             }
         }
+    }
 
+    fn session_close(
+        &mut self,
+        state: ChatSession<L::Sample>,
+        ctx: &mut SessionCtx<'_>,
+    ) -> f64 {
+        let cfg = self.config.clone();
+        let (i, j) = (ctx.i, ctx.j);
         // --- 6. Aggregation (Eq. 8) on the joint coreset view. ---
-        if let Some(peer_params) = received_i {
+        if let (Some(peer_params), Some(coreset_j)) = (&state.received_i, &state.coreset_j) {
             let node = &self.nodes[i];
-            let own_loss = node.joint_loss(node.learner.params(), &coreset_j);
-            let peer_loss = node.joint_loss(&peer_params, &coreset_j);
+            let own_loss = node.joint_loss(node.learner.params(), coreset_j);
+            let peer_loss = node.joint_loss(peer_params, coreset_j);
             let merged = aggregate_sparse_aware(
                 node.learner.params(),
                 own_loss,
-                &peer_params,
+                peer_params,
                 peer_loss,
                 cfg.aggregation,
             );
             self.nodes[i].adopt_model(merged);
         }
-        if let Some(peer_params) = received_j {
+        if let (Some(peer_params), Some(coreset_i)) = (&state.received_j, &state.coreset_i) {
             let node = &self.nodes[j];
-            let own_loss = node.joint_loss(node.learner.params(), &coreset_i);
-            let peer_loss = node.joint_loss(&peer_params, &coreset_i);
+            let own_loss = node.joint_loss(node.learner.params(), coreset_i);
+            let peer_loss = node.joint_loss(peer_params, coreset_i);
             let merged = aggregate_sparse_aware(
                 node.learner.params(),
                 own_loss,
-                &peer_params,
+                peer_params,
                 peer_loss,
                 cfg.aggregation,
             );
@@ -466,13 +642,15 @@ impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
         }
 
         // --- 7. Dataset expansion with the received coresets (§III-D). ---
-        {
-            let (a, b) = self.two_nodes(i, j);
-            a.absorb(&coreset_j, link.rng());
-            b.absorb(&coreset_i, link.rng());
+        if state.absorb_on_close {
+            if let (Some(coreset_i), Some(coreset_j)) = (&state.coreset_i, &state.coreset_j) {
+                let (a, b) = self.two_nodes(i, j);
+                a.absorb(coreset_j, ctx.rng());
+                b.absorb(coreset_i, ctx.rng());
+            }
         }
 
-        link.elapsed()
+        ctx.elapsed().max(state.duration_floor)
     }
 
     fn mean_eval_loss(&self, eval: &[L::Sample]) -> f64 {
@@ -595,7 +773,7 @@ mod tests {
             ..RuntimeConfig::default()
         });
         let before_a = algo.node(0).dataset().len();
-        let metrics = runtime.run(&mut algo, &trace, &eval);
+        let metrics = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(metrics.sessions > 0, "parked in range: must chat");
         assert!(metrics.coreset_receives > 0);
         assert!(metrics.model_receives > 0, "models must flow on a clean channel");
@@ -618,7 +796,7 @@ mod tests {
             eval_every: 300.0,
             ..RuntimeConfig::default()
         });
-        runtime.run(&mut algo, &trace, &eval_b);
+        runtime.run(&mut algo, &trace, &eval_b).expect("trace fits");
         let chatty_loss: f64 = eval_b
             .iter()
             .map(|s| algo.node(0).learner.loss(s) as f64)
@@ -656,7 +834,7 @@ mod tests {
             duration: 600.0,
             ..RuntimeConfig::default()
         });
-        let metrics = runtime.run(&mut algo, &trace, &eval);
+        let metrics = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(metrics.sessions > 0);
         assert_eq!(metrics.model_sends, 0, "SCO shares coresets only");
         assert!(metrics.coreset_receives > 0);
@@ -672,7 +850,7 @@ mod tests {
             duration: 400.0,
             ..RuntimeConfig::default()
         });
-        let metrics = runtime.run(&mut algo, &trace, &eval);
+        let metrics = runtime.run(&mut algo, &trace, &eval).expect("trace fits");
         assert!(metrics.model_sends > 0);
     }
 

@@ -16,4 +16,6 @@ pub use crate::metrics::Metrics;
 pub use crate::obs::ObsSink;
 pub use crate::runtime::{
     CollabAlgorithm, FrameCtx, LinkCtx, Runtime, RuntimeConfig, RuntimeConfigBuilder,
+    RuntimeError, SessionCtx, SessionStep,
 };
+pub use simnet::channel::{MediumConfig, TransferLoss, TransferOutcome, TransferSpec};

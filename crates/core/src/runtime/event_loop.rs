@@ -1,0 +1,717 @@
+//! The discrete-event execution engine behind [`super::Runtime::run`].
+//!
+//! Frames, session opens/closes, streaming transfer steps, training slices,
+//! and evaluations are events on the deterministic queue in [`super::sched`].
+//! Two execution modes share the scaffolding:
+//!
+//! * **Compatibility** ([`RuntimeConfig::contention`] = `None`): each frame
+//!   pushes its sessions, training slices, and evaluation as same-timestamp
+//!   events in phase order, and every session runs synchronously at its
+//!   `ContactOpen` through [`super::drive_session`] on the shared RNG —
+//!   which reproduces [`super::reference`] bit for bit.
+//! * **Contention**: sessions become long-lived records whose transfers
+//!   stream packet windows that contend for per-cell airtime on a
+//!   [`Medium`]. Each session draws from its own seeded RNG, and a window's
+//!   fair share / collision loss come from the *previous* window's load —
+//!   so same-window steps are order-independent and shard over
+//!   [`crate::exec`] with a fixed-order reduction, keeping jobs=1 ≡ jobs=N
+//!   bit-identical.
+
+use super::sched::{Event, EventQueue};
+use super::{
+    emit_round, record_transfer_obs, CollabAlgorithm, FrameCtx, PairCooldown, RuntimeConfig,
+    SessionCtx, SessionStep,
+};
+use crate::exec;
+use crate::metrics::Metrics;
+use rand::{RngExt, SeedableRng};
+use simnet::channel::{Channel, Medium, TransferOutcome, TransferSpec, DEAD_LINK_ATTEMPTS};
+use simnet::contact::{ContactEstimate, ContactPredictor};
+use simnet::geom::Vec2;
+use simnet::trace::MobilityTrace;
+
+/// A forcibly closed session that keeps requesting transfers gets each fed
+/// an instant failure; after this many the runtime abandons the protocol
+/// and closes anyway (guards against a non-terminating `session_step`).
+const FORCED_CLOSE_FEEDS: u32 = 64;
+
+/// Runs `algo` over `trace` on the event scheduler. The caller
+/// ([`super::Runtime::run`]) has already validated the trace size.
+pub(super) fn run<A: CollabAlgorithm>(
+    cfg: &RuntimeConfig,
+    algo: &mut A,
+    trace: &MobilityTrace,
+    eval: &[A::Sample],
+) -> Metrics {
+    let n = algo.n_nodes();
+    let mut el = EventLoop {
+        cfg,
+        trace,
+        eval,
+        n,
+        dt: 1.0 / trace.fps(),
+        channel: Channel::new(cfg.radio.clone(), cfg.loss_model.clone()),
+        predictor: ContactPredictor::new(
+            cfg.radio.range_m,
+            cfg.radio.max_retx,
+            cfg.loss_model.clone(),
+            cfg.contact_reference_time,
+        ),
+        rng: rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE)),
+        metrics: Metrics::new(),
+        busy_until: vec![0.0f64; n],
+        cooldown: PairCooldown::new(n),
+        train_debt: vec![0.0f64; n],
+        next_eval: 0.0,
+        queue: EventQueue::new(),
+        medium: cfg.contention.clone().map(Medium::new),
+        sessions: Vec::new(),
+        active: (0..n).collect(),
+    };
+    el.queue.push(0.0, Event::Frame);
+    while let Some(t) = el.queue.peek_time() {
+        if t >= cfg.duration {
+            break;
+        }
+        let Some((t, ev)) = el.queue.pop() else { break };
+        el.dispatch(algo, t, ev);
+    }
+    // Contention mode: sessions whose contact outlives the run close at the
+    // horizon so their protocols finalize (aggregation happens at close).
+    for s in 0..el.sessions.len() {
+        if !el.sessions[s].closed {
+            el.force_close(algo, s, cfg.duration);
+        }
+    }
+    let loss = algo.mean_eval_loss(eval);
+    el.metrics.record_loss(cfg.duration, loss);
+    emit_round(&cfg.obs, algo.name(), cfg.duration, loss);
+    el.metrics
+}
+
+/// One live (contention-mode) session between ContactOpen and close.
+struct Live<S> {
+    i: usize,
+    j: usize,
+    est: ContactEstimate,
+    /// Open time in simulated seconds.
+    start: f64,
+    /// Matching priority the pair won with (for the `session` event).
+    score: f64,
+    /// Per-session RNG (seeded from the session sequence number so outcomes
+    /// are independent of worker count); `None` only while a callback or a
+    /// window job has it checked out.
+    rng: Option<rand::rngs::StdRng>,
+    /// Protocol time consumed so far (airtime + explicit charges) — what
+    /// [`SessionCtx::elapsed`] reports to the algorithm.
+    elapsed: f64,
+    /// Algorithm state; `None` before open returns, while checked out to a
+    /// callback, and after close.
+    state: Option<S>,
+    /// The in-flight streaming transfer, if any.
+    pending: Option<Pending>,
+    closed: bool,
+}
+
+/// A streaming transfer in flight.
+struct Pending {
+    spec: TransferSpec,
+    /// Session-clock time ([`SessionCtx::now`]) when the transfer was
+    /// requested — the `t` stamped on its eventual `transfer` event, matching
+    /// the synchronous path.
+    t0: f64,
+    /// Airtime consumed so far, seconds (the transfer-local clock the
+    /// deadline is measured on).
+    airtime: f64,
+    delivered_packets: usize,
+    n_packets: usize,
+    /// Consecutive failed attempts on the current packet.
+    fail_streak: u32,
+}
+
+/// One session's share of one medium window: the unit that shards across
+/// workers. Inputs are fixed before the parallel phase; `stream_window`
+/// mutates only owned state, so results are identical for any worker count.
+struct WindowJob {
+    session: usize,
+    cell: (i64, i64),
+    pending: Pending,
+    rng: rand::rngs::StdRng,
+    /// Fair airtime share this window, seconds.
+    share_s: f64,
+    /// Combined per-packet error rate (link loss + collision extra).
+    per: f32,
+    /// Whether a collision term is in effect (for drop attribution).
+    contended: bool,
+    pt: f64,
+    // Outputs:
+    consumed: f64,
+    drops: u64,
+    status: WindowStatus,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum WindowStatus {
+    /// Window share exhausted with payload remaining.
+    InProgress,
+    /// The share was too small to fit even one packet.
+    Backoff,
+    /// All packets delivered.
+    Complete,
+    /// Deadline passed or the link died.
+    Failed,
+}
+
+/// Streams packets of one transfer through one window's airtime share.
+/// Pure per-job: touches only the job's own pending state and RNG.
+fn stream_window(job: &mut WindowJob) {
+    if job.share_s < job.pt {
+        job.status = WindowStatus::Backoff;
+        return;
+    }
+    let p = &mut job.pending;
+    let mut local = 0.0f64;
+    job.status = loop {
+        if p.delivered_packets >= p.n_packets {
+            break WindowStatus::Complete;
+        }
+        if p.fail_streak >= DEAD_LINK_ATTEMPTS {
+            break WindowStatus::Failed;
+        }
+        if p.airtime + job.pt > p.spec.deadline {
+            break WindowStatus::Failed;
+        }
+        if local + job.pt > job.share_s {
+            break WindowStatus::InProgress;
+        }
+        p.airtime += job.pt;
+        local += job.pt;
+        if job.per <= 0.0 || job.rng.random::<f32>() >= job.per {
+            p.delivered_packets += 1;
+            p.fail_streak = 0;
+        } else {
+            p.fail_streak += 1;
+            if job.contended {
+                job.drops += 1;
+            }
+        }
+    };
+    job.consumed = local;
+}
+
+struct EventLoop<'a, A: CollabAlgorithm> {
+    cfg: &'a RuntimeConfig,
+    trace: &'a MobilityTrace,
+    eval: &'a [A::Sample],
+    n: usize,
+    dt: f64,
+    channel: Channel,
+    predictor: ContactPredictor,
+    /// The shared (frame-order) RNG: frame hooks, compat-mode sessions, and
+    /// training draw from it in event order, exactly like the reference loop.
+    rng: rand::rngs::StdRng,
+    metrics: Metrics,
+    busy_until: Vec<f64>,
+    cooldown: PairCooldown,
+    train_debt: Vec<f64>,
+    next_eval: f64,
+    queue: EventQueue<Event>,
+    /// `Some` iff contention mode is on.
+    medium: Option<Medium>,
+    sessions: Vec<Live<A::Session>>,
+    /// The full node roster (every node participates in matching).
+    active: Vec<usize>,
+}
+
+impl<A: CollabAlgorithm> EventLoop<'_, A> {
+    fn dispatch(&mut self, algo: &mut A, t: f64, ev: Event) {
+        match ev {
+            Event::Frame => self.handle_frame(algo, t),
+            Event::ContactOpen { i, j, est, priority } => {
+                if self.medium.is_some() {
+                    self.open_streaming(algo, i, j, est, priority, t);
+                } else {
+                    self.open_synchronous(algo, i, j, est, priority, t);
+                }
+            }
+            Event::ContactClose { session } => {
+                if !self.sessions[session].closed {
+                    self.force_close(algo, session, t);
+                }
+            }
+            Event::TransferStep { session } => {
+                // Batch all same-timestamp transfer steps: their window
+                // shares come from the previous window's load, so they are
+                // order-independent and shard across workers.
+                let mut batch = vec![session];
+                loop {
+                    match self.queue.peek() {
+                        Some((t2, Event::TransferStep { session: s })) if t2 == t => {
+                            let s = *s;
+                            self.queue.pop();
+                            batch.push(s);
+                        }
+                        _ => break,
+                    }
+                }
+                self.handle_transfer_batch(algo, t, batch);
+            }
+            Event::TrainSlice { node } => self.handle_train_slice(algo, t, node),
+            Event::Eval => {
+                let loss = algo.mean_eval_loss(self.eval);
+                self.metrics.record_loss(t, loss);
+                emit_round(&self.cfg.obs, algo.name(), t, loss);
+            }
+        }
+    }
+
+    /// One trace frame: infrastructure hook, pair matching, then the
+    /// frame's sessions, training slices, and evaluation pushed as
+    /// same-timestamp events in phase order.
+    fn handle_frame(&mut self, algo: &mut A, t: f64) {
+        {
+            let mut fctx = FrameCtx {
+                time: t,
+                trace: self.trace,
+                channel: &self.channel,
+                busy_until: &self.busy_until,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                loss_model: &self.cfg.loss_model,
+                obs: &self.cfg.obs,
+            };
+            algo.on_frame(&mut fctx);
+        }
+
+        // Pair matching (identical to the reference loop, with the dense
+        // cooldown matrix replaced by the triangular PairCooldown).
+        let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
+        for e in self.trace.encounters_at(t, self.cfg.radio.range_m, &self.active) {
+            let (i, j) = (e.a, e.b);
+            if self.busy_until[i] > t || self.busy_until[j] > t {
+                continue;
+            }
+            if self.cooldown.get(i, j) > t {
+                continue;
+            }
+            let fut_i = self.trace.future(i, t, self.dt, self.cfg.route_share_samples);
+            let fut_j = self.trace.future(j, t, self.dt, self.cfg.route_share_samples);
+            let est = self.predictor.estimate(&fut_i, &fut_j, self.dt);
+            let score = algo.pair_priority(i, j, &est);
+            if !score.is_finite() {
+                continue; // method opted out of this pairing
+            }
+            candidates.push((score, i, j, est));
+        }
+        // Greedy matching by descending priority — each vehicle serves its
+        // best-scored neighbor first (§III-A). total_cmp: scores are finite.
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut taken = vec![false; self.n];
+        for (score, i, j, est) in candidates {
+            if taken[i] || taken[j] {
+                continue;
+            }
+            taken[i] = true;
+            taken[j] = true;
+            self.queue.push(t, Event::ContactOpen { i, j, est, priority: score });
+        }
+
+        for v in 0..self.n {
+            self.queue.push(t, Event::TrainSlice { node: v });
+        }
+        if t >= self.next_eval {
+            self.queue.push(t, Event::Eval);
+            self.next_eval += self.cfg.eval_every;
+        }
+        // Frame times accumulate by repeated `+ dt` — the same float
+        // sequence as the reference loop's `time += dt`.
+        if t + self.dt < self.cfg.duration {
+            self.queue.push(t + self.dt, Event::Frame);
+        }
+    }
+
+    fn handle_train_slice(&mut self, algo: &mut A, t: f64, v: usize) {
+        if self.busy_until[v] > t {
+            return;
+        }
+        // Fractional iteration accounting keeps any rate exact over time.
+        self.train_debt[v] += self.cfg.train_iters_per_second * self.dt;
+        let iters = self.train_debt[v].floor() as usize;
+        if iters > 0 {
+            self.train_debt[v] -= iters as f64;
+            let stats = algo.local_training(v, iters, &mut self.rng);
+            self.metrics.train_iterations += iters as u64;
+            if self.cfg.obs.enabled() && stats.batches > 0 {
+                self.cfg.obs.add("train.batch", stats.batches);
+                self.cfg.obs.add("train.samples", stats.samples);
+                self.cfg.obs.add("train.scratch_reuse", stats.scratch_reuse);
+            }
+        }
+    }
+
+    /// Compat-mode session: runs the whole lifecycle synchronously at the
+    /// open event on the shared RNG — the reference loop's session phase.
+    fn open_synchronous(
+        &mut self,
+        algo: &mut A,
+        i: usize,
+        j: usize,
+        est: ContactEstimate,
+        score: f64,
+        t: f64,
+    ) {
+        self.metrics.sessions += 1;
+        let mut link = SessionCtx {
+            start: t,
+            i,
+            j,
+            trace: self.trace,
+            channel: &self.channel,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            est,
+            elapsed: 0.0,
+            obs: &self.cfg.obs,
+        };
+        let duration = algo.encounter(i, j, &mut link);
+        if self.cfg.obs.enabled() {
+            self.cfg.obs.add("sessions", 1);
+            self.cfg.obs.emit(
+                "session",
+                &[
+                    ("i", i.into()),
+                    ("j", j.into()),
+                    ("t", t.into()),
+                    ("priority", score.into()),
+                    ("duration_s", duration.into()),
+                ],
+            );
+        }
+        let until = t + duration.max(self.dt);
+        self.busy_until[i] = until;
+        self.busy_until[j] = until;
+        self.cooldown.set(i, j, until + self.cfg.pair_cooldown);
+    }
+
+    /// Contention-mode session open: allocate a live record with its own
+    /// seeded RNG, mark both nodes busy for the session's lifetime, and run
+    /// `session_open`.
+    fn open_streaming(
+        &mut self,
+        algo: &mut A,
+        i: usize,
+        j: usize,
+        est: ContactEstimate,
+        score: f64,
+        t: f64,
+    ) {
+        self.metrics.sessions += 1;
+        let sid = self.sessions.len();
+        let seed = exec::derive_seed(self.cfg.seed, "session", sid as u64);
+        self.sessions.push(Live {
+            i,
+            j,
+            est,
+            start: t,
+            score,
+            rng: Some(rand::rngs::StdRng::seed_from_u64(seed)),
+            elapsed: 0.0,
+            state: None,
+            pending: None,
+            closed: false,
+        });
+        if self.cfg.obs.enabled() {
+            self.cfg.obs.add("session.opened", 1);
+            self.cfg.obs.emit(
+                "session.open",
+                &[("i", i.into()), ("j", j.into()), ("t", t.into()), ("priority", score.into())],
+            );
+        }
+        let opened = {
+            let live = &mut self.sessions[sid];
+            let Some(mut rng) = live.rng.take() else { return };
+            let mut ctx = SessionCtx {
+                start: live.start,
+                i,
+                j,
+                trace: self.trace,
+                channel: &self.channel,
+                rng: &mut rng,
+                metrics: &mut self.metrics,
+                est,
+                elapsed: live.elapsed,
+                obs: &self.cfg.obs,
+            };
+            let opened = algo.session_open(&mut ctx);
+            let elapsed = ctx.elapsed;
+            let live = &mut self.sessions[sid];
+            live.elapsed = elapsed;
+            live.rng = Some(rng);
+            opened
+        };
+        match opened {
+            None => {
+                // Declined pairing: a zero-duration session, like an
+                // encounter returning 0 — busy one frame, cooldown applies.
+                self.sessions[sid].closed = true;
+                self.finish_session(sid, t, 0.0);
+            }
+            Some((state, step)) => {
+                self.sessions[sid].state = Some(state);
+                self.busy_until[i] = f64::INFINITY;
+                self.busy_until[j] = f64::INFINITY;
+                self.queue.push(t + est.duration.max(self.dt), Event::ContactClose { session: sid });
+                self.apply_step(algo, sid, step, t);
+            }
+        }
+    }
+
+    /// Applies a session's next step at time `t`: schedules a streaming
+    /// transfer, completes zero-byte transfers inline, or closes.
+    fn apply_step(&mut self, algo: &mut A, sid: usize, mut step: SessionStep, t: f64) {
+        loop {
+            match step {
+                SessionStep::Done => {
+                    self.close_session(algo, sid, t);
+                    return;
+                }
+                SessionStep::Transfer(spec) => {
+                    let live = &mut self.sessions[sid];
+                    let t0 = live.start + live.elapsed;
+                    if spec.bytes == 0 {
+                        // Instant, like the synchronous channel.
+                        let out = TransferOutcome::Delivered { elapsed: 0.0 };
+                        record_transfer_obs(&self.cfg.obs, live.i, live.j, t0, 0, &out);
+                        step = self.call_step(algo, sid, out, t);
+                        continue;
+                    }
+                    live.pending = Some(Pending {
+                        spec,
+                        t0,
+                        airtime: 0.0,
+                        delivered_packets: 0,
+                        n_packets: self.channel.config().packets_for(spec.bytes),
+                        fail_streak: 0,
+                    });
+                    self.schedule_window_step(sid, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Schedules the session's next window share at the next window
+    /// boundary after `t` (boundaries are integer multiples of `window_s`,
+    /// so every batch lands on an exactly representable shared timestamp).
+    fn schedule_window_step(&mut self, sid: usize, t: f64) {
+        let Some(medium) = &self.medium else { return };
+        let w = medium.window_index(t);
+        let t_next = (w + 1) as f64 * medium.config().window_s;
+        self.queue.push(t_next, Event::TransferStep { session: sid });
+    }
+
+    /// Runs one window for every session in `batch` (all at time `t`):
+    /// serial load registration, parallel packet streaming, then a serial
+    /// fixed-order reduction applying outcomes — identical for any worker
+    /// count because shares and losses come from the previous window.
+    fn handle_transfer_batch(&mut self, algo: &mut A, t: f64, batch: Vec<usize>) {
+        let Some(medium) = &mut self.medium else { return };
+        medium.advance_to(t);
+        let t_next = (medium.window_index(t) + 1) as f64 * medium.config().window_s;
+        let pt = self.channel.config().packet_time();
+        let mut jobs: Vec<WindowJob> = Vec::with_capacity(batch.len());
+        for sid in batch {
+            let live = &mut self.sessions[sid];
+            if live.closed {
+                continue;
+            }
+            let (Some(pending), Some(rng)) = (live.pending.take(), live.rng.take()) else {
+                continue;
+            };
+            let (pi, pj) = (self.trace.position(live.i, t), self.trace.position(live.j, t));
+            let cell = medium.cell_of(Vec2::new((pi.x + pj.x) * 0.5, (pi.y + pj.y) * 0.5));
+            let share_s = medium.fair_share(cell);
+            let extra = medium.collision_per(cell);
+            medium.register(cell);
+            let base = self.channel.per_for(pending.spec.loss, self.trace.distance(live.i, live.j, t));
+            jobs.push(WindowJob {
+                session: sid,
+                cell,
+                pending,
+                rng,
+                share_s,
+                per: base + extra * (1.0 - base),
+                contended: extra > 0.0,
+                pt,
+                consumed: 0.0,
+                drops: 0,
+                status: WindowStatus::InProgress,
+            });
+        }
+
+        exec::par_for_each_mut(&mut jobs, |_, job| stream_window(job));
+
+        // Fixed-order reduction, in pop order.
+        let mut finished: Vec<(usize, usize, f64, TransferOutcome)> = Vec::new();
+        for job in jobs {
+            let sid = job.session;
+            medium.book(job.cell, job.consumed);
+            if self.cfg.obs.enabled() && job.drops > 0 {
+                self.cfg.obs.add("net.contention.drops", job.drops);
+            }
+            let packet_bytes = self.channel.config().packet_bytes;
+            let live = &mut self.sessions[sid];
+            live.rng = Some(job.rng);
+            match job.status {
+                WindowStatus::Backoff | WindowStatus::InProgress => {
+                    if job.status == WindowStatus::Backoff && self.cfg.obs.enabled() {
+                        self.cfg.obs.add("net.contention.backoff", 1);
+                    }
+                    live.pending = Some(job.pending);
+                    self.queue.push(t_next, Event::TransferStep { session: sid });
+                }
+                WindowStatus::Complete => {
+                    let out = TransferOutcome::Delivered { elapsed: job.pending.airtime };
+                    finished.push((sid, job.pending.spec.bytes, job.pending.t0, out));
+                }
+                WindowStatus::Failed => {
+                    let out = TransferOutcome::Failed {
+                        elapsed: job.pending.airtime,
+                        delivered_bytes: job.pending.delivered_packets * packet_bytes,
+                    };
+                    finished.push((sid, job.pending.spec.bytes, job.pending.t0, out));
+                }
+            }
+        }
+        for (sid, bytes, t0, out) in finished {
+            let live = &mut self.sessions[sid];
+            live.elapsed += out.elapsed();
+            record_transfer_obs(&self.cfg.obs, live.i, live.j, t0, bytes, &out);
+            let step = self.call_step(algo, sid, out, t);
+            self.apply_step(algo, sid, step, t);
+        }
+    }
+
+    /// Hands a transfer outcome to the algorithm's `session_step` with the
+    /// session's context checked out.
+    fn call_step(&mut self, algo: &mut A, sid: usize, out: TransferOutcome, _t: f64) -> SessionStep {
+        let live = &mut self.sessions[sid];
+        let (Some(mut state), Some(mut rng)) = (live.state.take(), live.rng.take()) else {
+            return SessionStep::Done;
+        };
+        let mut ctx = SessionCtx {
+            start: live.start,
+            i: live.i,
+            j: live.j,
+            trace: self.trace,
+            channel: &self.channel,
+            rng: &mut rng,
+            metrics: &mut self.metrics,
+            est: live.est,
+            elapsed: live.elapsed,
+            obs: &self.cfg.obs,
+        };
+        let step = algo.session_step(&mut state, out, &mut ctx);
+        let elapsed = ctx.elapsed;
+        let live = &mut self.sessions[sid];
+        live.elapsed = elapsed;
+        live.state = Some(state);
+        live.rng = Some(rng);
+        step
+    }
+
+    /// Force-closes a still-open session at `t` (contact window ended or
+    /// the run hit its horizon): the in-flight transfer is reported as
+    /// failed, any further requested transfers fail instantly, then the
+    /// session closes normally.
+    fn force_close(&mut self, algo: &mut A, sid: usize, t: f64) {
+        if let Some(p) = self.sessions[sid].pending.take() {
+            let out = TransferOutcome::Failed {
+                elapsed: p.airtime,
+                delivered_bytes: p.delivered_packets * self.channel.config().packet_bytes,
+            };
+            let live = &mut self.sessions[sid];
+            live.elapsed += p.airtime;
+            record_transfer_obs(&self.cfg.obs, live.i, live.j, p.t0, p.spec.bytes, &out);
+            let mut step = self.call_step(algo, sid, out, t);
+            let mut feeds = 0u32;
+            while let SessionStep::Transfer(spec) = step {
+                feeds += 1;
+                if feeds > FORCED_CLOSE_FEEDS {
+                    break;
+                }
+                let out = TransferOutcome::Failed { elapsed: 0.0, delivered_bytes: 0 };
+                let live = &self.sessions[sid];
+                let t0 = live.start + live.elapsed;
+                record_transfer_obs(&self.cfg.obs, live.i, live.j, t0, spec.bytes, &out);
+                step = self.call_step(algo, sid, out, t);
+            }
+        }
+        self.close_session(algo, sid, t);
+    }
+
+    /// Closes a session: runs `session_close`, frees both nodes, applies
+    /// the cooldown, and emits the close events.
+    fn close_session(&mut self, algo: &mut A, sid: usize, t: f64) {
+        if self.sessions[sid].closed {
+            return;
+        }
+        self.sessions[sid].closed = true;
+        let duration = {
+            let live = &mut self.sessions[sid];
+            let (Some(state), Some(mut rng)) = (live.state.take(), live.rng.take()) else {
+                return;
+            };
+            let mut ctx = SessionCtx {
+                start: live.start,
+                i: live.i,
+                j: live.j,
+                trace: self.trace,
+                channel: &self.channel,
+                rng: &mut rng,
+                metrics: &mut self.metrics,
+                est: live.est,
+                elapsed: live.elapsed,
+                obs: &self.cfg.obs,
+            };
+            let duration = algo.session_close(state, &mut ctx);
+            let elapsed = ctx.elapsed;
+            let live = &mut self.sessions[sid];
+            live.elapsed = elapsed;
+            live.rng = Some(rng);
+            duration
+        };
+        self.finish_session(sid, t, duration);
+    }
+
+    /// Shared tail of every close path: busy/cooldown bookkeeping plus the
+    /// `session` (legacy) and `session.close` events.
+    fn finish_session(&mut self, sid: usize, t: f64, duration: f64) {
+        let live = &self.sessions[sid];
+        let (i, j) = (live.i, live.j);
+        // The session occupied its nodes until `t` in wall-clock terms even
+        // if the protocol consumed less airtime than that.
+        let until = t.max(live.start + duration.max(self.dt));
+        self.busy_until[i] = until;
+        self.busy_until[j] = until;
+        self.cooldown.set(i, j, until + self.cfg.pair_cooldown);
+        if self.cfg.obs.enabled() {
+            self.cfg.obs.add("sessions", 1);
+            self.cfg.obs.emit(
+                "session",
+                &[
+                    ("i", i.into()),
+                    ("j", j.into()),
+                    ("t", live.start.into()),
+                    ("priority", live.score.into()),
+                    ("duration_s", duration.into()),
+                ],
+            );
+            self.cfg.obs.add("session.closed", 1);
+            self.cfg.obs.emit(
+                "session.close",
+                &[("i", i.into()), ("j", j.into()), ("t", t.into()), ("duration_s", duration.into())],
+            );
+        }
+    }
+}

@@ -1,19 +1,36 @@
-//! The shared asynchronous simulation runtime.
+//! The shared discrete-event simulation runtime.
 //!
 //! Every method in the paper's evaluation — LbChat, SCO, and all four
-//! benchmarks — runs inside the same loop: a mobility trace is played back
-//! at the world frame rate; free vehicles train local iterations; vehicles
-//! within radio range start pairwise sessions (or talk to infrastructure);
-//! every transfer is charged real airtime on the simulated radio. Methods
-//! differ only in the [`CollabAlgorithm`] implementation, so comparisons
-//! are apples-to-apples.
+//! benchmarks — runs inside the same simulator: a mobility trace is played
+//! back at the world frame rate; free vehicles train local iterations;
+//! vehicles within radio range open pairwise sessions (or talk to
+//! infrastructure); every transfer is charged real airtime on the simulated
+//! radio. Methods differ only in the [`CollabAlgorithm`] implementation, so
+//! comparisons are apples-to-apples.
+//!
+//! Since the event-runtime redesign the simulator is a discrete-event
+//! scheduler ([`sched`]): frames, session opens/closes, streaming transfer
+//! steps, training slices, and evaluations are events on a deterministic
+//! priority queue. Algorithms speak a session lifecycle —
+//! [`CollabAlgorithm::session_open`] → [`CollabAlgorithm::session_step`] per
+//! completed transfer → [`CollabAlgorithm::session_close`] — through a
+//! [`SessionCtx`], and declare each payload they want moved as a
+//! [`TransferSpec`] instead of blocking on an all-at-once transfer call.
+//! With contention disabled (the default) the event loop replays the
+//! retained synchronous frame loop ([`mod@reference`]) bit for bit; with a
+//! [`MediumConfig`] installed, transfers stream packet-granularly and
+//! contend for per-cell airtime so the network can actually saturate.
+
+pub mod reference;
+pub mod sched;
+
+mod event_loop;
 
 use crate::config::ConfigError;
 use crate::metrics::Metrics;
 use crate::obs::ObsSink;
-use rand::SeedableRng;
-use simnet::channel::{Channel, RadioConfig, TransferOutcome};
-use simnet::contact::{ContactEstimate, ContactPredictor};
+use simnet::channel::{Channel, MediumConfig, RadioConfig, TransferOutcome, TransferSpec};
+use simnet::contact::ContactEstimate;
 use simnet::loss::LossModel;
 use simnet::trace::MobilityTrace;
 use vnn::ParamVec;
@@ -45,8 +62,15 @@ pub struct RuntimeConfig {
     pub route_share_samples: usize,
     /// RNG seed for communication randomness.
     pub seed: u64,
+    /// Shared-medium contention for streaming transfers. `None` (the
+    /// default) runs sessions synchronously at their open event — the
+    /// compatibility mode that reproduces [`mod@reference`] bit for bit. With a
+    /// config installed, sessions stream packet windows that contend for
+    /// per-cell airtime, with backoff and collision drops under congestion.
+    pub contention: Option<MediumConfig>,
     /// Observability sink for structured run events (`round`, `session`,
-    /// `transfer`, `backend`, `chat`); disabled (zero-cost) by default.
+    /// `transfer`, `backend`, `chat`, and the streaming `session.*`
+    /// lifecycle events); disabled (zero-cost) by default.
     /// See [`crate::obs`].
     pub obs: ObsSink,
 }
@@ -63,6 +87,7 @@ impl Default for RuntimeConfig {
             contact_reference_time: 30.0,
             route_share_samples: 240,
             seed: 0,
+            contention: None,
             obs: ObsSink::disabled(),
         }
     }
@@ -86,6 +111,14 @@ impl RuntimeConfig {
         ConfigError::require_positive("eval_every", self.eval_every)?;
         ConfigError::require_non_negative("pair_cooldown", self.pair_cooldown)?;
         ConfigError::require_positive("contact_reference_time", self.contact_reference_time)?;
+        if let Some(medium) = &self.contention {
+            ConfigError::require_positive("contention.window_s", medium.window_s)?;
+            ConfigError::require_positive("contention.cell_m", medium.cell_m as f64)?;
+            ConfigError::require_non_negative(
+                "contention.collision_loss",
+                medium.collision_loss as f64,
+            )?;
+        }
         Ok(())
     }
 }
@@ -165,6 +198,12 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Enables shared-medium contention with the given parameters.
+    pub fn contention(mut self, medium: MediumConfig) -> Self {
+        self.cfg.contention = Some(medium);
+        self
+    }
+
     /// Observability sink the runtime emits structured events into
     /// (disabled by default).
     pub fn obs(mut self, sink: ObsSink) -> Self {
@@ -179,11 +218,40 @@ impl RuntimeConfigBuilder {
     }
 }
 
+/// A typed error from [`Runtime::run`] — the runtime's analogue of
+/// [`ConfigError`]: conditions a caller can check for and report instead of
+/// unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The mobility trace has fewer agents than the algorithm has nodes.
+    TraceTooSmall {
+        /// Agents available in the trace.
+        agents: usize,
+        /// Nodes the algorithm needs.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::TraceTooSmall { agents, nodes } => write!(
+                f,
+                "trace has {agents} agents but the algorithm needs {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 /// A pairwise radio link during one session, advancing its own elapsed time
-/// as transfers are charged. Algorithms call [`LinkCtx::transfer`] for every
-/// payload they move; the runtime uses the accumulated time to mark both
-/// endpoints busy.
-pub struct LinkCtx<'a> {
+/// as transfers are charged. This context subsumes the pre-event-runtime
+/// `LinkCtx`: algorithms either declare transfers as [`TransferSpec`]s
+/// through the session lifecycle (streamed by the event loop) or move them
+/// synchronously with [`SessionCtx::transfer`] / [`SessionCtx::run_spec`];
+/// the runtime uses the accumulated time to mark both endpoints busy.
+pub struct SessionCtx<'a> {
     /// Session start in simulated seconds.
     start: f64,
     /// Node ids at the endpoints.
@@ -200,7 +268,11 @@ pub struct LinkCtx<'a> {
     obs: &'a ObsSink,
 }
 
-impl LinkCtx<'_> {
+/// The pre-event-runtime name for [`SessionCtx`], kept so algorithm code and
+/// the retained [`mod@reference`] loop read unchanged.
+pub type LinkCtx<'a> = SessionCtx<'a>;
+
+impl SessionCtx<'_> {
     /// The contact estimate (duration, z, p) computed from shared routes.
     pub fn contact(&self) -> ContactEstimate {
         self.est
@@ -229,39 +301,19 @@ impl LinkCtx<'_> {
     /// clock by the airtime consumed and returns whether the payload fully
     /// arrived. Distance-based loss follows the live trace positions.
     pub fn transfer(&mut self, bytes: usize, deadline: f64) -> TransferOutcome {
+        self.run_spec(&TransferSpec::link(bytes, deadline))
+    }
+
+    /// Runs a [`TransferSpec`] synchronously over the link — the unified
+    /// transfer entry point. Advances the session clock by the airtime
+    /// consumed and records the transfer observability events.
+    pub fn run_spec(&mut self, spec: &TransferSpec) -> TransferOutcome {
         let t0 = self.now();
         let trace = self.trace;
         let (i, j) = (self.i, self.j);
-        let out = self.channel.transfer(
-            bytes,
-            deadline,
-            |t| trace.distance(i, j, t0 + t) ,
-            self.rng,
-        );
+        let out = self.channel.run(spec, |t| trace.distance(i, j, t0 + t), self.rng);
         self.elapsed += out.elapsed();
-        if self.obs.enabled() {
-            let delivered_bytes = match out {
-                TransferOutcome::Delivered { .. } => bytes,
-                TransferOutcome::Failed { delivered_bytes, .. } => delivered_bytes,
-            };
-            self.obs.add("bytes_tx", bytes as u64);
-            self.obs.add("bytes_delivered", delivered_bytes as u64);
-            if !out.is_delivered() {
-                self.obs.add("transfers_failed", 1);
-            }
-            self.obs.emit(
-                "transfer",
-                &[
-                    ("i", self.i.into()),
-                    ("j", self.j.into()),
-                    ("t", t0.into()),
-                    ("bytes", bytes.into()),
-                    ("delivered", out.is_delivered().into()),
-                    ("delivered_bytes", delivered_bytes.into()),
-                    ("airtime_s", out.elapsed().into()),
-                ],
-            );
-        }
+        record_transfer_obs(self.obs, i, j, t0, spec.bytes, &out);
         out
     }
 
@@ -274,6 +326,42 @@ impl LinkCtx<'_> {
     /// The RNG for protocol-level randomness.
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
         self.rng
+    }
+}
+
+/// Emits the `transfer` event and byte counters for one completed transfer
+/// attempt — shared by the synchronous [`SessionCtx::run_spec`] path and the
+/// event loop's streaming path so both produce the identical record.
+fn record_transfer_obs(
+    obs: &ObsSink,
+    i: usize,
+    j: usize,
+    t0: f64,
+    bytes: usize,
+    out: &TransferOutcome,
+) {
+    if obs.enabled() {
+        let delivered_bytes = match *out {
+            TransferOutcome::Delivered { .. } => bytes,
+            TransferOutcome::Failed { delivered_bytes, .. } => delivered_bytes,
+        };
+        obs.add("bytes_tx", bytes as u64);
+        obs.add("bytes_delivered", delivered_bytes as u64);
+        if !out.is_delivered() {
+            obs.add("transfers_failed", 1);
+        }
+        obs.emit(
+            "transfer",
+            &[
+                ("i", i.into()),
+                ("j", j.into()),
+                ("t", t0.into()),
+                ("bytes", bytes.into()),
+                ("delivered", out.is_delivered().into()),
+                ("delivered_bytes", delivered_bytes.into()),
+                ("airtime_s", out.elapsed().into()),
+            ],
+        );
     }
 }
 
@@ -335,16 +423,42 @@ impl FrameCtx<'_> {
         delivered
     }
 
-    /// The observability sink for this run; see [`LinkCtx::obs`].
+    /// The observability sink for this run; see [`SessionCtx::obs`].
     pub fn obs(&self) -> &ObsSink {
         self.obs
     }
 }
 
+/// What an open session asks the runtime to do next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionStep {
+    /// Move one payload over the link; its [`TransferOutcome`] arrives at
+    /// the next [`CollabAlgorithm::session_step`] call. Under contention
+    /// the transfer streams across airtime windows; without contention it
+    /// completes synchronously.
+    Transfer(TransferSpec),
+    /// The protocol is finished; the runtime calls
+    /// [`CollabAlgorithm::session_close`] next.
+    Done,
+}
+
 /// A collaborative-training method runnable by the [`Runtime`].
+///
+/// Pairwise exchanges speak the session lifecycle: when the matcher pairs
+/// two vehicles the runtime calls [`CollabAlgorithm::session_open`]; every
+/// requested [`SessionStep::Transfer`] comes back through
+/// [`CollabAlgorithm::session_step`] with its outcome; and
+/// [`CollabAlgorithm::session_close`] finalizes state — also when the
+/// runtime force-closes a session at contact end. The provided
+/// [`CollabAlgorithm::encounter`] drives the whole lifecycle synchronously
+/// over one [`SessionCtx`], which is how the retained [`mod@reference`] loop
+/// (and the event loop's no-contention mode) executes sessions.
 pub trait CollabAlgorithm {
     /// The task sample type (evaluation needs a held-out set of these).
     type Sample;
+
+    /// Per-session protocol state carried between lifecycle calls.
+    type Session;
 
     /// Number of participating vehicles.
     fn n_nodes(&self) -> usize;
@@ -363,10 +477,38 @@ pub trait CollabAlgorithm {
         rng: &mut rand::rngs::StdRng,
     ) -> crate::learner::TrainStats;
 
-    /// Handles a pairwise encounter; returns the session duration in
-    /// seconds (both nodes stay busy that long). Use `link.transfer` for
-    /// every payload so airtime and receiving rates are accounted.
-    fn encounter(&mut self, i: usize, j: usize, link: &mut LinkCtx<'_>) -> f64;
+    /// Opens a pairwise session between `ctx.i` and `ctx.j`. Return the
+    /// initial protocol state plus the first step, or `None` to decline the
+    /// pairing (no session happens; both nodes stay free).
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(Self::Session, SessionStep)>;
+
+    /// Handles the outcome of the previously requested transfer and returns
+    /// the next step. Under a forced close (contact ended mid-transfer) the
+    /// pending transfer is reported as failed and any further requested
+    /// transfers fail immediately with zero airtime.
+    fn session_step(
+        &mut self,
+        state: &mut Self::Session,
+        outcome: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep;
+
+    /// Closes the session — after [`SessionStep::Done`], or forced at
+    /// contact end — finalizing protocol state. Returns the session
+    /// duration in seconds (both nodes were busy that long).
+    fn session_close(&mut self, state: Self::Session, ctx: &mut SessionCtx<'_>) -> f64;
+
+    /// Handles a pairwise encounter synchronously; returns the session
+    /// duration in seconds (both nodes stay busy that long). The default
+    /// drives the session lifecycle to completion over `link` — override
+    /// only to bypass the lifecycle entirely.
+    fn encounter(&mut self, i: usize, j: usize, link: &mut SessionCtx<'_>) -> f64
+    where
+        Self: Sized,
+    {
+        debug_assert!(i == link.i && j == link.j, "encounter ids must match the session ctx");
+        drive_session(self, link)
+    }
 
     /// Ranks a potential encounter for greedy pair matching (higher =
     /// served first). The default is 0 — no prioritization; pairs are
@@ -390,7 +532,54 @@ pub trait CollabAlgorithm {
     fn name(&self) -> &'static str;
 }
 
-/// The shared simulation loop.
+/// Drives one session's full lifecycle synchronously over `ctx`: open, run
+/// every requested transfer to completion in place, step, close. This is
+/// the execution mode of the [`mod@reference`] loop and of the event loop with
+/// contention disabled.
+pub fn drive_session<A: CollabAlgorithm>(algo: &mut A, ctx: &mut SessionCtx<'_>) -> f64 {
+    let Some((mut state, mut step)) = algo.session_open(ctx) else {
+        return 0.0;
+    };
+    while let SessionStep::Transfer(spec) = step {
+        let out = ctx.run_spec(&spec);
+        step = algo.session_step(&mut state, out, ctx);
+    }
+    algo.session_close(state, ctx)
+}
+
+/// Per-pair cooldown clocks over the unordered pairs `{i, j}`, stored
+/// triangularly — `n(n-1)/2` slots instead of the dense `n²` matrix the
+/// frame loop used, so memory stays linear in the pair count ahead of
+/// 100k-vehicle fleets.
+#[derive(Debug, Clone)]
+pub struct PairCooldown {
+    until: Vec<f64>,
+}
+
+impl PairCooldown {
+    /// Cooldown clocks for `n` nodes, all initially expired.
+    pub fn new(n: usize) -> Self {
+        Self { until: vec![0.0; n.saturating_sub(1) * n / 2] }
+    }
+
+    /// Triangular slot of the unordered pair `{i, j}` with `i != j`.
+    fn slot(i: usize, j: usize) -> usize {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        hi * (hi - 1) / 2 + lo
+    }
+
+    /// The time until which the pair `{i, j}` is cooling down.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.until[Self::slot(i, j)]
+    }
+
+    /// Sets the pair's cooldown clock.
+    pub fn set(&mut self, i: usize, j: usize, until: f64) {
+        self.until[Self::slot(i, j)] = until;
+    }
+}
+
+/// The shared simulation runtime.
 #[derive(Debug, Clone)]
 pub struct Runtime {
     config: RuntimeConfig,
@@ -407,168 +596,45 @@ impl Runtime {
         &self.config
     }
 
-    /// Runs `algo` over `trace` for the configured duration, evaluating on
-    /// `eval` along the way. Returns the collected metrics.
+    /// Runs `algo` over `trace` for the configured duration on the
+    /// discrete-event scheduler, evaluating on `eval` along the way.
+    /// Returns the collected metrics, or a [`RuntimeError`] when the trace
+    /// cannot host the algorithm.
     ///
-    /// # Panics
-    /// Panics if the trace has fewer agents than the algorithm has nodes.
+    /// With [`RuntimeConfig::contention`] unset this reproduces
+    /// [`Runtime::run_reference`] bit for bit.
     pub fn run<A: CollabAlgorithm>(
         &self,
         algo: &mut A,
         trace: &MobilityTrace,
         eval: &[A::Sample],
-    ) -> Metrics {
-        let n = algo.n_nodes();
-        assert!(
-            trace.n_agents() >= n,
-            "trace has {} agents but the algorithm needs {}",
-            trace.n_agents(),
-            n
-        );
-        let cfg = &self.config;
-        let dt = 1.0 / trace.fps();
-        let channel = Channel::new(cfg.radio.clone(), cfg.loss_model.clone());
-        let predictor = ContactPredictor::new(
-            cfg.radio.range_m,
-            cfg.radio.max_retx,
-            cfg.loss_model.clone(),
-            cfg.contact_reference_time,
-        );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE));
-        let mut metrics = Metrics::new();
-        let mut busy_until = vec![0.0f64; n];
-        let mut pair_cooldown_until = vec![0.0f64; n * n];
-        let mut train_debt = vec![0.0f64; n];
-        let mut next_eval = 0.0f64;
-        let active: Vec<usize> = (0..n).collect();
+    ) -> Result<Metrics, RuntimeError> {
+        check_trace(trace, algo.n_nodes())?;
+        Ok(event_loop::run(&self.config, algo, trace, eval))
+    }
 
-        let mut time = 0.0f64;
-        while time < cfg.duration {
-            // 1. Infrastructure hook.
-            {
-                let mut fctx = FrameCtx {
-                    time,
-                    trace,
-                    channel: &channel,
-                    busy_until: &busy_until,
-                    rng: &mut rng,
-                    metrics: &mut metrics,
-                    loss_model: &cfg.loss_model,
-                    obs: &cfg.obs,
-                };
-                algo.on_frame(&mut fctx);
-            }
-
-            // 2. Encounters among free vehicles.
-            let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
-            for e in trace.encounters_at(time, cfg.radio.range_m, &active) {
-                let (i, j) = (e.a, e.b);
-                if busy_until[i] > time || busy_until[j] > time {
-                    continue;
-                }
-                if pair_cooldown_until[pair_idx(i, j, n)] > time {
-                    continue;
-                }
-                let fut_i = trace.future(i, time, dt, cfg.route_share_samples);
-                let fut_j = trace.future(j, time, dt, cfg.route_share_samples);
-                let est = predictor.estimate(&fut_i, &fut_j, dt);
-                let score = algo.pair_priority(i, j, &est);
-                if !score.is_finite() {
-                    continue; // method opted out of this pairing
-                }
-                candidates.push((score, i, j, est));
-            }
-            // Greedy matching by descending priority — each vehicle serves
-            // its best-scored neighbor first (§III-A).
-            // total_cmp: scores are finite (non-finite ones are filtered
-            // above), and a total order never panics mid-sort.
-            candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
-            let mut taken = vec![false; n];
-            for (score, i, j, est) in candidates {
-                if taken[i] || taken[j] {
-                    continue;
-                }
-                taken[i] = true;
-                taken[j] = true;
-                metrics.sessions += 1;
-                let mut link = LinkCtx {
-                    start: time,
-                    i,
-                    j,
-                    trace,
-                    channel: &channel,
-                    rng: &mut rng,
-                    metrics: &mut metrics,
-                    est,
-                    elapsed: 0.0,
-                    obs: &cfg.obs,
-                };
-                let duration = algo.encounter(i, j, &mut link);
-                if cfg.obs.enabled() {
-                    cfg.obs.add("sessions", 1);
-                    cfg.obs.emit(
-                        "session",
-                        &[
-                            ("i", i.into()),
-                            ("j", j.into()),
-                            ("t", time.into()),
-                            ("priority", score.into()),
-                            ("duration_s", duration.into()),
-                        ],
-                    );
-                }
-                let until = time + duration.max(dt);
-                busy_until[i] = until;
-                busy_until[j] = until;
-                pair_cooldown_until[pair_idx(i, j, n)] = until + cfg.pair_cooldown;
-                pair_cooldown_until[pair_idx(j, i, n)] = until + cfg.pair_cooldown;
-            }
-
-            // 3. Local training for free vehicles (fractional iteration
-            // accounting keeps any iters-per-second rate exact over time).
-            for v in 0..n {
-                if busy_until[v] > time {
-                    continue;
-                }
-                train_debt[v] += cfg.train_iters_per_second * dt;
-                let iters = train_debt[v].floor() as usize;
-                if iters > 0 {
-                    train_debt[v] -= iters as f64;
-                    let stats = algo.local_training(v, iters, &mut rng);
-                    metrics.train_iterations += iters as u64;
-                    if cfg.obs.enabled() && stats.batches > 0 {
-                        cfg.obs.add("train.batch", stats.batches);
-                        cfg.obs.add("train.samples", stats.samples);
-                        cfg.obs.add("train.scratch_reuse", stats.scratch_reuse);
-                    }
-                }
-            }
-
-            // 4. Periodic evaluation.
-            if time >= next_eval {
-                let loss = algo.mean_eval_loss(eval);
-                metrics.record_loss(time, loss);
-                emit_round(&cfg.obs, algo.name(), time, loss);
-                next_eval += cfg.eval_every;
-            }
-
-            time += dt;
-        }
-        let loss = algo.mean_eval_loss(eval);
-        metrics.record_loss(cfg.duration, loss);
-        emit_round(&cfg.obs, algo.name(), cfg.duration, loss);
-        metrics
+    /// Runs `algo` on the retained synchronous frame loop ([`mod@reference`]) —
+    /// the pre-event-runtime semantics, kept as the equivalence baseline.
+    pub fn run_reference<A: CollabAlgorithm>(
+        &self,
+        algo: &mut A,
+        trace: &MobilityTrace,
+        eval: &[A::Sample],
+    ) -> Result<Metrics, RuntimeError> {
+        check_trace(trace, algo.n_nodes())?;
+        Ok(reference::run(&self.config, algo, trace, eval))
     }
 }
 
-/// One `round` event per loss-curve sample: the quantity Fig. 2 plots.
-/// Flat index of the ordered pair `(i, j)` in the `n × n` cooldown
-/// matrix. Both ids come from the trace roster, so `i < n` and `j < n`
-/// by construction and the product stays within the `n * n` allocation.
-fn pair_idx(i: usize, j: usize, n: usize) -> usize {
-    i * n + j
+/// Validates that `trace` can host `nodes` agents.
+fn check_trace(trace: &MobilityTrace, nodes: usize) -> Result<(), RuntimeError> {
+    if trace.n_agents() < nodes {
+        return Err(RuntimeError::TraceTooSmall { agents: trace.n_agents(), nodes });
+    }
+    Ok(())
 }
 
+/// One `round` event per loss-curve sample: the quantity Fig. 2 plots.
 fn emit_round(obs: &ObsSink, method: &str, t: f64, loss: f64) {
     if obs.enabled() {
         obs.add("rounds", 1);
@@ -582,17 +648,24 @@ mod tests {
     use simnet::geom::Vec2;
 
     /// A do-nothing algorithm counting callbacks — exercises the loop
-    /// mechanics without any learning.
-    struct Probe {
-        n: usize,
-        params: ParamVec,
-        train_calls: u64,
-        encounters: u64,
-        frames: u64,
+    /// mechanics without any learning. One 15 kB transfer per session.
+    pub(super) struct Probe {
+        pub(super) n: usize,
+        pub(super) params: ParamVec,
+        pub(super) train_calls: u64,
+        pub(super) encounters: u64,
+        pub(super) frames: u64,
+    }
+
+    impl Probe {
+        pub(super) fn new(n: usize) -> Self {
+            Self { n, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 }
+        }
     }
 
     impl CollabAlgorithm for Probe {
         type Sample = ();
+        type Session = ();
 
         fn n_nodes(&self) -> usize {
             self.n
@@ -609,12 +682,22 @@ mod tests {
             self.train_calls += iters as u64;
             crate::learner::TrainStats::default()
         }
-        fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
+        fn session_open(&mut self, _ctx: &mut SessionCtx<'_>) -> Option<((), SessionStep)> {
             self.encounters += 1;
             // Move a small payload to exercise the link.
-            let out = link.transfer(15_000, 5.0);
-            link.metrics.record_coreset_send(out.is_delivered(), 15_000, out.elapsed());
-            link.elapsed()
+            Some(((), SessionStep::Transfer(TransferSpec::link(15_000, 5.0))))
+        }
+        fn session_step(
+            &mut self,
+            _state: &mut (),
+            out: TransferOutcome,
+            ctx: &mut SessionCtx<'_>,
+        ) -> SessionStep {
+            ctx.metrics.record_coreset_send(out.is_delivered(), 15_000, out.elapsed());
+            SessionStep::Done
+        }
+        fn session_close(&mut self, _state: (), ctx: &mut SessionCtx<'_>) -> f64 {
+            ctx.elapsed()
         }
         fn on_frame(&mut self, _ctx: &mut FrameCtx<'_>) {
             self.frames += 1;
@@ -627,7 +710,7 @@ mod tests {
         }
     }
 
-    fn two_vehicle_trace(seconds: f64) -> MobilityTrace {
+    pub(super) fn two_vehicle_trace(seconds: f64) -> MobilityTrace {
         // Two vehicles parked 100 m apart: permanently in contact.
         let frames = (seconds * 2.0) as usize + 1;
         MobilityTrace::new(
@@ -659,12 +742,18 @@ mod tests {
         })
     }
 
+    fn run_ok(rt: &Runtime, probe: &mut Probe, trace: &MobilityTrace) -> Metrics {
+        match rt.run(probe, trace, &[]) {
+            Ok(m) => m,
+            Err(e) => panic!("runtime must accept this trace: {e}"),
+        }
+    }
+
     #[test]
     fn encounters_happen_in_range() {
         let trace = two_vehicle_trace(120.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        let m = runtime(120.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(2);
+        let m = run_ok(&runtime(120.0), &mut probe, &trace);
         assert!(probe.encounters >= 3, "cooldown allows several sessions: {}", probe.encounters);
         assert_eq!(m.sessions, probe.encounters);
         assert!(m.coreset_receives > 0);
@@ -673,18 +762,16 @@ mod tests {
     #[test]
     fn no_encounters_out_of_range() {
         let trace = far_trace(60.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        runtime(60.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(2);
+        run_ok(&runtime(60.0), &mut probe, &trace);
         assert_eq!(probe.encounters, 0);
     }
 
     #[test]
     fn training_iterations_match_rate() {
         let trace = far_trace(100.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        let m = runtime(100.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(2);
+        let m = run_ok(&runtime(100.0), &mut probe, &trace);
         // 2 nodes * 100 s * 2 iters/s = 400.
         assert_eq!(m.train_iterations, 400);
         assert_eq!(probe.train_calls, 400);
@@ -693,28 +780,25 @@ mod tests {
     #[test]
     fn loss_curve_sampled_periodically() {
         let trace = far_trace(100.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        let m = runtime(100.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(2);
+        let m = run_ok(&runtime(100.0), &mut probe, &trace);
         // 0, 30, 60, 90 + final.
         assert_eq!(m.loss_curve.len(), 5);
-        assert_eq!(m.loss_curve.last().unwrap().0, 100.0);
+        assert_eq!(m.loss_curve.last().map(|p| p.0), Some(100.0));
     }
 
     #[test]
     fn on_frame_called_every_frame() {
         let trace = far_trace(50.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        runtime(50.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(2);
+        run_ok(&runtime(50.0), &mut probe, &trace);
         assert_eq!(probe.frames, 100, "2 fps over 50 s");
     }
 
     #[test]
     fn pair_cooldown_limits_session_rate() {
         let trace = two_vehicle_trace(100.0);
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let mut probe = Probe::new(2);
         // 100 s with a 50 s cooldown and near-instant sessions: at most 3
         // sessions can fit (t=0, ~50, ~100).
         let rt = Runtime::new(RuntimeConfig {
@@ -722,7 +806,7 @@ mod tests {
             pair_cooldown: 50.0,
             ..RuntimeConfig::default()
         });
-        let m = rt.run(&mut probe, &trace, &[]);
+        let m = run_ok(&rt, &mut probe, &trace);
         assert!(m.sessions <= 3, "cooldown must limit sessions: {}", m.sessions);
         assert!(m.sessions >= 2);
     }
@@ -737,6 +821,7 @@ mod tests {
         }
         impl CollabAlgorithm for Slow {
             type Sample = ();
+            type Session = ();
             fn n_nodes(&self) -> usize {
                 2
             }
@@ -752,9 +837,20 @@ mod tests {
                 self.train_calls += iters as u64;
                 crate::learner::TrainStats::default()
             }
-            fn encounter(&mut self, _i: usize, _j: usize, link: &mut LinkCtx<'_>) -> f64 {
-                link.charge(10.0);
-                link.elapsed()
+            fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<((), SessionStep)> {
+                ctx.charge(10.0);
+                Some(((), SessionStep::Done))
+            }
+            fn session_step(
+                &mut self,
+                _state: &mut (),
+                _out: TransferOutcome,
+                _ctx: &mut SessionCtx<'_>,
+            ) -> SessionStep {
+                SessionStep::Done
+            }
+            fn session_close(&mut self, _state: (), ctx: &mut SessionCtx<'_>) -> f64 {
+                ctx.elapsed()
             }
             fn mean_eval_loss(&self, _e: &[()]) -> f64 {
                 0.0
@@ -770,7 +866,7 @@ mod tests {
             pair_cooldown: 1000.0, // single session
             ..RuntimeConfig::default()
         });
-        rt.run(&mut slow, &trace, &[]);
+        rt.run(&mut slow, &trace, &[]).map_or_else(|e| panic!("{e}"), |_| ());
         // 2 nodes * 100 s * 2 it/s = 400 if never busy; one 10 s session
         // for both nodes removes ~40 iterations.
         assert!(slow.train_calls <= 365, "busy time must suppress training: {}", slow.train_calls);
@@ -781,8 +877,7 @@ mod tests {
     fn obs_sink_records_runtime_events() {
         let trace = two_vehicle_trace(100.0);
         let sink = ObsSink::recording();
-        let mut probe =
-            Probe { n: 2, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
+        let mut probe = Probe::new(2);
         let rt = Runtime::new(RuntimeConfig {
             duration: 100.0,
             eval_every: 30.0,
@@ -790,7 +885,7 @@ mod tests {
             obs: sink.clone(),
             ..RuntimeConfig::default()
         });
-        let m = rt.run(&mut probe, &trace, &[]);
+        let m = run_ok(&rt, &mut probe, &trace);
         let events = sink.events();
         let count = |k: &str| events.iter().filter(|e| e.kind == k).count() as u64;
         assert_eq!(count("session"), m.sessions);
@@ -800,11 +895,17 @@ mod tests {
         assert_eq!(sink.counters()["sessions"], m.sessions);
         assert_eq!(sink.counters()["bytes_tx"], m.sessions * 15_000);
         assert_eq!(sink.counters()["rounds"] as usize, m.loss_curve.len());
-        let session = events.iter().find(|e| e.kind == "session").unwrap();
+        let session = match events.iter().find(|e| e.kind == "session") {
+            Some(e) => e,
+            None => panic!("a session event must exist"),
+        };
         for field in ["i", "j", "t", "priority", "duration_s"] {
             assert!(session.get(field).is_some(), "session event missing {field}");
         }
-        let transfer = events.iter().find(|e| e.kind == "transfer").unwrap();
+        let transfer = match events.iter().find(|e| e.kind == "transfer") {
+            Some(e) => e,
+            None => panic!("a transfer event must exist"),
+        };
         assert_eq!(transfer.get("bytes"), Some(&crate::obs::Json::UInt(15_000)));
     }
 
@@ -824,6 +925,7 @@ mod tests {
         assert_eq!(cfg.seed, 99);
         // Untouched knobs keep their defaults.
         assert_eq!(cfg.contact_reference_time, RuntimeConfig::default().contact_reference_time);
+        assert!(cfg.contention.is_none());
     }
 
     #[test]
@@ -840,14 +942,68 @@ mod tests {
         assert!(RuntimeConfig::builder().duration(f64::NAN).build().is_err());
         assert!(RuntimeConfig::builder().pair_cooldown(-1.0).build().is_err());
         assert!(RuntimeConfig::builder().train_iters_per_second(f64::INFINITY).build().is_err());
+        let bad_medium = simnet::channel::MediumConfig { window_s: 0.0, ..Default::default() };
+        assert!(RuntimeConfig::builder().contention(bad_medium).build().is_err());
     }
 
     #[test]
-    #[should_panic(expected = "trace has")]
-    fn trace_too_small_panics() {
+    fn trace_too_small_is_a_typed_error() {
         let trace = two_vehicle_trace(10.0);
-        let mut probe =
-            Probe { n: 5, params: ParamVec::zeros(1), train_calls: 0, encounters: 0, frames: 0 };
-        runtime(10.0).run(&mut probe, &trace, &[]);
+        let mut probe = Probe::new(5);
+        let err = runtime(10.0).run(&mut probe, &trace, &[]);
+        assert_eq!(err.err(), Some(RuntimeError::TraceTooSmall { agents: 2, nodes: 5 }));
+        let err = runtime(10.0).run_reference(&mut probe, &trace, &[]);
+        assert_eq!(err.err(), Some(RuntimeError::TraceTooSmall { agents: 2, nodes: 5 }));
+        let msg = RuntimeError::TraceTooSmall { agents: 2, nodes: 5 }.to_string();
+        assert!(msg.contains("trace has 2 agents"), "{msg}");
+    }
+
+    #[test]
+    fn pair_cooldown_is_triangular_and_symmetric() {
+        let mut cd = PairCooldown::new(5);
+        assert_eq!(cd.until.len(), 10, "n(n-1)/2 slots for n=5");
+        cd.set(3, 1, 42.0);
+        assert_eq!(cd.get(1, 3), 42.0);
+        assert_eq!(cd.get(3, 1), 42.0);
+        assert_eq!(cd.get(0, 4), 0.0);
+        cd.set(0, 4, 7.0);
+        assert_eq!(cd.get(4, 0), 7.0);
+        // Distinct pairs never alias.
+        assert_eq!(cd.get(1, 3), 42.0);
+    }
+
+    #[test]
+    fn event_loop_matches_reference_bit_for_bit() {
+        // Contention disabled: identical metrics, counters, and loss curves
+        // from both engines — including under distance loss, where every
+        // packet draws from the shared RNG.
+        for loss in [LossModel::None, LossModel::distance_default()] {
+            let trace = two_vehicle_trace(150.0);
+            let cfg = RuntimeConfig {
+                duration: 150.0,
+                eval_every: 30.0,
+                pair_cooldown: 20.0,
+                loss_model: loss,
+                ..RuntimeConfig::default()
+            };
+            let rt = Runtime::new(cfg);
+            let mut pe = Probe::new(2);
+            let me = run_ok(&rt, &mut pe, &trace);
+            let mut pr = Probe::new(2);
+            let mr = match rt.run_reference(&mut pr, &trace, &[]) {
+                Ok(m) => m,
+                Err(e) => panic!("{e}"),
+            };
+            assert_eq!(me.loss_curve, mr.loss_curve);
+            assert_eq!(me.sessions, mr.sessions);
+            assert_eq!(me.coreset_sends, mr.coreset_sends);
+            assert_eq!(me.coreset_receives, mr.coreset_receives);
+            assert_eq!(me.bytes_delivered, mr.bytes_delivered);
+            assert_eq!(me.comm_seconds.to_bits(), mr.comm_seconds.to_bits());
+            assert_eq!(me.train_iterations, mr.train_iterations);
+            assert_eq!(pe.encounters, pr.encounters);
+            assert_eq!(pe.train_calls, pr.train_calls);
+            assert_eq!(pe.frames, pr.frames);
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! The retained synchronous frame loop — the pre-event-runtime semantics,
+//! verbatim (the `coreset::reference` / `vnn::reference` pattern).
+//!
+//! The discrete-event loop with contention disabled must reproduce this
+//! loop's metrics bit for bit; the equivalence tests pin that. Keep this
+//! file boring: no optimizations, no restructuring — it is the spec.
+
+use super::{emit_round, CollabAlgorithm, FrameCtx, RuntimeConfig, SessionCtx};
+use crate::metrics::Metrics;
+use rand::SeedableRng;
+use simnet::channel::Channel;
+use simnet::contact::{ContactEstimate, ContactPredictor};
+use simnet::trace::MobilityTrace;
+
+/// Runs `algo` over `trace` with the synchronous frame loop. The caller
+/// ([`super::Runtime::run_reference`]) has already validated the trace size.
+pub fn run<A: CollabAlgorithm>(
+    cfg: &RuntimeConfig,
+    algo: &mut A,
+    trace: &MobilityTrace,
+    eval: &[A::Sample],
+) -> Metrics {
+    let n = algo.n_nodes();
+    let dt = 1.0 / trace.fps();
+    let channel = Channel::new(cfg.radio.clone(), cfg.loss_model.clone());
+    let predictor = ContactPredictor::new(
+        cfg.radio.range_m,
+        cfg.radio.max_retx,
+        cfg.loss_model.clone(),
+        cfg.contact_reference_time,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE));
+    let mut metrics = Metrics::new();
+    let mut busy_until = vec![0.0f64; n];
+    let mut pair_cooldown_until = vec![0.0f64; n * n];
+    let mut train_debt = vec![0.0f64; n];
+    let mut next_eval = 0.0f64;
+    let active: Vec<usize> = (0..n).collect();
+
+    let mut time = 0.0f64;
+    while time < cfg.duration {
+        // 1. Infrastructure hook.
+        {
+            let mut fctx = FrameCtx {
+                time,
+                trace,
+                channel: &channel,
+                busy_until: &busy_until,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                loss_model: &cfg.loss_model,
+                obs: &cfg.obs,
+            };
+            algo.on_frame(&mut fctx);
+        }
+
+        // 2. Encounters among free vehicles.
+        let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
+        for e in trace.encounters_at(time, cfg.radio.range_m, &active) {
+            let (i, j) = (e.a, e.b);
+            if busy_until[i] > time || busy_until[j] > time {
+                continue;
+            }
+            if pair_cooldown_until[pair_idx(i, j, n)] > time {
+                continue;
+            }
+            let fut_i = trace.future(i, time, dt, cfg.route_share_samples);
+            let fut_j = trace.future(j, time, dt, cfg.route_share_samples);
+            let est = predictor.estimate(&fut_i, &fut_j, dt);
+            let score = algo.pair_priority(i, j, &est);
+            if !score.is_finite() {
+                continue; // method opted out of this pairing
+            }
+            candidates.push((score, i, j, est));
+        }
+        // Greedy matching by descending priority — each vehicle serves
+        // its best-scored neighbor first (§III-A).
+        // total_cmp: scores are finite (non-finite ones are filtered
+        // above), and a total order never panics mid-sort.
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut taken = vec![false; n];
+        for (score, i, j, est) in candidates {
+            if taken[i] || taken[j] {
+                continue;
+            }
+            taken[i] = true;
+            taken[j] = true;
+            metrics.sessions += 1;
+            let mut link = SessionCtx {
+                start: time,
+                i,
+                j,
+                trace,
+                channel: &channel,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                est,
+                elapsed: 0.0,
+                obs: &cfg.obs,
+            };
+            let duration = algo.encounter(i, j, &mut link);
+            if cfg.obs.enabled() {
+                cfg.obs.add("sessions", 1);
+                cfg.obs.emit(
+                    "session",
+                    &[
+                        ("i", i.into()),
+                        ("j", j.into()),
+                        ("t", time.into()),
+                        ("priority", score.into()),
+                        ("duration_s", duration.into()),
+                    ],
+                );
+            }
+            let until = time + duration.max(dt);
+            busy_until[i] = until;
+            busy_until[j] = until;
+            pair_cooldown_until[pair_idx(i, j, n)] = until + cfg.pair_cooldown;
+            pair_cooldown_until[pair_idx(j, i, n)] = until + cfg.pair_cooldown;
+        }
+
+        // 3. Local training for free vehicles (fractional iteration
+        // accounting keeps any iters-per-second rate exact over time).
+        for v in 0..n {
+            if busy_until[v] > time {
+                continue;
+            }
+            train_debt[v] += cfg.train_iters_per_second * dt;
+            let iters = train_debt[v].floor() as usize;
+            if iters > 0 {
+                train_debt[v] -= iters as f64;
+                let stats = algo.local_training(v, iters, &mut rng);
+                metrics.train_iterations += iters as u64;
+                if cfg.obs.enabled() && stats.batches > 0 {
+                    cfg.obs.add("train.batch", stats.batches);
+                    cfg.obs.add("train.samples", stats.samples);
+                    cfg.obs.add("train.scratch_reuse", stats.scratch_reuse);
+                }
+            }
+        }
+
+        // 4. Periodic evaluation.
+        if time >= next_eval {
+            let loss = algo.mean_eval_loss(eval);
+            metrics.record_loss(time, loss);
+            emit_round(&cfg.obs, algo.name(), time, loss);
+            next_eval += cfg.eval_every;
+        }
+
+        time += dt;
+    }
+    let loss = algo.mean_eval_loss(eval);
+    metrics.record_loss(cfg.duration, loss);
+    emit_round(&cfg.obs, algo.name(), cfg.duration, loss);
+    metrics
+}
+
+/// Flat index of the ordered pair `(i, j)` in the `n × n` cooldown
+/// matrix. Both ids come from the trace roster, so `i < n` and `j < n`
+/// by construction and the product stays within the `n * n` allocation.
+/// (The event loop uses the triangular [`super::PairCooldown`] instead;
+/// this dense form is part of the frozen reference semantics.)
+fn pair_idx(i: usize, j: usize, n: usize) -> usize {
+    i * n + j
+}

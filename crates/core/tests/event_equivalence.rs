@@ -1,0 +1,184 @@
+//! Property tests pinning the event runtime to the retained reference
+//! frame loop: with contention disabled, [`Runtime::run`] must reproduce
+//! [`Runtime::run_reference`] bit for bit — same loss curve, same
+//! counters, same airtime accounting — for any trace geometry, loss
+//! model, cooldown, training rate, and seed.
+//!
+//! The probe algorithm deliberately consumes protocol randomness and
+//! streams a variable number of transfers per session, so any divergence
+//! in RNG order, matching order, or transfer accounting between the two
+//! engines is caught immediately rather than being masked by a trivial
+//! protocol.
+
+use lbchat::prelude::*;
+use proptest::prelude::*;
+use rand::RngExt as _;
+use simnet::geom::Vec2;
+use simnet::loss::LossModel;
+use simnet::trace::MobilityTrace;
+use vnn::ParamVec;
+
+/// A chatty probe: each session draws its transfer count and payload
+/// sizes from the protocol RNG, declines a fraction of pairings, and
+/// records every payload in the metrics — a miniature of the real
+/// multi-phase LbChat session without any learning.
+struct Chatter {
+    n: usize,
+    params: ParamVec,
+}
+
+struct ChatterSession {
+    remaining: u32,
+}
+
+impl CollabAlgorithm for Chatter {
+    type Sample = ();
+    type Session = ChatterSession;
+
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn model(&self, _node: usize) -> &ParamVec {
+        &self.params
+    }
+
+    fn local_training(
+        &mut self,
+        _node: usize,
+        _iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> TrainStats {
+        // Consume shared randomness so training order matters too.
+        let _: f32 = rng.random();
+        TrainStats::default()
+    }
+
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(ChatterSession, SessionStep)> {
+        let decline: f32 = ctx.rng().random();
+        if decline < 0.125 {
+            return None;
+        }
+        let remaining = (ctx.rng().random::<f32>() * 3.0) as u32;
+        let bytes = 10_000 + (ctx.rng().random::<f32>() * 40_000.0) as usize;
+        Some((ChatterSession { remaining }, SessionStep::Transfer(TransferSpec::link(bytes, 8.0))))
+    }
+
+    fn session_step(
+        &mut self,
+        state: &mut ChatterSession,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        ctx.metrics.record_coreset_send(out.is_delivered(), 10_000, out.elapsed());
+        if !out.is_delivered() || state.remaining == 0 {
+            return SessionStep::Done;
+        }
+        state.remaining -= 1;
+        let bytes = 5_000 + (ctx.rng().random::<f32>() * 20_000.0) as usize;
+        SessionStep::Transfer(TransferSpec::link(bytes, 6.0))
+    }
+
+    fn session_close(&mut self, _state: ChatterSession, ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
+    }
+
+    fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "chatter"
+    }
+}
+
+/// Vehicles on parallel lanes drifting along x at per-vehicle speeds, so
+/// pairs move in and out of radio range over the run.
+fn build_trace(vehicles: &[(f32, f32)], duration: f64) -> MobilityTrace {
+    let fps = 2.0;
+    let frames = (duration * fps) as usize + 1;
+    let positions = vehicles
+        .iter()
+        .enumerate()
+        .map(|(k, &(x0, vx))| {
+            (0..frames)
+                .map(|f| {
+                    let t = f as f32 / fps as f32;
+                    Vec2::new(x0 + vx * t, k as f32 * 30.0)
+                })
+                .collect()
+        })
+        .collect();
+    MobilityTrace::new(fps, positions)
+}
+
+fn assert_same_run(cfg: RuntimeConfig, vehicles: &[(f32, f32)]) {
+    let trace = build_trace(vehicles, cfg.duration);
+    let rt = Runtime::new(cfg);
+    let mut ae = Chatter { n: vehicles.len(), params: ParamVec::zeros(1) };
+    let me = rt.run(&mut ae, &trace, &[]).expect("trace fits");
+    let mut ar = Chatter { n: vehicles.len(), params: ParamVec::zeros(1) };
+    let mr = rt.run_reference(&mut ar, &trace, &[]).expect("trace fits");
+
+    assert_eq!(me.loss_curve.len(), mr.loss_curve.len());
+    for ((te, le), (tr, lr)) in me.loss_curve.iter().zip(&mr.loss_curve) {
+        assert_eq!(te.to_bits(), tr.to_bits(), "loss-curve time diverged");
+        assert_eq!(le.to_bits(), lr.to_bits(), "loss-curve value diverged");
+    }
+    assert_eq!(me.sessions, mr.sessions);
+    assert_eq!(me.coreset_sends, mr.coreset_sends);
+    assert_eq!(me.coreset_receives, mr.coreset_receives);
+    assert_eq!(me.model_sends, mr.model_sends);
+    assert_eq!(me.model_receives, mr.model_receives);
+    assert_eq!(me.bytes_delivered, mr.bytes_delivered);
+    assert_eq!(me.comm_seconds.to_bits(), mr.comm_seconds.to_bits());
+    assert_eq!(me.train_iterations, mr.train_iterations);
+}
+
+fn vehicles_strategy() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((-400.0f32..400.0, -12.0f32..12.0), 2..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_loop_matches_reference_without_contention(
+        vehicles in vehicles_strategy(),
+        duration in 30.0f64..90.0,
+        seed in 0u64..1_000,
+        cooldown in 0.0f64..40.0,
+        lossy in 0u32..2,
+        train_rate in 0.0f64..4.0,
+    ) {
+        let cfg = RuntimeConfig {
+            duration,
+            train_iters_per_second: train_rate,
+            loss_model: if lossy == 1 { LossModel::distance_default() } else { LossModel::None },
+            eval_every: 25.0,
+            pair_cooldown: cooldown,
+            seed,
+            ..RuntimeConfig::default()
+        };
+        assert_same_run(cfg, &vehicles);
+    }
+}
+
+/// The paper-shaped corner cases the strategy may not hit every run:
+/// zero-length cooldowns, sub-frame durations, and a dense fleet.
+#[test]
+fn event_loop_matches_reference_on_edge_configs() {
+    for (duration, cooldown, seed) in [(0.6, 0.0, 7), (45.0, 0.0, 1), (45.0, 200.0, 2)] {
+        let cfg = RuntimeConfig {
+            duration,
+            pair_cooldown: cooldown,
+            eval_every: 10.0,
+            seed,
+            loss_model: LossModel::distance_default(),
+            ..RuntimeConfig::default()
+        };
+        let fleet: Vec<(f32, f32)> =
+            (0..6).map(|k| (k as f32 * 90.0, if k % 2 == 0 { 3.0 } else { -3.0 })).collect();
+        assert_same_run(cfg, &fleet);
+    }
+}

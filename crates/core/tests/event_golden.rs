@@ -1,0 +1,226 @@
+//! Golden event-order fixture for the contention-mode event runtime, plus
+//! a saturation check on the shared medium.
+//!
+//! The fixture pins the exact emission order and payload of every
+//! deterministic runtime event (`session.open`, `transfer`,
+//! `session.close`, `session`, `round`) for a small contention-enabled
+//! scenario: four clustered vehicles whose streaming transfers span
+//! several airtime windows. Any change to the scheduler's tie-breaking,
+//! the windowed streaming, or the session lifecycle shows up as a diff.
+//!
+//! To regenerate after an *intentional* behavior change, run
+//! `LBCHAT_GOLDEN_WRITE=1 cargo test -p lbchat --test event_golden` and
+//! commit the diff.
+
+use lbchat::prelude::*;
+use rand::RngExt as _;
+use simnet::geom::Vec2;
+use simnet::loss::LossModel;
+use simnet::trace::MobilityTrace;
+use std::path::PathBuf;
+use vnn::ParamVec;
+
+/// A probe whose sessions stream two multi-window payloads. The open draw
+/// ties the fixture to the per-session RNG seeding as well.
+struct Streamer {
+    n: usize,
+    params: ParamVec,
+    /// Bytes of the first payload; the second is half as large.
+    bytes: usize,
+    /// Keep requesting payloads until the session is force-closed (for
+    /// the saturation test); `false` stops after two.
+    greedy: bool,
+}
+
+struct StreamerSession {
+    sent: u32,
+}
+
+impl CollabAlgorithm for Streamer {
+    type Sample = ();
+    type Session = StreamerSession;
+
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn model(&self, _node: usize) -> &ParamVec {
+        &self.params
+    }
+
+    fn local_training(
+        &mut self,
+        _node: usize,
+        _iters: usize,
+        _rng: &mut rand::rngs::StdRng,
+    ) -> TrainStats {
+        TrainStats::default()
+    }
+
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(StreamerSession, SessionStep)> {
+        let _: f32 = ctx.rng().random();
+        Some((
+            StreamerSession { sent: 0 },
+            SessionStep::Transfer(TransferSpec::link(self.bytes, 1e9)),
+        ))
+    }
+
+    fn session_step(
+        &mut self,
+        state: &mut StreamerSession,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        state.sent += 1;
+        ctx.metrics.record_coreset_send(out.is_delivered(), self.bytes, out.elapsed());
+        if !out.is_delivered() {
+            return SessionStep::Done;
+        }
+        if self.greedy {
+            return SessionStep::Transfer(TransferSpec::link(self.bytes, 1e9));
+        }
+        if state.sent >= 2 {
+            return SessionStep::Done;
+        }
+        SessionStep::Transfer(TransferSpec::link(self.bytes / 2, 1e9))
+    }
+
+    fn session_close(&mut self, _state: StreamerSession, ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
+    }
+
+    fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "streamer"
+    }
+}
+
+fn parked_trace(positions: &[Vec2], duration: f64) -> MobilityTrace {
+    let fps = 2.0;
+    let frames = (duration * fps) as usize + 1;
+    MobilityTrace::new(fps, positions.iter().map(|&p| vec![p; frames]).collect())
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn regenerate() -> bool {
+    std::env::var_os("LBCHAT_GOLDEN_WRITE").is_some_and(|v| v == "1")
+}
+
+#[test]
+fn contention_event_order_matches_golden_fixture() {
+    // Four vehicles parked in one radio cell: two concurrent sessions
+    // contend for airtime every frame the matcher can pair them.
+    let cluster: Vec<Vec2> = (0..4).map(|k| Vec2::new(k as f32 * 120.0, 0.0)).collect();
+    let trace = parked_trace(&cluster, 30.0);
+    let sink = ObsSink::recording();
+    let rt = Runtime::new(RuntimeConfig {
+        duration: 30.0,
+        eval_every: 10.0,
+        pair_cooldown: 5.0,
+        loss_model: LossModel::distance_default(),
+        seed: 11,
+        contention: Some(MediumConfig::default()),
+        obs: sink.clone(),
+        ..RuntimeConfig::default()
+    });
+    let mut algo = Streamer { n: 4, params: ParamVec::zeros(1), bytes: 1_200_000, greedy: false };
+    let m = rt.run(&mut algo, &trace, &[]).expect("trace fits");
+    assert!(m.sessions > 0, "the cluster must produce sessions");
+
+    // Every runtime event minus wall-clock fields, in emission order: the
+    // deterministic event schedule itself.
+    let lines: Vec<String> = sink.events().iter().map(lbchat::obs::Event::canonical).collect();
+    assert!(
+        lines.iter().any(|l| l.contains("\"kind\":\"session.open\"")),
+        "contention mode must emit lifecycle events"
+    );
+
+    let path = fixture_path("event_order.txt");
+    let actual = lines.join("\n") + "\n";
+    if regenerate() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixtures dir");
+        std::fs::write(&path, &actual).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `LBCHAT_GOLDEN_WRITE=1 cargo test -p lbchat --test event_golden` to record it",
+            path.display()
+        )
+    });
+    for (n, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(a, g, "event {} diverged from the golden order", n + 1);
+    }
+    assert_eq!(
+        actual.lines().count(),
+        golden.lines().count(),
+        "event count diverged from the golden order"
+    );
+}
+
+/// Total delivered bytes with `pairs` isolated pairs all contending in one
+/// medium cell, offered unbounded load for 20 simulated seconds.
+fn delivered_with_pairs(pairs: usize) -> u64 {
+    let mut positions = Vec::new();
+    for p in 0..pairs {
+        // Pairs 1.5 km apart: only partners are in radio range, but one
+        // huge medium cell makes every pair contend for the same airtime.
+        positions.push(Vec2::new(p as f32 * 1500.0, 0.0));
+        positions.push(Vec2::new(p as f32 * 1500.0 + 100.0, 0.0));
+    }
+    let trace = parked_trace(&positions, 20.0);
+    let sink = ObsSink::recording();
+    let rt = Runtime::new(RuntimeConfig {
+        duration: 20.0,
+        eval_every: 20.0,
+        pair_cooldown: 0.0,
+        seed: 3,
+        contention: Some(MediumConfig { cell_m: 100_000.0, ..MediumConfig::default() }),
+        obs: sink.clone(),
+        ..RuntimeConfig::default()
+    });
+    let mut algo = Streamer {
+        n: positions.len(),
+        params: ParamVec::zeros(1),
+        bytes: 2_000_000,
+        greedy: true,
+    };
+    rt.run(&mut algo, &trace, &[]).expect("trace fits");
+    if pairs > 1 {
+        assert!(
+            sink.counters().get("net.contention.drops").copied().unwrap_or(0) > 0,
+            "contending pairs must suffer collision drops"
+        );
+    }
+    sink.counters().get("bytes_delivered").copied().unwrap_or(0)
+}
+
+#[test]
+fn shared_medium_saturates_under_offered_load() {
+    let b1 = delivered_with_pairs(1);
+    let b4 = delivered_with_pairs(4);
+    let b8 = delivered_with_pairs(8);
+    assert!(b1 > 0, "a lone pair must move payload");
+    // Airtime is shared: total goodput must not scale with offered load…
+    assert!(
+        b8 < b1 * 2,
+        "8 contending pairs must not outrun 2x a lone pair: {b8} vs {b1}"
+    );
+    // …so per-pair goodput collapses as the cell saturates.
+    assert!(
+        b8 / 8 < b1 / 2,
+        "per-pair goodput must collapse under saturation: {} vs {}",
+        b8 / 8,
+        b1 / 2
+    );
+    assert!(
+        b8 <= b4 + b4 / 2,
+        "goodput past saturation must stay flat-ish: {b8} vs {b4}"
+    );
+}

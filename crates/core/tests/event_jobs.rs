@@ -1,0 +1,135 @@
+//! Worker-count invariance of the contention-mode event runtime.
+//!
+//! Contended sessions shard their airtime windows over the
+//! [`lbchat::exec`] pool, but every window job owns its RNG and its
+//! inputs are frozen before the parallel phase, so a serial run and a
+//! 4-worker run must be byte-identical — metrics, counters, and the full
+//! ordered event stream. A single `#[test]` because
+//! [`lbchat::exec::set_jobs`] is process-global; two tests toggling it
+//! concurrently would race.
+
+use lbchat::exec;
+use lbchat::prelude::*;
+use rand::RngExt as _;
+use simnet::geom::Vec2;
+use simnet::loss::LossModel;
+use simnet::trace::MobilityTrace;
+use vnn::ParamVec;
+
+struct Streamer {
+    n: usize,
+    params: ParamVec,
+}
+
+impl CollabAlgorithm for Streamer {
+    type Sample = ();
+    type Session = u32;
+
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn model(&self, _node: usize) -> &ParamVec {
+        &self.params
+    }
+
+    fn local_training(
+        &mut self,
+        _node: usize,
+        _iters: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> TrainStats {
+        let _: f32 = rng.random();
+        TrainStats::default()
+    }
+
+    fn session_open(&mut self, ctx: &mut SessionCtx<'_>) -> Option<(u32, SessionStep)> {
+        let bytes = 400_000 + (ctx.rng().random::<f32>() * 800_000.0) as usize;
+        Some((0, SessionStep::Transfer(TransferSpec::link(bytes, 1e9))))
+    }
+
+    fn session_step(
+        &mut self,
+        sent: &mut u32,
+        out: TransferOutcome,
+        ctx: &mut SessionCtx<'_>,
+    ) -> SessionStep {
+        *sent += 1;
+        ctx.metrics.record_coreset_send(out.is_delivered(), 100_000, out.elapsed());
+        if !out.is_delivered() || *sent >= 3 {
+            return SessionStep::Done;
+        }
+        let bytes = 200_000 + (ctx.rng().random::<f32>() * 400_000.0) as usize;
+        SessionStep::Transfer(TransferSpec::link(bytes, 1e9))
+    }
+
+    fn session_close(&mut self, _sent: u32, ctx: &mut SessionCtx<'_>) -> f64 {
+        ctx.elapsed()
+    }
+
+    fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "streamer"
+    }
+}
+
+/// Eight vehicles parked in one cell: up to four sessions contend in
+/// every airtime window, so the parallel shard path actually runs.
+fn run_once() -> (Metrics, Vec<String>, std::collections::BTreeMap<String, u64>) {
+    let fps = 2.0;
+    let duration = 25.0;
+    let frames = (duration * fps) as usize + 1;
+    let positions = (0..8)
+        .map(|k| vec![Vec2::new(k as f32 * 60.0, 0.0); frames])
+        .collect();
+    let trace = MobilityTrace::new(fps, positions);
+    let sink = ObsSink::recording();
+    let rt = Runtime::new(RuntimeConfig {
+        duration,
+        eval_every: 10.0,
+        pair_cooldown: 2.0,
+        loss_model: LossModel::distance_default(),
+        seed: 21,
+        contention: Some(MediumConfig::default()),
+        obs: sink.clone(),
+        ..RuntimeConfig::default()
+    });
+    let mut algo = Streamer { n: 8, params: ParamVec::zeros(1) };
+    let m = rt.run(&mut algo, &trace, &[]).expect("trace fits");
+    let lines = sink.events().iter().map(lbchat::obs::Event::canonical).collect();
+    (m, lines, sink.counters())
+}
+
+#[test]
+fn contention_results_are_bit_identical_for_any_job_count() {
+    exec::set_jobs(1);
+    let (m1, ev1, c1) = run_once();
+    exec::set_jobs(4);
+    let (m4, ev4, c4) = run_once();
+    exec::set_jobs(1);
+
+    assert!(m1.sessions > 0, "the cluster must produce sessions");
+    assert!(
+        c1.get("net.contention.drops").copied().unwrap_or(0) > 0,
+        "the scenario must actually contend"
+    );
+    for ((ta, la), (tb, lb)) in m1.loss_curve.iter().zip(&m4.loss_curve) {
+        assert_eq!(ta.to_bits(), tb.to_bits());
+        assert_eq!(la.to_bits(), lb.to_bits());
+    }
+    assert_eq!(m1.loss_curve.len(), m4.loss_curve.len());
+    assert_eq!(m1.sessions, m4.sessions);
+    assert_eq!(m1.coreset_sends, m4.coreset_sends);
+    assert_eq!(m1.coreset_receives, m4.coreset_receives);
+    assert_eq!(m1.bytes_delivered, m4.bytes_delivered);
+    assert_eq!(m1.comm_seconds.to_bits(), m4.comm_seconds.to_bits());
+    assert_eq!(m1.train_iterations, m4.train_iterations);
+    // The full ordered event stream — not just sorted content — must
+    // match: the fixed-order reduction makes emission order independent
+    // of which worker streamed which window.
+    assert_eq!(ev1, ev4, "event order must not depend on --jobs");
+    assert_eq!(c1, c4, "counters must not depend on --jobs");
+}

@@ -2,11 +2,11 @@
 //! scale, drives one route per task, and prints per-frame telemetry.
 
 use driving::eval::{EvalConfig, Task};
-use experiments::{run_method, Args, Condition, Method, Scenario};
+use experiments::{exit_on_error, run_method, Args, Condition, Method, Scenario};
 
 fn main() {
     let s = Scenario::build(Args::parse().scale);
-    let out = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let out = exit_on_error(run_method(Method::LbChat, &s, Condition::NoLoss));
     eprintln!("final loss: {:?}", out.metrics.final_loss());
     // Open-loop check: target vs prediction on actual Left/Right frames.
     let mut shown = 0;

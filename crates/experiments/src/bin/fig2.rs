@@ -4,7 +4,7 @@
 
 use experiments::harness::run_cell_obs;
 use experiments::report::{curve_csv, write_csv, Table};
-use experiments::{Args, Condition, Method, RunManifest, Scenario};
+use experiments::{exit_on_error, Args, Condition, Method, RunManifest, Scenario};
 use lbchat::exec;
 
 fn main() {
@@ -16,10 +16,13 @@ fn main() {
     let run = RunManifest::start("fig2", &s.scale);
     for (panel, condition) in [("a", Condition::NoLoss), ("b", Condition::WithLoss)] {
         println!("=== Fig. 2({panel}) — training loss vs time, {} ===", condition.label());
-        let outs = exec::par_map_traced(run.sink(), "cell", &methods, |idx, &m| {
+        let outs: Vec<_> = exec::par_map_traced(run.sink(), "cell", &methods, |idx, &m| {
             eprintln!("  running {} ...", m.name());
             run_cell_obs(m, &s, condition, run.sink(), idx)
-        });
+        })
+        .into_iter()
+        .map(exit_on_error)
+        .collect();
         let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         let mut rates = Vec::new();
         for (m, out) in methods.iter().zip(&outs) {

@@ -3,7 +3,7 @@
 
 use experiments::harness::run_cell_obs;
 use experiments::report::{curve_csv, write_csv, Table};
-use experiments::{Args, Condition, Method, RunManifest, Scenario};
+use experiments::{exit_on_error, Args, Condition, Method, RunManifest, Scenario};
 use lbchat::exec;
 
 fn main() {
@@ -22,8 +22,8 @@ fn main() {
             &[Method::LbChat, Method::Sco],
             |idx, &m| run_cell_obs(m, &s, condition, run.sink(), idx),
         );
-        let sco = outs.pop().expect("two runs");
-        let lbchat = outs.pop().expect("two runs");
+        let sco = exit_on_error(outs.pop().expect("two runs"));
+        let lbchat = exit_on_error(outs.pop().expect("two runs"));
         println!("{:<10} {:>10} {:>10}", "time(s)", "LbChat", "SCO");
         for k in 0..lbchat.metrics.loss_curve.len() {
             let (t, l) = lbchat.metrics.loss_curve[k];

@@ -2,20 +2,20 @@
 
 use experiments::harness::success_table_obs;
 use experiments::report::write_csv;
-use experiments::{Args, Condition, Method, RunManifest, Scenario};
+use experiments::{exit_on_error, Args, Condition, Method, RunManifest, Scenario};
 
 fn main() {
     let args = Args::parse();
     let methods = args.methods_or(&Method::MAIN);
     let s = Scenario::build(args.scale.clone());
     let run = RunManifest::start("table3", &s.scale);
-    let (table, outputs) = success_table_obs(
+    let (table, outputs) = exit_on_error(success_table_obs(
         "Table III — driving success rate on average (W wireless loss) (%)",
         &methods,
         &s,
         Condition::WithLoss,
         run.sink(),
-    );
+    ));
     println!("{}", table.render());
     println!("Successful model receiving rates:");
     for (m, out) in methods.iter().zip(&outputs) {

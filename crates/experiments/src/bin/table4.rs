@@ -4,7 +4,7 @@
 use driving::Task;
 use experiments::harness::train_and_evaluate_obs;
 use experiments::report::{write_csv, Table};
-use experiments::{Args, Condition, Method, RunManifest, Scenario};
+use experiments::{exit_on_error, Args, Condition, Method, RunManifest, Scenario};
 
 fn main() {
     let scale = Args::parse().scale;
@@ -25,7 +25,7 @@ fn main() {
     {
         eprintln!("coreset size {size}, {} ...", cond.label());
         let (rates, _) =
-            train_and_evaluate_obs(Method::LbChatCoreset(size), &s, cond, run.sink(), index);
+            exit_on_error(train_and_evaluate_obs(Method::LbChatCoreset(size), &s, cond, run.sink(), index));
         columns.push(format!(
             "{size} ({})",
             if cond == Condition::NoLoss { "W/O" } else { "W" }

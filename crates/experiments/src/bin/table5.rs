@@ -4,7 +4,7 @@
 use driving::Task;
 use experiments::harness::train_and_evaluate_obs;
 use experiments::report::{write_csv, Table};
-use experiments::{Args, Condition, Method, RunManifest, Scenario};
+use experiments::{exit_on_error, Args, Condition, Method, RunManifest, Scenario};
 
 fn main() {
     let s = Scenario::build(Args::parse().scale);
@@ -14,9 +14,9 @@ fn main() {
         vec!["W/O wireless loss".into(), "W wireless loss".into()],
     );
     let (no_loss, _) =
-        train_and_evaluate_obs(Method::LbChatEqualComp, &s, Condition::NoLoss, run.sink(), 0);
+        exit_on_error(train_and_evaluate_obs(Method::LbChatEqualComp, &s, Condition::NoLoss, run.sink(), 0));
     let (with_loss, _) =
-        train_and_evaluate_obs(Method::LbChatEqualComp, &s, Condition::WithLoss, run.sink(), 1);
+        exit_on_error(train_and_evaluate_obs(Method::LbChatEqualComp, &s, Condition::WithLoss, run.sink(), 1));
     for (t_idx, task) in Task::ALL.iter().enumerate() {
         table.row_pct(task.name(), &[no_loss[t_idx], with_loss[t_idx]]);
     }

@@ -15,6 +15,7 @@
 //! disabled sink and cost nothing extra.
 
 use crate::methods::{cell_label, run_method_obs, Condition, Method, RunOutput};
+use lbchat::prelude::RuntimeError;
 use crate::report::Table;
 use crate::scenario::Scenario;
 use driving::{success_rate_obs, EvalConfig, Task};
@@ -41,7 +42,7 @@ pub fn train_and_evaluate(
     method: Method,
     s: &Scenario,
     condition: Condition,
-) -> (Vec<f64>, RunOutput) {
+) -> Result<(Vec<f64>, RunOutput), RuntimeError> {
     train_and_evaluate_obs(method, s, condition, &ObsSink::disabled(), 0)
 }
 
@@ -56,19 +57,19 @@ pub fn train_and_evaluate_obs(
     condition: Condition,
     obs: &ObsSink,
     index: usize,
-) -> (Vec<f64>, RunOutput) {
+) -> Result<(Vec<f64>, RunOutput), RuntimeError> {
     emit_cell_start(obs, method, condition, index);
     // audit:allow(D001): feeds wall_ms, a documented TIMING_FIELDS key the result comparators strip
     let started = std::time::Instant::now();
     let cell = obs.scoped(&cell_label(method, condition));
-    let out = run_method_obs(method, s, condition, &cell);
+    let out = run_method_obs(method, s, condition, &cell)?;
     let cfg = eval_config(s);
     let eval_sink = cell.scoped("eval");
     let rates = exec::par_map_traced(obs, "eval-task", &Task::ALL, |_, &task| {
         success_rate_obs(&out.representative, task, &cfg, &eval_sink).percent()
     });
     emit_cell_finish(obs, method, condition, index, &out, Some(&rates), started);
-    (rates, out)
+    Ok((rates, out))
 }
 
 /// Trains one cell *without* closed-loop evaluation, bracketed by
@@ -81,13 +82,13 @@ pub fn run_cell_obs(
     condition: Condition,
     obs: &ObsSink,
     index: usize,
-) -> RunOutput {
+) -> Result<RunOutput, RuntimeError> {
     emit_cell_start(obs, method, condition, index);
     // audit:allow(D001): feeds wall_ms, a documented TIMING_FIELDS key the result comparators strip
     let started = std::time::Instant::now();
-    let out = run_method_obs(method, s, condition, &obs.scoped(&cell_label(method, condition)));
+    let out = run_method_obs(method, s, condition, &obs.scoped(&cell_label(method, condition)))?;
     emit_cell_finish(obs, method, condition, index, &out, None, started);
-    out
+    Ok(out)
 }
 
 fn emit_cell_start(obs: &ObsSink, method: Method, condition: Condition, index: usize) {
@@ -146,7 +147,7 @@ pub fn success_table(
     methods: &[Method],
     s: &Scenario,
     condition: Condition,
-) -> (Table, Vec<RunOutput>) {
+) -> Result<(Table, Vec<RunOutput>), RuntimeError> {
     success_table_obs(title, methods, s, condition, &ObsSink::disabled())
 }
 
@@ -158,7 +159,7 @@ pub fn success_table_obs(
     s: &Scenario,
     condition: Condition,
     obs: &ObsSink,
-) -> (Table, Vec<RunOutput>) {
+) -> Result<(Table, Vec<RunOutput>), RuntimeError> {
     let cells = exec::par_map_traced(obs, "cell", methods, |idx, &m| {
         eprintln!("  [{}] training + evaluating {} ...", condition.label(), m.name());
         train_and_evaluate_obs(m, s, condition, obs, idx)
@@ -166,7 +167,8 @@ pub fn success_table_obs(
     let mut columns = Vec::new();
     let mut results: Vec<Vec<f64>> = Vec::new();
     let mut outputs = Vec::new();
-    for (&m, (rates, out)) in methods.iter().zip(cells) {
+    for (&m, cell) in methods.iter().zip(cells) {
+        let (rates, out) = cell?;
         columns.push(m.name().to_string());
         results.push(rates);
         outputs.push(out);
@@ -176,7 +178,7 @@ pub fn success_table_obs(
         let row: Vec<f64> = results.iter().map(|r| r[t_idx]).collect();
         table.row_pct(task.name(), &row);
     }
-    (table, outputs)
+    Ok((table, outputs))
 }
 
 #[cfg(test)]

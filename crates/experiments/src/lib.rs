@@ -31,9 +31,22 @@ pub mod scenario;
 pub mod stats;
 
 pub use manifest::RunManifest;
-pub use methods::{run_method, Condition, Method, RunOutput};
+pub use methods::{run_method, run_method_engine, Condition, Engine, Method, RunOutput};
 pub use report::{write_csv, Table};
 pub use scenario::{Scale, Scenario};
+
+/// Unwraps a runtime result in an experiment binary: prints the typed
+/// [`RuntimeError`](lbchat::prelude::RuntimeError) and exits nonzero
+/// instead of panicking with a backtrace.
+pub fn exit_on_error<T>(result: Result<T, lbchat::prelude::RuntimeError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 use lbchat::exec;
 

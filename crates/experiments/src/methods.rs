@@ -5,7 +5,9 @@ use baselines::{dfl_dds::DflDdsConfig, dp::DpConfig, proxskip::ProxSkipConfig, r
 use baselines::{DflDds, Dp, ProxSkip, RsuL};
 use driving::{DrivingLearner, Frame};
 use lbchat::node::LbChatAlgorithm;
-use lbchat::prelude::{CollabAlgorithm, LbChatConfig, Metrics, ObsSink, Runtime, RuntimeConfig};
+use lbchat::prelude::{
+    CollabAlgorithm, LbChatConfig, Metrics, ObsSink, Runtime, RuntimeConfig, RuntimeError,
+};
 use rand::SeedableRng;
 use simnet::loss::LossModel;
 use vnn::ParamVec;
@@ -122,6 +124,16 @@ impl Method {
     }
 }
 
+/// Which runtime loop executes a training cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The discrete-event session runtime ([`Runtime::run`]).
+    #[default]
+    Event,
+    /// The retained synchronous frame loop ([`Runtime::run_reference`]).
+    Reference,
+}
+
 /// Output of one training run.
 pub struct RunOutput {
     /// Training metrics (loss curve, receiving rates, airtime).
@@ -156,6 +168,21 @@ fn lbchat_config(s: &Scenario) -> LbChatConfig {
     }
 }
 
+fn drive<A>(
+    rt: &Runtime,
+    engine: Engine,
+    algo: &mut A,
+    s: &Scenario,
+) -> Result<Metrics, RuntimeError>
+where
+    A: CollabAlgorithm<Sample = Frame>,
+{
+    match engine {
+        Engine::Event => rt.run(algo, &s.trace, &s.eval),
+        Engine::Reference => rt.run_reference(algo, &s.trace, &s.eval),
+    }
+}
+
 fn finish<A>(algo: A, metrics: Metrics, s: &Scenario) -> RunOutput
 where
     A: CollabAlgorithm<Sample = Frame>,
@@ -168,9 +195,14 @@ where
 }
 
 /// Trains `method` on the scenario under `condition` and returns metrics +
-/// final models. Every method sees the identical trace, radio, clock,
+/// final models, or the runtime's typed error if the scenario cannot host
+/// the fleet. Every method sees the identical trace, radio, clock,
 /// initialization, and evaluation set.
-pub fn run_method(method: Method, s: &Scenario, condition: Condition) -> RunOutput {
+pub fn run_method(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+) -> Result<RunOutput, RuntimeError> {
     run_method_obs(method, s, condition, &ObsSink::disabled())
 }
 
@@ -184,7 +216,19 @@ pub fn run_method_obs(
     s: &Scenario,
     condition: Condition,
     obs: &ObsSink,
-) -> RunOutput {
+) -> Result<RunOutput, RuntimeError> {
+    run_method_engine(method, s, condition, obs, Engine::Event)
+}
+
+/// [`run_method_obs`] on an explicit [`Engine`] — the equivalence tests and
+/// benches drive both loops over identical cells through this entry point.
+pub fn run_method_engine(
+    method: Method,
+    s: &Scenario,
+    condition: Condition,
+    obs: &ObsSink,
+    engine: Engine,
+) -> Result<RunOutput, RuntimeError> {
     let rt = Runtime::new(runtime_config(s, condition, obs.clone()));
     let mut seed_rng = rand::rngs::StdRng::seed_from_u64(s.scale.seed ^ 0x5EED);
     let learners = s.make_learners();
@@ -193,32 +237,32 @@ pub fn run_method_obs(
         Method::LbChat => {
             let mut algo =
                 LbChatAlgorithm::new(learners, datasets, lbchat_config(s), &mut seed_rng);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::LbChatCoreset(size) => {
             let cfg = lbchat_config(s).with_coreset_size(size);
             let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::LbChatEqualComp => {
             let cfg = lbchat_config(s).with_equal_compression();
             let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::LbChatAvgAgg => {
             let cfg = lbchat_config(s).with_average_aggregation();
             let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::Sco => {
             let cfg = lbchat_config(s).sco();
             let mut algo = LbChatAlgorithm::new(learners, datasets, cfg, &mut seed_rng);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::ProxSkip => {
             let cfg = ProxSkipConfig {
@@ -226,8 +270,8 @@ pub fn run_method_obs(
                 ..ProxSkipConfig::default()
             };
             let mut algo = ProxSkip::new(learners, datasets, cfg);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::RsuL => {
             let cfg = RsuLConfig {
@@ -235,8 +279,8 @@ pub fn run_method_obs(
                 ..RsuLConfig::default()
             };
             let mut algo = RsuL::new(learners, datasets, s.rsu_positions.clone(), cfg);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::DflDds => {
             let cfg = DflDdsConfig {
@@ -244,15 +288,15 @@ pub fn run_method_obs(
                 ..DflDdsConfig::default()
             };
             let mut algo = DflDds::new(learners, datasets, cfg);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
         Method::Dp => {
             let cfg =
                 DpConfig { model_bytes: s.scale.model_wire_bytes, ..DpConfig::default() };
             let mut algo = Dp::new(learners, datasets, cfg);
-            let m = rt.run(&mut algo, &s.trace, &s.eval);
-            finish(algo, m, s)
+            let m = drive(&rt, engine, &mut algo, s)?;
+            Ok(finish(algo, m, s))
         }
     }
 }
@@ -278,7 +322,7 @@ mod tests {
     fn every_method_runs_and_learns_at_quick_scale() {
         let s = Scenario::build(Scale::quick());
         for method in [Method::LbChat, Method::Sco, Method::ProxSkip, Method::RsuL, Method::DflDds, Method::Dp] {
-            let out = run_method(method, &s, Condition::NoLoss);
+            let out = run_method(method, &s, Condition::NoLoss).expect("scenario fits fleet");
             let curve = &out.metrics.loss_curve;
             assert!(curve.len() >= 3, "{method:?} must record a loss curve");
             let first = curve.first().unwrap().1;

@@ -15,10 +15,10 @@ fn results_are_bit_identical_for_any_job_count() {
     let s = Scenario::build(Scale::quick());
 
     exec::set_jobs(1);
-    let (serial_rates, serial_out) = train_and_evaluate(Method::LbChat, &s, Condition::NoLoss);
+    let (serial_rates, serial_out) = train_and_evaluate(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
 
     exec::set_jobs(4);
-    let (parallel_rates, parallel_out) = train_and_evaluate(Method::LbChat, &s, Condition::NoLoss);
+    let (parallel_rates, parallel_out) = train_and_evaluate(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
 
     exec::set_jobs(1);
 

@@ -1,0 +1,65 @@
+//! The event engine must reproduce the retained reference frame loop bit
+//! for bit on the real experiment cells (contention disabled, which is
+//! how every paper table runs).
+//!
+//! This is the end-to-end guarantee behind the runtime redesign: the
+//! full LbChat protocol — assist, coreset exchange, compression
+//! optimization, model exchange, aggregation — and the SCO ablation both
+//! produce identical loss curves, counters, and final models on either
+//! engine.
+
+use experiments::{run_method_engine, Condition, Engine, Method, Scale, Scenario};
+use lbchat::prelude::ObsSink;
+
+#[test]
+fn event_engine_matches_reference_on_quick_cells() {
+    let s = Scenario::build(Scale::quick());
+    for method in [Method::LbChat, Method::Sco] {
+        for condition in [Condition::NoLoss, Condition::WithLoss] {
+            let ev = run_method_engine(method, &s, condition, &ObsSink::disabled(), Engine::Event)
+                .expect("scenario fits fleet");
+            let rf =
+                run_method_engine(method, &s, condition, &ObsSink::disabled(), Engine::Reference)
+                    .expect("scenario fits fleet");
+            let cell = format!("{method:?}/{condition:?}");
+
+            assert_eq!(
+                ev.metrics.loss_curve.len(),
+                rf.metrics.loss_curve.len(),
+                "{cell}: loss-curve length"
+            );
+            for ((te, le), (tr, lr)) in ev.metrics.loss_curve.iter().zip(&rf.metrics.loss_curve) {
+                assert_eq!(te.to_bits(), tr.to_bits(), "{cell}: loss-curve time diverged");
+                assert_eq!(le.to_bits(), lr.to_bits(), "{cell}: loss-curve value diverged");
+            }
+            assert_eq!(ev.metrics.sessions, rf.metrics.sessions, "{cell}: sessions");
+            assert_eq!(ev.metrics.model_sends, rf.metrics.model_sends, "{cell}: model sends");
+            assert_eq!(
+                ev.metrics.model_receives, rf.metrics.model_receives,
+                "{cell}: model receives"
+            );
+            assert_eq!(ev.metrics.coreset_sends, rf.metrics.coreset_sends, "{cell}: coreset sends");
+            assert_eq!(
+                ev.metrics.coreset_receives, rf.metrics.coreset_receives,
+                "{cell}: coreset receives"
+            );
+            assert_eq!(
+                ev.metrics.bytes_delivered, rf.metrics.bytes_delivered,
+                "{cell}: bytes delivered"
+            );
+            assert_eq!(
+                ev.metrics.comm_seconds.to_bits(),
+                rf.metrics.comm_seconds.to_bits(),
+                "{cell}: comm seconds"
+            );
+            assert_eq!(
+                ev.metrics.train_iterations, rf.metrics.train_iterations,
+                "{cell}: train iterations"
+            );
+            assert_eq!(ev.models.len(), rf.models.len(), "{cell}: fleet size");
+            for (v, (a, b)) in ev.models.iter().zip(&rf.models).enumerate() {
+                assert_eq!(a.as_slice(), b.as_slice(), "{cell}: vehicle {v} model diverged");
+            }
+        }
+    }
+}

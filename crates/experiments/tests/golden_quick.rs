@@ -38,7 +38,8 @@ fn quick_success_table_matches_golden_fixture() {
         &[Method::LbChat],
         &s,
         Condition::NoLoss,
-    );
+    )
+    .expect("scenario fits");
     // Success rates round to integers (and are all zero at this scale), so
     // the rendered table alone would miss most regressions; the appended
     // full-precision metrics make the fixture sensitive to any RNG or

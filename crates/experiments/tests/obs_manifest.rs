@@ -20,7 +20,8 @@ fn manifest_events_are_deterministic_modulo_timing() {
     let run_cell = |jobs: usize| {
         exec::set_jobs(jobs);
         let sink = ObsSink::recording();
-        let (rates, _) = train_and_evaluate_obs(Method::LbChat, &s, Condition::NoLoss, &sink, 0);
+        let (rates, _) = train_and_evaluate_obs(Method::LbChat, &s, Condition::NoLoss, &sink, 0)
+            .expect("scenario fits");
         (rates, sink)
     };
     let (serial_rates, serial) = run_cell(1);
@@ -88,13 +89,15 @@ fn disabled_sink_changes_nothing_and_records_nothing() {
     // No jobs toggling here, so this can coexist with the test above.
     let s = Scenario::build(Scale::quick());
     let sink = ObsSink::disabled();
-    let (rates, out) = train_and_evaluate_obs(Method::Sco, &s, Condition::NoLoss, &sink, 0);
+    let (rates, out) = train_and_evaluate_obs(Method::Sco, &s, Condition::NoLoss, &sink, 0)
+        .expect("scenario fits");
     assert_eq!(sink.events(), vec![], "disabled sink must record zero events");
     assert!(sink.counters().is_empty());
     assert!(sink.gauges().is_empty());
 
     // And the plain (sink-free) API gives bit-identical results.
-    let (rates2, out2) = experiments::harness::train_and_evaluate(Method::Sco, &s, Condition::NoLoss);
+    let (rates2, out2) = experiments::harness::train_and_evaluate(Method::Sco, &s, Condition::NoLoss)
+        .expect("scenario fits");
     assert_eq!(rates, rates2);
     assert_eq!(out.metrics.loss_curve, out2.metrics.loss_curve);
 }

@@ -5,8 +5,10 @@
 //! transfer aborts when its deadline (end of radio contact) passes — the
 //! exact communication model of §IV-A.
 
+use crate::geom::Vec2;
 use crate::loss::LossModel;
 use rand::{Rng, RngExt};
+use std::collections::BTreeMap;
 
 /// A packet that fails this many consecutive attempts marks the link dead
 /// and aborts the transfer (sustained PER ≈ 1 — effectively out of range).
@@ -56,6 +58,45 @@ impl RadioConfig {
     /// Loss-free transfer time for `bytes` at full bandwidth.
     pub fn ideal_transfer_time(&self, bytes: usize) -> f64 {
         self.packets_for(bytes) as f64 * self.packet_time()
+    }
+}
+
+/// Loss source applied to one transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferLoss {
+    /// Distance-based link loss: the channel's [`LossModel`] evaluated at
+    /// the live endpoint distance (packets beyond range always fail).
+    Link,
+    /// A fixed per-packet error rate, independent of distance — the paper's
+    /// model for backend links ("a wireless loss uniformly sampled from the
+    /// distance-loss lookup table").
+    FixedPer(f32),
+}
+
+/// One requested payload movement: how many bytes, how much airtime may be
+/// spent (measured from the transfer's first packet), and which loss source
+/// applies. The single entry point behind [`Channel::run`]; both legacy
+/// helpers ([`Channel::transfer`], [`Channel::transfer_fixed_per`]) build one
+/// of these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferSpec {
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Airtime budget in seconds, measured from the transfer start.
+    pub deadline: f64,
+    /// Loss source for every packet of this transfer.
+    pub loss: TransferLoss,
+}
+
+impl TransferSpec {
+    /// A distance-based (link-loss) transfer.
+    pub fn link(bytes: usize, deadline: f64) -> Self {
+        Self { bytes, deadline, loss: TransferLoss::Link }
+    }
+
+    /// A fixed-PER transfer (backend links).
+    pub fn fixed_per(bytes: usize, deadline: f64, per: f32) -> Self {
+        Self { bytes, deadline, loss: TransferLoss::FixedPer(per) }
     }
 }
 
@@ -133,31 +174,90 @@ impl Channel {
         &self,
         bytes: usize,
         deadline: f64,
-        mut distance_at: F,
+        distance_at: F,
         rng: &mut R,
     ) -> TransferOutcome
     where
         R: Rng + ?Sized,
         F: FnMut(f64) -> f32,
     {
-        if bytes == 0 {
+        self.run(&TransferSpec::link(bytes, deadline), distance_at, rng)
+    }
+
+    /// Simulates a transfer over a link whose loss is a fixed PER rather than
+    /// distance-based — the paper's model for ProxSkip / RSU-L backend links
+    /// under wireless loss ("a wireless loss uniformly sampled from the
+    /// distance-loss lookup table").
+    pub fn transfer_fixed_per<R: Rng + ?Sized>(
+        &self,
+        bytes: usize,
+        deadline: f64,
+        per: f32,
+        rng: &mut R,
+    ) -> TransferOutcome {
+        self.run(&TransferSpec::fixed_per(bytes, deadline, per), |_| 0.0, rng)
+    }
+
+    /// Per-packet error rate under `loss` at endpoint distance `distance_m`.
+    /// Distance-based transfers beyond `range_m` always lose the packet;
+    /// fixed-PER transfers ignore the distance entirely. The event-driven
+    /// runtime uses this to price packets of streaming transfers one medium
+    /// window at a time.
+    pub fn per_for(&self, loss: TransferLoss, distance_m: f32) -> f32 {
+        match loss {
+            TransferLoss::Link => {
+                if distance_m > self.config.range_m {
+                    1.0
+                } else {
+                    self.loss.per(distance_m)
+                }
+            }
+            TransferLoss::FixedPer(per) => per,
+        }
+    }
+
+    /// Per-packet error rate `t` seconds into a transfer described by
+    /// `spec`, with the endpoint distance supplied by `distance_at`.
+    fn packet_per<F: FnMut(f64) -> f32>(
+        &self,
+        loss: TransferLoss,
+        t: f64,
+        distance_at: &mut F,
+    ) -> f32 {
+        match loss {
+            TransferLoss::FixedPer(per) => per,
+            TransferLoss::Link => self.per_for(loss, distance_at(t)),
+        }
+    }
+
+    /// The unified transfer entry point: simulates moving `spec.bytes`
+    /// starting at time 0 under `spec.loss`, aborting when `spec.deadline`
+    /// passes or a packet fails [`DEAD_LINK_ATTEMPTS`] straight times.
+    ///
+    /// `distance_at(t)` is only consulted for [`TransferLoss::Link`]
+    /// transfers. Zero-byte transfers complete instantly.
+    pub fn run<R, F>(&self, spec: &TransferSpec, mut distance_at: F, rng: &mut R) -> TransferOutcome
+    where
+        R: Rng + ?Sized,
+        F: FnMut(f64) -> f32,
+    {
+        if spec.bytes == 0 {
             return TransferOutcome::Delivered { elapsed: 0.0 };
         }
-        let n_packets = self.config.packets_for(bytes);
+        let n_packets = self.config.packets_for(spec.bytes);
         let pt = self.config.packet_time();
         let mut t = 0.0f64;
         for pkt in 0..n_packets {
             let mut delivered = false;
             for _attempt in 0..DEAD_LINK_ATTEMPTS {
-                if t + pt > deadline {
+                if t + pt > spec.deadline {
                     return TransferOutcome::Failed {
                         elapsed: t,
                         delivered_bytes: pkt * self.config.packet_bytes,
                     };
                 }
-                let d = distance_at(t);
+                let per = self.packet_per(spec.loss, t, &mut distance_at);
                 t += pt;
-                let per = if d > self.config.range_m { 1.0 } else { self.loss.per(d) };
                 if per <= 0.0 || rng.random::<f32>() >= per {
                     delivered = true;
                     break;
@@ -172,47 +272,138 @@ impl Channel {
         }
         TransferOutcome::Delivered { elapsed: t }
     }
+}
 
-    /// Simulates a transfer over a link whose loss is a fixed PER rather than
-    /// distance-based — the paper's model for ProxSkip / RSU-L backend links
-    /// under wireless loss ("a wireless loss uniformly sampled from the
-    /// distance-loss lookup table").
-    pub fn transfer_fixed_per<R: Rng + ?Sized>(
-        &self,
-        bytes: usize,
-        deadline: f64,
-        per: f32,
-        rng: &mut R,
-    ) -> TransferOutcome {
-        if bytes == 0 {
-            return TransferOutcome::Delivered { elapsed: 0.0 };
+/// Shared-medium contention parameters for the event-driven runtime's
+/// streaming transfers.
+///
+/// Space is divided into square cells roughly one radio range on a side;
+/// time into fixed airtime windows. All transfers whose endpoints' midpoint
+/// falls in the same cell during the same window contend for that cell's
+/// airtime: each gets a fair share of the window, and concurrent contenders
+/// add a collision loss term on top of the link's own PER.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumConfig {
+    /// Cell edge length in meters (default: one radio range, 500 m).
+    pub cell_m: f32,
+    /// Airtime accounting window in seconds.
+    pub window_s: f64,
+    /// Maximum extra per-packet loss from collisions; the applied extra is
+    /// `collision_loss * (1 - 1/contenders)`, zero for a lone transmitter.
+    pub collision_loss: f32,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        Self { cell_m: 500.0, window_s: 0.25, collision_loss: 0.25 }
+    }
+}
+
+/// Per-cell load observed during one accounting window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellLoad {
+    /// Transfers that attempted airtime in the cell this window.
+    pub contenders: u32,
+    /// Total airtime booked in the cell this window, seconds.
+    pub airtime: f64,
+}
+
+/// The shared wireless medium: per-cell airtime accounting over
+/// double-buffered windows.
+///
+/// The *previous* window's load steers the current one — every transfer
+/// stepping in window `w` reads the contender count cell-wise from window
+/// `w - 1` (a fixed point of the usual listen-before-talk feedback), so the
+/// order in which concurrent transfers step within a window cannot change
+/// their outcomes. That property is what lets the runtime shard transfer
+/// steps across worker threads without losing bit-for-bit determinism.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    cfg: MediumConfig,
+    window: i64,
+    current: BTreeMap<(i64, i64), CellLoad>,
+    previous: BTreeMap<(i64, i64), CellLoad>,
+}
+
+impl Medium {
+    /// Creates an idle medium.
+    ///
+    /// # Panics
+    /// Panics if the cell size or window length is not positive.
+    pub fn new(cfg: MediumConfig) -> Self {
+        assert!(cfg.cell_m > 0.0, "medium cell size must be positive");
+        assert!(cfg.window_s > 0.0, "medium window must be positive");
+        Self { cfg, window: 0, current: BTreeMap::new(), previous: BTreeMap::new() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MediumConfig {
+        &self.cfg
+    }
+
+    /// Index of the accounting window containing time `t`.
+    pub fn window_index(&self, t: f64) -> i64 {
+        (t / self.cfg.window_s).floor() as i64
+    }
+
+    /// The grid cell containing position `p`.
+    pub fn cell_of(&self, p: Vec2) -> (i64, i64) {
+        ((p.x / self.cfg.cell_m).floor() as i64, (p.y / self.cfg.cell_m).floor() as i64)
+    }
+
+    /// Rolls the double buffer forward so the current window contains `t`.
+    /// Skipping more than one window clears both buffers (the medium was
+    /// idle in between).
+    pub fn advance_to(&mut self, t: f64) {
+        let w = self.window_index(t);
+        if w == self.window {
+            return;
         }
-        let n_packets = self.config.packets_for(bytes);
-        let pt = self.config.packet_time();
-        let mut t = 0.0f64;
-        for pkt in 0..n_packets {
-            let mut delivered = false;
-            for _attempt in 0..DEAD_LINK_ATTEMPTS {
-                if t + pt > deadline {
-                    return TransferOutcome::Failed {
-                        elapsed: t,
-                        delivered_bytes: pkt * self.config.packet_bytes,
-                    };
-                }
-                t += pt;
-                if per <= 0.0 || rng.random::<f32>() >= per {
-                    delivered = true;
-                    break;
-                }
-            }
-            if !delivered {
-                return TransferOutcome::Failed {
-                    elapsed: t,
-                    delivered_bytes: pkt * self.config.packet_bytes,
-                };
-            }
+        if w == self.window + 1 {
+            self.previous = std::mem::take(&mut self.current);
+        } else {
+            self.previous.clear();
+            self.current.clear();
         }
-        TransferOutcome::Delivered { elapsed: t }
+        self.window = w;
+    }
+
+    /// Contender count of `cell` in the previous window.
+    pub fn contenders(&self, cell: (i64, i64)) -> u32 {
+        self.previous.get(&cell).map_or(0, |l| l.contenders)
+    }
+
+    /// Airtime booked in `cell` during the previous window, seconds.
+    pub fn booked_airtime(&self, cell: (i64, i64)) -> f64 {
+        self.previous.get(&cell).map_or(0.0, |l| l.airtime)
+    }
+
+    /// Fair airtime share for one transfer in `cell` this window, based on
+    /// the previous window's contender count. A lone transmitter gets the
+    /// whole window.
+    pub fn fair_share(&self, cell: (i64, i64)) -> f64 {
+        self.cfg.window_s / self.contenders(cell).max(1) as f64
+    }
+
+    /// Extra per-packet loss from collisions in `cell`, based on the
+    /// previous window's contender count.
+    pub fn collision_per(&self, cell: (i64, i64)) -> f32 {
+        let c = self.contenders(cell);
+        if c <= 1 {
+            0.0
+        } else {
+            self.cfg.collision_loss * (1.0 - 1.0 / c as f32)
+        }
+    }
+
+    /// Registers one transfer as contending in `cell` this window.
+    pub fn register(&mut self, cell: (i64, i64)) {
+        self.current.entry(cell).or_default().contenders += 1;
+    }
+
+    /// Books `airtime` seconds of channel occupancy in `cell` this window.
+    pub fn book(&mut self, cell: (i64, i64), airtime: f64) {
+        self.current.entry(cell).or_default().airtime += airtime;
     }
 }
 
@@ -306,6 +497,69 @@ mod tests {
         let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
         let out = ch.transfer(0, 0.0, |_| 100.0, &mut rng());
         assert_eq!(out, TransferOutcome::Delivered { elapsed: 0.0 });
+    }
+
+    #[test]
+    fn spec_entry_point_matches_legacy_helpers() {
+        // The unified `run` must consume the RNG identically to the legacy
+        // helpers — same seed, same outcome, bit for bit.
+        let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
+        let a = ch.transfer(600_000, 50.0, |_| 320.0, &mut rng());
+        let b = ch.run(&TransferSpec::link(600_000, 50.0), |_| 320.0, &mut rng());
+        assert_eq!(a, b);
+        let a = ch.transfer_fixed_per(600_000, 50.0, 0.3, &mut rng());
+        let b = ch.run(&TransferSpec::fixed_per(600_000, 50.0, 0.3), |_| 0.0, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn medium_cells_and_windows() {
+        let m = Medium::new(MediumConfig::default());
+        assert_eq!(m.cell_of(Vec2::new(10.0, 10.0)), (0, 0));
+        assert_eq!(m.cell_of(Vec2::new(-10.0, 510.0)), (-1, 1));
+        assert_eq!(m.window_index(0.0), 0);
+        assert_eq!(m.window_index(0.26), 1);
+    }
+
+    #[test]
+    fn medium_double_buffer_feeds_next_window() {
+        let mut m = Medium::new(MediumConfig::default());
+        let cell = (0, 0);
+        m.register(cell);
+        m.register(cell);
+        m.book(cell, 0.2);
+        // Current-window load is invisible until the buffer rolls.
+        assert_eq!(m.contenders(cell), 0);
+        assert_eq!(m.fair_share(cell), m.config().window_s);
+        m.advance_to(0.3);
+        assert_eq!(m.contenders(cell), 2);
+        assert!((m.booked_airtime(cell) - 0.2).abs() < 1e-12);
+        assert!((m.fair_share(cell) - m.config().window_s / 2.0).abs() < 1e-12);
+        assert!(m.collision_per(cell) > 0.0);
+        // Skipping windows entirely clears both buffers.
+        m.advance_to(10.0);
+        assert_eq!(m.contenders(cell), 0);
+    }
+
+    #[test]
+    fn lone_transmitter_sees_no_collision_loss() {
+        let mut m = Medium::new(MediumConfig::default());
+        m.register((0, 0));
+        m.advance_to(0.3);
+        assert_eq!(m.collision_per((0, 0)), 0.0);
+        assert_eq!(m.fair_share((0, 0)), m.config().window_s);
+    }
+
+    #[test]
+    fn fair_share_splits_evenly_under_contention() {
+        let mut m = Medium::new(MediumConfig::default());
+        for _ in 0..8 {
+            m.register((2, -1));
+        }
+        m.advance_to(0.3);
+        assert!((m.fair_share((2, -1)) - m.config().window_s / 8.0).abs() < 1e-12);
+        // Collision loss saturates below the configured maximum.
+        assert!(m.collision_per((2, -1)) < m.config().collision_loss);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example convoy_training`
 
-use experiments::{run_method, Condition, Method, Scale, Scenario};
+use experiments::{exit_on_error, run_method, Condition, Method, Scale, Scenario};
 
 fn main() {
     let mut scale = Scale::quick();
@@ -17,7 +17,7 @@ fn main() {
     let scenario = Scenario::build(scale);
 
     eprintln!("running LbChat for {:.0} simulated seconds...", scenario.scale.train_seconds);
-    let out = run_method(Method::LbChat, &scenario, Condition::WithLoss);
+    let out = exit_on_error(run_method(Method::LbChat, &scenario, Condition::WithLoss));
 
     println!("\nloss vs simulated time:");
     for (t, l) in &out.metrics.loss_curve {

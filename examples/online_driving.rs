@@ -7,7 +7,7 @@
 
 use driving::{success_rate, Task};
 use experiments::harness::eval_config;
-use experiments::{run_method, Condition, Method, Scale, Scenario};
+use experiments::{exit_on_error, run_method, Condition, Method, Scale, Scenario};
 
 fn main() {
     let scale = Scale::quick();
@@ -15,7 +15,7 @@ fn main() {
     let scenario = Scenario::build(scale);
 
     eprintln!("training with LbChat (wireless loss on)...");
-    let out = run_method(Method::LbChat, &scenario, Condition::WithLoss);
+    let out = exit_on_error(run_method(Method::LbChat, &scenario, Condition::WithLoss));
     println!(
         "training done: final mean loss {:.4}, receiving rate {:.0}%",
         out.metrics.final_loss().unwrap(),

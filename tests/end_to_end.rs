@@ -11,7 +11,7 @@ fn quick_scenario() -> Scenario {
 #[test]
 fn lbchat_trains_end_to_end() {
     let s = quick_scenario();
-    let out = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let out = run_method(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
     let curve = &out.metrics.loss_curve;
     assert!(curve.len() >= 4, "loss curve must be sampled");
     let first = curve.first().unwrap().1;
@@ -25,9 +25,9 @@ fn lbchat_trains_end_to_end() {
 #[test]
 fn lbchat_is_deterministic_per_seed() {
     let s1 = quick_scenario();
-    let out1 = run_method(Method::LbChat, &s1, Condition::WithLoss);
+    let out1 = run_method(Method::LbChat, &s1, Condition::WithLoss).expect("scenario fits");
     let s2 = quick_scenario();
-    let out2 = run_method(Method::LbChat, &s2, Condition::WithLoss);
+    let out2 = run_method(Method::LbChat, &s2, Condition::WithLoss).expect("scenario fits");
     assert_eq!(
         out1.metrics.sessions, out2.metrics.sessions,
         "identical seeds must reproduce the run"
@@ -43,8 +43,8 @@ fn lbchat_is_deterministic_per_seed() {
 #[test]
 fn wireless_loss_costs_deliveries_but_not_convergence_robustness() {
     let s = quick_scenario();
-    let clean = run_method(Method::LbChat, &s, Condition::NoLoss);
-    let lossy = run_method(Method::LbChat, &s, Condition::WithLoss);
+    let clean = run_method(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
+    let lossy = run_method(Method::LbChat, &s, Condition::WithLoss).expect("scenario fits");
     // Deliveries cannot be *better* under loss.
     assert!(
         lossy.metrics.model_receiving_rate() <= clean.metrics.model_receiving_rate() + 1e-9,
@@ -59,7 +59,7 @@ fn wireless_loss_costs_deliveries_but_not_convergence_robustness() {
 #[test]
 fn sco_exchanges_data_but_never_models() {
     let s = quick_scenario();
-    let out = run_method(Method::Sco, &s, Condition::NoLoss);
+    let out = run_method(Method::Sco, &s, Condition::NoLoss).expect("scenario fits");
     assert_eq!(out.metrics.model_sends, 0, "SCO must not move model bytes");
     assert!(out.metrics.coreset_receives > 0, "SCO lives on coresets");
     let curve = &out.metrics.loss_curve;

@@ -71,6 +71,15 @@ impl Learner for Line {
     }
 }
 
+fn run_ok(
+    rt: &Runtime,
+    a: &mut LbChatAlgorithm<Line>,
+    trace: &MobilityTrace,
+    eval: &[Pt],
+) -> lbchat::prelude::Metrics {
+    rt.run(a, trace, eval).expect("trace fits fleet")
+}
+
 fn data(a: f32, n: usize) -> Vec<Pt> {
     (0..n).map(|i| {
         let x = i as f32 / n as f32 * 4.0 - 2.0;
@@ -106,7 +115,7 @@ fn teleporting_vehicles_do_not_break_the_runtime() {
     let trace = MobilityTrace::new(2.0, vec![jumper, parked]);
     let mut a = algo(2);
     let rt = Runtime::new(RuntimeConfig { duration: 200.0, ..RuntimeConfig::default() });
-    let m = rt.run(&mut a, &trace, &data(0.5, 20));
+    let m = run_ok(&rt, &mut a, &trace, &data(0.5, 20));
     assert!(m.train_iterations > 0);
 }
 
@@ -121,7 +130,7 @@ fn always_out_of_range_means_pure_local_training() {
     let rt = Runtime::new(RuntimeConfig { duration: 200.0, ..RuntimeConfig::default() });
     // Evaluate on node 1's distribution (slope 1): its local SGD improves
     // the fleet mean even with zero communication.
-    let m = rt.run(&mut a, &trace, &data(1.0, 20));
+    let m = run_ok(&rt, &mut a, &trace, &data(1.0, 20));
     assert_eq!(m.sessions, 0);
     assert_eq!(m.coreset_sends, 0);
     let c = &m.loss_curve;
@@ -143,7 +152,7 @@ fn total_packet_loss_channel_stops_all_payloads() {
         loss_model: LossModel::Distance(vec![(0.0, 1.0), (500.0, 1.0)]),
         ..RuntimeConfig::default()
     });
-    let m = rt.run(&mut a, &trace, &data(0.5, 20));
+    let m = run_ok(&rt, &mut a, &trace, &data(0.5, 20));
     assert_eq!(m.coreset_receives, 0, "nothing can get through a PER=1 channel");
     assert_eq!(m.model_receives, 0);
 }
@@ -154,7 +163,7 @@ fn single_vehicle_fleet_is_fine() {
     let trace = MobilityTrace::new(2.0, vec![vec![Vec2::ZERO; frames]]);
     let mut a = algo(1);
     let rt = Runtime::new(RuntimeConfig { duration: 100.0, ..RuntimeConfig::default() });
-    let m = rt.run(&mut a, &trace, &data(0.0, 20));
+    let m = run_ok(&rt, &mut a, &trace, &data(0.0, 20));
     assert_eq!(m.sessions, 0);
     assert!(m.train_iterations > 0);
 }
@@ -183,7 +192,7 @@ fn tiny_datasets_still_chat() {
         vec![vec![Vec2::ZERO; frames], vec![Vec2::new(40.0, 0.0); frames]],
     );
     let rt = Runtime::new(RuntimeConfig { duration: 200.0, ..RuntimeConfig::default() });
-    let m = rt.run(&mut a, &trace, &data(0.0, 10));
+    let m = run_ok(&rt, &mut a, &trace, &data(0.0, 10));
     assert!(m.sessions > 0);
     assert!(m.coreset_receives > 0);
     assert!(a.node(0).dataset().len() > 5, "absorption still expands tiny datasets");
@@ -195,7 +204,7 @@ fn zero_duration_run_is_a_noop() {
     let trace = MobilityTrace::new(2.0, vec![vec![Vec2::ZERO; frames]; 2]);
     let mut a = algo(2);
     let rt = Runtime::new(RuntimeConfig { duration: 0.0, ..RuntimeConfig::default() });
-    let m = rt.run(&mut a, &trace, &data(0.5, 10));
+    let m = run_ok(&rt, &mut a, &trace, &data(0.5, 10));
     assert_eq!(m.train_iterations, 0);
     assert_eq!(m.sessions, 0);
     assert_eq!(m.loss_curve.len(), 1, "only the final evaluation");

@@ -8,7 +8,7 @@ use experiments::{run_method, Condition, Method, Scale, Scenario};
 fn all_methods_learn_on_the_shared_scenario() {
     let s = Scenario::build(Scale::quick());
     for method in Method::MAIN {
-        let out = run_method(method, &s, Condition::NoLoss);
+        let out = run_method(method, &s, Condition::NoLoss).expect("scenario fits");
         let first = out.metrics.loss_curve.first().unwrap().1;
         let last = out.metrics.loss_curve.last().unwrap().1;
         assert!(
@@ -25,9 +25,9 @@ fn lbchat_delivery_rate_tops_v2v_benchmarks_under_loss() {
     // aware neighbor prioritization + contact-fitted adaptive compression —
     // must show up directionally at any scale.
     let s = Scenario::build(Scale::quick());
-    let lbchat = run_method(Method::LbChat, &s, Condition::WithLoss);
-    let dp = run_method(Method::Dp, &s, Condition::WithLoss);
-    let dfl = run_method(Method::DflDds, &s, Condition::WithLoss);
+    let lbchat = run_method(Method::LbChat, &s, Condition::WithLoss).expect("scenario fits");
+    let dp = run_method(Method::Dp, &s, Condition::WithLoss).expect("scenario fits");
+    let dfl = run_method(Method::DflDds, &s, Condition::WithLoss).expect("scenario fits");
     let r_lbchat = lbchat.metrics.model_receiving_rate();
     let r_dp = dp.metrics.model_receiving_rate();
     let r_dfl = dfl.metrics.model_receiving_rate();
@@ -40,12 +40,12 @@ fn lbchat_delivery_rate_tops_v2v_benchmarks_under_loss() {
 #[test]
 fn decentralized_methods_use_the_v2v_radio_and_infra_methods_do_not() {
     let s = Scenario::build(Scale::quick());
-    let lbchat = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let lbchat = run_method(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
     assert!(lbchat.metrics.sessions > 0);
-    let proxskip = run_method(Method::ProxSkip, &s, Condition::NoLoss);
+    let proxskip = run_method(Method::ProxSkip, &s, Condition::NoLoss).expect("scenario fits");
     assert_eq!(proxskip.metrics.sessions, 0, "ProxSkip is server-only");
     assert!(proxskip.metrics.model_sends > 0, "but it does use the backend");
-    let rsul = run_method(Method::RsuL, &s, Condition::NoLoss);
+    let rsul = run_method(Method::RsuL, &s, Condition::NoLoss).expect("scenario fits");
     assert_eq!(rsul.metrics.sessions, 0, "RSU-L is infrastructure-only");
 }
 
@@ -57,7 +57,7 @@ fn collaboration_beats_local_only_training() {
     // ever meets (trace too short for contacts is impractical; instead we
     // compare against the first loss sample after local-only warmup).
     let s = Scenario::build(Scale::quick());
-    let lbchat = run_method(Method::LbChat, &s, Condition::NoLoss);
+    let lbchat = run_method(Method::LbChat, &s, Condition::NoLoss).expect("scenario fits");
     let curve = &lbchat.metrics.loss_curve;
     // The early curve is local-only (few contacts yet); the end reflects
     // collaboration. A strict improvement is required.
