@@ -183,7 +183,7 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
         if choice.psi_i <= 0.0 {
             return None;
         }
-        let bytes = lbchat::compress::wire_bytes(self.config.model_bytes, choice.psi_i);
+        let bytes = ctx.codec().wire_bytes(self.config.model_bytes, choice.psi_i);
         let limit = self.config.round_seconds.min(contact);
 
         // i → j.
@@ -215,7 +215,8 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
             DdsPhase::ModelIJ => {
                 ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
                 state.model_i = out.is_delivered().then(|| {
-                    lbchat::compress::compress_dense(self.nodes[i].learner.params(), state.psi_i)
+                    let codec = ctx.codec();
+                    codec.apply(self.nodes[i].learner.params(), state.psi_i, ctx.rng())
                 });
                 // j → i.
                 state.phase = DdsPhase::ModelJI;
@@ -225,7 +226,8 @@ impl<L: Learner> CollabAlgorithm for DflDds<L> {
             DdsPhase::ModelJI => {
                 ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
                 state.model_j = out.is_delivered().then(|| {
-                    lbchat::compress::compress_dense(self.nodes[j].learner.params(), state.psi_j)
+                    let codec = ctx.codec();
+                    codec.apply(self.nodes[j].learner.params(), state.psi_j, ctx.rng())
                 });
                 SessionStep::Done
             }

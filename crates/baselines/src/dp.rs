@@ -142,7 +142,7 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
         if choice.psi_i <= 0.0 {
             return None;
         }
-        let bytes = lbchat::compress::wire_bytes(self.config.model_bytes, choice.psi_i);
+        let bytes = ctx.codec().wire_bytes(self.config.model_bytes, choice.psi_i);
         let limit = self.config.time_budget.min(contact);
 
         // Sized to fit min(T_B, contact) at nominal bandwidth, but the pair
@@ -173,7 +173,8 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
             DpPhase::ModelIJ => {
                 ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
                 state.model_i = out.is_delivered().then(|| {
-                    lbchat::compress::compress_dense(self.nodes[i].learner.params(), state.psi_i)
+                    let codec = ctx.codec();
+                    codec.apply(self.nodes[i].learner.params(), state.psi_i, ctx.rng())
                 });
                 state.phase = DpPhase::ModelJI;
                 let deadline = (ctx.contact().duration - ctx.elapsed()).max(0.0);
@@ -182,7 +183,8 @@ impl<L: Learner> CollabAlgorithm for Dp<L> {
             DpPhase::ModelJI => {
                 ctx.metrics.record_model_send(out.is_delivered(), state.bytes, out.elapsed());
                 state.model_j = out.is_delivered().then(|| {
-                    lbchat::compress::compress_dense(self.nodes[j].learner.params(), state.psi_j)
+                    let codec = ctx.codec();
+                    codec.apply(self.nodes[j].learner.params(), state.psi_j, ctx.rng())
                 });
                 SessionStep::Done
             }

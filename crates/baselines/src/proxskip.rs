@@ -149,10 +149,13 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
         if !ctx.rng().random_bool(self.config.comm_prob) {
             return; // skipped round: local steps only
         }
-        // Upload phase: which models reach the server.
+        // Upload phase: which models reach the server. Backend messages
+        // carry the full model (ψ = 1) through the session codec so the
+        // wire accounting follows the --codec axis.
+        let model_bytes = ctx.codec().wire_bytes(self.config.model_bytes, 1.0);
         let mut arrived: Vec<usize> = Vec::new();
         for i in 0..self.nodes.len() {
-            if ctx.backend_message(self.config.model_bytes) {
+            if ctx.backend_message(model_bytes) {
                 arrived.push(i);
             }
         }
@@ -169,7 +172,7 @@ impl<L: Learner> CollabAlgorithm for ProxSkip<L> {
         // update their control variate.
         let p = self.config.comm_prob as f32;
         for i in 0..self.nodes.len() {
-            if !ctx.backend_message(self.config.model_bytes) {
+            if !ctx.backend_message(model_bytes) {
                 continue;
             }
             if self.config.cv_gamma != 0.0 {

@@ -136,6 +136,9 @@ impl<L: Learner> CollabAlgorithm for RsuL<L> {
 
     fn on_frame(&mut self, ctx: &mut FrameCtx<'_>) {
         let n_rsus = self.rsu_positions.len();
+        // Infrastructure messages carry the full model (ψ = 1) through the
+        // session codec so the wire accounting follows the --codec axis.
+        let model_bytes = ctx.codec().wire_bytes(self.config.model_bytes, 1.0);
         for v in 0..self.nodes.len() {
             if ctx.busy_until[v] > ctx.time {
                 continue;
@@ -151,7 +154,7 @@ impl<L: Learner> CollabAlgorithm for RsuL<L> {
                 self.cooldown[v * n_rsus + r] = ctx.time + self.config.revisit_cooldown;
                 // Upload. The first delivered model seeds the RSU
                 // wholesale; later uploads are aggregated in.
-                let uploaded = ctx.backend_message(self.config.model_bytes);
+                let uploaded = ctx.backend_message(model_bytes);
                 if uploaded {
                     if self.rsu_initialized[r] {
                         let merged = ParamVec::weighted_average(
@@ -167,9 +170,7 @@ impl<L: Learner> CollabAlgorithm for RsuL<L> {
                     }
                 }
                 // Download the (possibly just-updated) RSU model.
-                if ctx.backend_message(self.config.model_bytes)
-                    && self.rsu_initialized[r]
-                {
+                if ctx.backend_message(model_bytes) && self.rsu_initialized[r] {
                     let adopted = ParamVec::weighted_average(
                         self.nodes[v].learner.params(),
                         0.5,

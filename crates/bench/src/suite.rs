@@ -217,10 +217,28 @@ fn bench_valuation(c: &mut Criterion, _opts: &SuiteOpts) {
 }
 
 fn bench_compress(c: &mut Criterion, _opts: &SuiteOpts) {
+    use lbchat::compress::Codec;
     let params = ParamVec::from_vec(
         (0..25_000).map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0).collect(),
     );
     c.bench_function("compress/topk_25k_psi_0.1", |b| b.iter(|| top_k(&params, 0.1)));
+    // One encode + one decode cell per codec: the share-path hot loops of
+    // docs/COMPRESSION.md. Fixed seed keeps the stochastic quantizers
+    // deterministic across ref/opt arms.
+    for codec in Codec::ALL {
+        c.bench_function(format!("compress/{codec}_encode_25k_psi_0.1"), |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                codec.encode(&params, 0.1, &mut rng)
+            });
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let wire = codec.encode(&params, 0.1, &mut rng);
+        c.bench_function(format!("compress/{codec}_decode_25k_psi_0.1"), |b| {
+            b.iter(|| wire.decode().expect("own encode decodes"));
+        });
+    }
+    print_wire_size_table();
     c.bench_function("compress/adaptive_sizer_cycle", |b| {
         b.iter(|| {
             let mut sizer = AdaptiveSizer::new(150, 40, 400);
@@ -231,6 +249,30 @@ fn bench_compress(c: &mut Criterion, _opts: &SuiteOpts) {
             sizer.adjust()
         });
     });
+}
+
+/// Prints the cost model's two wire-size accountings side by side for
+/// every codec — the paper's simplified `ψ·S` next to the honest
+/// `min(2ψ, 1)·S` pair-encoding family — so the bench report never
+/// understates sparse-encoding cost (the documented divergence in
+/// docs/COMPRESSION.md).
+fn print_wire_size_table() {
+    use lbchat::compress::Codec;
+    const S: usize = 52 * 1024 * 1024; // the paper's dense model
+    eprintln!("wire bytes at S = 52 MiB (paper psi*S | honest pair accounting), in MiB:");
+    for codec in Codec::ALL {
+        let cells: Vec<String> = [0.05f32, 0.125, 0.25, 0.5, 1.0]
+            .iter()
+            .map(|&psi| {
+                format!(
+                    "psi={psi}: {:.2}|{:.2}",
+                    codec.wire_bytes(S, psi) as f64 / (1024.0 * 1024.0),
+                    codec.pair_wire_bytes(S, psi) as f64 / (1024.0 * 1024.0),
+                )
+            })
+            .collect();
+        eprintln!("  {:<8} {}", codec.name(), cells.join("  "));
+    }
 }
 
 fn bench_solver(c: &mut Criterion, _opts: &SuiteOpts) {

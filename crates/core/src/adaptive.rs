@@ -38,6 +38,11 @@ pub struct AdaptiveSizer {
     ewma_epsilon: f32,
     ewma_share: f64,
     observations: u64,
+    // Realized model-compression ratio ψ of recent exchanges (codec
+    // signal); tracked separately so the controller is a strict no-op for
+    // callers that never report it.
+    ewma_psi: f64,
+    psi_observations: u64,
 }
 
 impl AdaptiveSizer {
@@ -58,6 +63,8 @@ impl AdaptiveSizer {
             ewma_epsilon: 0.0,
             ewma_share: 0.0,
             observations: 0,
+            ewma_psi: 0.0,
+            psi_observations: 0,
         }
     }
 
@@ -95,6 +102,26 @@ impl AdaptiveSizer {
         self.observations += 1;
     }
 
+    /// Records the realized model-compression ratio ψ of one model
+    /// exchange this vehicle sent (the codec signal from the Eq. (7)
+    /// optimizer's choice).
+    ///
+    /// A small realized ψ means model exchanges are cheap on the wire, so
+    /// the coreset may claim a proportionally larger share of the contact
+    /// budget before the controller shrinks it — [`AdaptiveSizer::adjust`]
+    /// relaxes `target_budget_share` by up to 2× as `ewma_psi → 0`. Never
+    /// calling this leaves the controller exactly as before (strict no-op).
+    pub fn observe_compression(&mut self, psi: f64) {
+        const ALPHA: f64 = 0.3;
+        let psi = psi.clamp(0.0, 1.0);
+        self.ewma_psi = if self.psi_observations == 0 {
+            psi
+        } else {
+            ALPHA * psi + (1.0 - ALPHA) * self.ewma_psi
+        };
+        self.psi_observations += 1;
+    }
+
     /// Applies one adjustment and returns the new size.
     ///
     /// Communication pressure wins ties: a coreset that cannot be exchanged
@@ -105,8 +132,15 @@ impl AdaptiveSizer {
         if self.observations < 3 {
             return self.size; // not enough evidence yet
         }
+        // ψ-relaxed pressure target: fully-compressed model exchanges
+        // (ψ → 0) double the budget share the coreset may consume.
+        let share_target = if self.psi_observations > 0 {
+            self.target_budget_share * (2.0 - self.ewma_psi)
+        } else {
+            self.target_budget_share
+        };
         let grow = self.ewma_epsilon > self.target_epsilon;
-        let shrink = self.ewma_share > self.target_budget_share;
+        let shrink = self.ewma_share > share_target;
         let factor = if shrink {
             1.0 - self.step_ratio
         } else if grow {
@@ -208,5 +242,38 @@ mod tests {
     #[should_panic]
     fn invalid_bounds_panic() {
         let _ = AdaptiveSizer::new(10, 20, 30);
+    }
+
+    #[test]
+    fn cheap_codecs_relax_the_pressure_target() {
+        // A share of 0.2 exceeds the plain 0.15 target…
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.01);
+            s.observe_exchange(0.2);
+        }
+        assert!(s.adjust() < 150, "0.2 share shrinks without a codec signal");
+        // …but not the ψ-relaxed one when model exchanges ride a cheap
+        // codec (ψ ≈ 0 ⇒ target doubles to 0.30).
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.01);
+            s.observe_exchange(0.2);
+            s.observe_compression(0.02);
+        }
+        assert_eq!(s.adjust(), 150, "cheap model wire relaxes coreset pressure");
+    }
+
+    #[test]
+    fn uncompressed_models_leave_the_target_unchanged() {
+        // ψ = 1 (no compression): the relaxed target collapses back to the
+        // plain one, so behavior matches the no-signal controller.
+        let mut s = AdaptiveSizer::new(150, 15, 1500);
+        for _ in 0..5 {
+            s.observe_epsilon(0.01);
+            s.observe_exchange(0.2);
+            s.observe_compression(1.0);
+        }
+        assert!(s.adjust() < 150, "ψ=1 must not relax the shrink threshold");
     }
 }

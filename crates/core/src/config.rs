@@ -1,8 +1,8 @@
 //! LbChat configuration with the paper's §IV-A defaults.
 //!
 //! [`LbChatConfig`] gathers every knob of the algorithm — coreset size and
-//! refresh policy, the ψ grid behind the Eq. (7) optimizer, compression
-//! method, aggregation rule, penalty weights, wire sizes — pre-set to the
+//! refresh policy, the ψ grid behind the Eq. (7) optimizer, error-feedback
+//! compensation, aggregation rule, penalty weights, wire sizes — pre-set to the
 //! values §IV-A reports (coreset 150 frames ≈ 0.6 MB, T_B = 15 s,
 //! lr 1e-4, batch 64). Variants are derived with the chainable `with_*`
 //! methods (e.g. [`LbChatConfig::with_coreset_size`] for the Table IV
@@ -13,7 +13,6 @@
 //! runtime's and the driving crate's config builders.
 
 use crate::aggregate::AggregationRule;
-use crate::compress::CompressionMethod;
 use crate::penalty::PenaltyConfig;
 use crate::phi::DEFAULT_PSI_GRID;
 
@@ -129,10 +128,12 @@ pub struct LbChatConfig {
     /// [`crate::adaptive`]). The configured `coreset_size` becomes the
     /// starting point, bounded to one decade either side.
     pub adaptive_coreset: bool,
-    /// How models are compressed for exchange (§III-C: top-k by default;
-    /// "other biased/unbiased model compression methods can also be
-    /// applied to our design, such as quantization").
-    pub compression: CompressionMethod,
+    /// Wrap model encodes in [`crate::compress::ErrorFeedback`]: each
+    /// round's dropped compression mass is banked per peer and folded into
+    /// the next encode toward that peer. Off by default (the paper has no
+    /// residual accumulation). The codec itself is a runtime concern —
+    /// [`crate::RuntimeConfig`]'s `codec` field / the `--codec` CLI axis.
+    pub error_feedback: bool,
 }
 
 impl Default for LbChatConfig {
@@ -152,7 +153,7 @@ impl Default for LbChatConfig {
             merge_reduce: true,
             batch_size: 64,
             adaptive_coreset: false,
-            compression: CompressionMethod::TopK,
+            error_feedback: false,
         }
     }
 }
@@ -193,9 +194,10 @@ impl LbChatConfig {
         self
     }
 
-    /// Selects quantized top-k compression (§III-C's quantization remark).
-    pub fn with_quantization(mut self) -> Self {
-        self.compression = CompressionMethod::TopKQuantized;
+    /// Enables error-feedback compensation around the session codec
+    /// (extension beyond the paper; see docs/COMPRESSION.md).
+    pub fn with_error_feedback(mut self) -> Self {
+        self.error_feedback = true;
         self
     }
 }
@@ -225,5 +227,7 @@ mod tests {
         );
         assert_eq!(LbChatConfig::default().with_coreset_size(15).coreset_size, 15);
         assert!(LbChatConfig::default().with_adaptive_coreset().adaptive_coreset);
+        assert!(LbChatConfig::default().with_error_feedback().error_feedback);
+        assert!(!LbChatConfig::default().error_feedback);
     }
 }

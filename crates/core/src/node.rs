@@ -9,7 +9,7 @@
 
 use crate::adaptive::AdaptiveSizer;
 use crate::aggregate::aggregate_sparse_aware;
-
+use crate::compress::{Codec, ErrorFeedback};
 use crate::config::LbChatConfig;
 use crate::coreset::{construct_with_scratch, reduce, Coreset, CoresetConfig, CoresetScratch};
 use crate::dataset::WeightedDataset;
@@ -39,6 +39,9 @@ pub struct LbChatNode<L: Learner> {
     coreset_stale: bool,
     config: LbChatConfig,
     sizer: Option<AdaptiveSizer>,
+    /// Per-peer error-feedback residuals; only consulted when the config
+    /// enables `error_feedback` (empty and inert otherwise).
+    feedback: ErrorFeedback,
     /// Reused by every coreset rebuild; results are bit-identical to a
     /// fresh construction (see [`CoresetScratch`]).
     scratch: CoresetScratch,
@@ -77,7 +80,42 @@ impl<L: Learner> LbChatNode<L> {
             coreset_stale: false,
             config,
             sizer,
+            feedback: ErrorFeedback::new(),
             scratch,
+        }
+    }
+
+    /// Encodes this node's current model for `peer` through the session
+    /// codec at ψ — every model this node puts on the wire passes through
+    /// here. With `error_feedback` enabled, the residual banked toward
+    /// `peer` is folded into the encode and the newly dropped mass banked
+    /// back (see [`ErrorFeedback`]).
+    pub fn encode_model_for(
+        &mut self,
+        peer: usize,
+        codec: Codec,
+        psi: f32,
+        rng: &mut rand::rngs::StdRng,
+    ) -> ParamVec {
+        if self.config.error_feedback {
+            self.feedback.apply(peer, codec, self.learner.params(), psi, rng)
+        } else {
+            codec.apply(self.learner.params(), psi, rng)
+        }
+    }
+
+    /// The error-feedback residual bank (empty unless `error_feedback` is
+    /// enabled and models have been exchanged).
+    pub fn feedback(&self) -> &ErrorFeedback {
+        &self.feedback
+    }
+
+    /// Records the realized model-compression ratio ψ of one model send
+    /// for adaptive sizing: cheap model exchanges leave contact budget the
+    /// coreset may claim (see [`AdaptiveSizer::observe_compression`]).
+    pub fn observe_compression(&mut self, psi: f64) {
+        if let Some(s) = self.sizer.as_mut() {
+            s.observe_compression(psi);
         }
     }
 
@@ -389,6 +427,19 @@ impl<L: Learner> LbChatAlgorithm<L> {
         );
     }
 
+    /// Records the `compress.*` byte counters for one model send: the
+    /// bytes the cost model charged (the paper's `ψ·S` family) next to the
+    /// honest `min(2ψ, 1)·S` pair accounting. See docs/OBSERVABILITY.md
+    /// and docs/COMPRESSION.md.
+    fn record_compress_obs(&self, codec: Codec, psi: f32, ctx: &SessionCtx<'_>) {
+        let obs = ctx.obs();
+        if obs.enabled() {
+            let dense = self.config.model_wire_bytes;
+            obs.add("compress.model_bytes", codec.wire_bytes(dense, psi) as u64);
+            obs.add("compress.pair_bytes", codec.pair_wire_bytes(dense, psi) as u64);
+        }
+    }
+
     /// Phase 5 sequencing: request the `i → j` model transfer if ψ_i
     /// warrants one, else fall through to [`Self::model_ji_step`].
     fn model_exchange_step(
@@ -399,7 +450,7 @@ impl<L: Learner> LbChatAlgorithm<L> {
         state.absorb_on_close = true;
         if self.config.share_model && state.choice.psi_i >= PSI_MIN {
             let bytes =
-                self.config.compression.wire_bytes(self.config.model_wire_bytes, state.choice.psi_i);
+                ctx.codec().wire_bytes(self.config.model_wire_bytes, state.choice.psi_i);
             state.phase = ChatPhase::ModelIJ;
             return SessionStep::Transfer(TransferSpec::link(
                 bytes,
@@ -417,7 +468,7 @@ impl<L: Learner> LbChatAlgorithm<L> {
     ) -> SessionStep {
         if self.config.share_model && state.choice.psi_j >= PSI_MIN {
             let bytes =
-                self.config.compression.wire_bytes(self.config.model_wire_bytes, state.choice.psi_j);
+                ctx.codec().wire_bytes(self.config.model_wire_bytes, state.choice.psi_j);
             state.phase = ChatPhase::ModelJI;
             return SessionStep::Transfer(TransferSpec::link(
                 bytes,
@@ -585,21 +636,39 @@ impl<L: Learner> CollabAlgorithm for LbChatAlgorithm<L> {
                 self.model_exchange_step(state, ctx)
             }
             ChatPhase::ModelIJ => {
-                // --- 5. Model exchange (top-k sparsified both ways). ---
-                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, state.choice.psi_i);
+                // --- 5. Model exchange (codec-compressed both ways). ---
+                let codec = ctx.codec();
+                let psi = state.choice.psi_i;
+                let bytes = codec.wire_bytes(cfg.model_wire_bytes, psi);
                 ctx.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                self.record_compress_obs(codec, psi, ctx);
                 if out.is_delivered() {
-                    state.received_j =
-                        Some(cfg.compression.apply(self.nodes[i].learner.params(), state.choice.psi_i));
+                    if cfg.adaptive_coreset {
+                        self.nodes[i].observe_compression(f64::from(psi));
+                    }
+                    if cfg.error_feedback && ctx.obs().enabled() {
+                        ctx.obs().add("compress.feedback_folds", 1);
+                    }
+                    let rng = ctx.rng();
+                    state.received_j = Some(self.nodes[i].encode_model_for(j, codec, psi, rng));
                 }
                 self.model_ji_step(state, ctx)
             }
             ChatPhase::ModelJI => {
-                let bytes = cfg.compression.wire_bytes(cfg.model_wire_bytes, state.choice.psi_j);
+                let codec = ctx.codec();
+                let psi = state.choice.psi_j;
+                let bytes = codec.wire_bytes(cfg.model_wire_bytes, psi);
                 ctx.metrics.record_model_send(out.is_delivered(), bytes, out.elapsed());
+                self.record_compress_obs(codec, psi, ctx);
                 if out.is_delivered() {
-                    state.received_i =
-                        Some(cfg.compression.apply(self.nodes[j].learner.params(), state.choice.psi_j));
+                    if cfg.adaptive_coreset {
+                        self.nodes[j].observe_compression(f64::from(psi));
+                    }
+                    if cfg.error_feedback && ctx.obs().enabled() {
+                        ctx.obs().add("compress.feedback_folds", 1);
+                    }
+                    let rng = ctx.rng();
+                    state.received_i = Some(self.nodes[j].encode_model_for(i, codec, psi, rng));
                 }
                 SessionStep::Done
             }

@@ -278,6 +278,7 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 loss_model: &self.cfg.loss_model,
+                codec: self.cfg.codec,
                 obs: &self.cfg.obs,
             };
             algo.on_frame(&mut fctx);
@@ -371,6 +372,7 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
             metrics: &mut self.metrics,
             est,
             elapsed: 0.0,
+            codec: self.cfg.codec,
             obs: &self.cfg.obs,
         };
         let duration = algo.encounter(i, j, &mut link);
@@ -440,6 +442,7 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
                 metrics: &mut self.metrics,
                 est,
                 elapsed: live.elapsed,
+                codec: self.cfg.codec,
                 obs: &self.cfg.obs,
             };
             let opened = algo.session_open(&mut ctx);
@@ -609,6 +612,7 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
             metrics: &mut self.metrics,
             est: live.est,
             elapsed: live.elapsed,
+            codec: self.cfg.codec,
             obs: &self.cfg.obs,
         };
         let step = algo.session_step(&mut state, out, &mut ctx);
@@ -672,6 +676,7 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
                 metrics: &mut self.metrics,
                 est: live.est,
                 elapsed: live.elapsed,
+                codec: self.cfg.codec,
                 obs: &self.cfg.obs,
             };
             let duration = algo.session_close(state, &mut ctx);

@@ -26,6 +26,7 @@ pub mod sched;
 
 mod event_loop;
 
+use crate::compress::Codec;
 use crate::config::ConfigError;
 use crate::metrics::Metrics;
 use crate::obs::ObsSink;
@@ -62,6 +63,12 @@ pub struct RuntimeConfig {
     pub route_share_samples: usize,
     /// RNG seed for communication randomness.
     pub seed: u64,
+    /// Model codec every share path routes model exchange through (the
+    /// `--codec` CLI axis): both engines hand it to algorithms via
+    /// [`SessionCtx::codec`] / [`FrameCtx::codec`]. The default
+    /// [`Codec::TopK`] reproduces the paper's §III-C top-k path bit for
+    /// bit; see docs/COMPRESSION.md for the alternatives.
+    pub codec: Codec,
     /// Shared-medium contention for streaming transfers. `None` (the
     /// default) runs sessions synchronously at their open event — the
     /// compatibility mode that reproduces [`mod@reference`] bit for bit. With a
@@ -87,6 +94,7 @@ impl Default for RuntimeConfig {
             contact_reference_time: 30.0,
             route_share_samples: 240,
             seed: 0,
+            codec: Codec::TopK,
             contention: None,
             obs: ObsSink::disabled(),
         }
@@ -198,6 +206,12 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Model codec for every share path (default [`Codec::TopK`]).
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.cfg.codec = codec;
+        self
+    }
+
     /// Enables shared-medium contention with the given parameters.
     pub fn contention(mut self, medium: MediumConfig) -> Self {
         self.cfg.contention = Some(medium);
@@ -265,6 +279,7 @@ pub struct SessionCtx<'a> {
     pub metrics: &'a mut Metrics,
     est: ContactEstimate,
     elapsed: f64,
+    codec: Codec,
     obs: &'a ObsSink,
 }
 
@@ -327,6 +342,13 @@ impl SessionCtx<'_> {
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
         self.rng
     }
+
+    /// The session's model codec ([`RuntimeConfig`]'s `codec` field): the
+    /// single entry point model exchange is routed through, for every
+    /// method and both engines.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
 }
 
 /// Emits the `transfer` event and byte counters for one completed transfer
@@ -383,6 +405,7 @@ pub struct FrameCtx<'a> {
     /// Metrics sink.
     pub metrics: &'a mut Metrics,
     loss_model: &'a LossModel,
+    codec: Codec,
     obs: &'a ObsSink,
 }
 
@@ -390,6 +413,13 @@ impl FrameCtx<'_> {
     /// The RNG for protocol-level randomness.
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
         self.rng
+    }
+
+    /// The run's model codec; see [`SessionCtx::codec`]. Infrastructure
+    /// methods charge their backend model messages through it (at ψ = 1
+    /// for the uncompressed baselines).
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Simulates one backend (cellular) message of a model-sized payload:

@@ -49,6 +49,7 @@ pub fn run<A: CollabAlgorithm>(
                 rng: &mut rng,
                 metrics: &mut metrics,
                 loss_model: &cfg.loss_model,
+                codec: cfg.codec,
                 obs: &cfg.obs,
             };
             algo.on_frame(&mut fctx);
@@ -96,6 +97,7 @@ pub fn run<A: CollabAlgorithm>(
                 metrics: &mut metrics,
                 est,
                 elapsed: 0.0,
+                codec: cfg.codec,
                 obs: &cfg.obs,
             };
             let duration = algo.encounter(i, j, &mut link);

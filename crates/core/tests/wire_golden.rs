@@ -1,0 +1,102 @@
+//! Golden wire-format fixtures: one committed encoded [`WireModel`] per
+//! codec, proving the byte layouts documented in `docs/COMPRESSION.md`
+//! never drift silently. The pinned input, ψ, and rng seed are fixed, so
+//! every codec — including the stochastic quantizers — is deterministic.
+//!
+//! To regenerate after an *intentional* wire-format change, run
+//! `LBCHAT_GOLDEN_WRITE=1 cargo test -p lbchat --test wire_golden`, commit
+//! the diff, and update `docs/COMPRESSION.md` to match.
+
+use lbchat::compress::Codec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use vnn::ParamVec;
+
+const FIXTURE: &str = "wire_models.txt";
+const GOLDEN_PSI: f32 = 0.3;
+const GOLDEN_SEED: u64 = 7;
+
+/// The pinned input: 37 values (an odd, non-chunk-aligned length so the
+/// int4 nibble padding and the sketch's short tail chunk are exercised)
+/// with sign structure and enough magnitude spread for distinct top-k
+/// survivors.
+fn golden_params() -> ParamVec {
+    let data: Vec<f32> = (0..37)
+        .map(|i| {
+            let x = i as f32;
+            (x * 0.7).sin() * (1.0 + x / 10.0) * if i % 3 == 0 { -1.0 } else { 1.0 }
+        })
+        .collect();
+    ParamVec::from_vec(data)
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(FIXTURE)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn encode_all() -> Vec<(&'static str, Vec<u8>)> {
+    let params = golden_params();
+    Codec::ALL
+        .into_iter()
+        .map(|codec| {
+            let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+            let wire = codec.encode(&params, GOLDEN_PSI, &mut rng);
+            (codec.name(), wire.as_bytes().to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn every_codec_matches_its_pinned_wire_bytes() {
+    let encoded = encode_all();
+    let path = fixture_path();
+    if std::env::var_os("LBCHAT_GOLDEN_WRITE").is_some_and(|v| v == "1") {
+        let mut text = String::new();
+        for (name, bytes) in &encoded {
+            text.push_str(&format!("{name} {}\n", hex(bytes)));
+        }
+        std::fs::write(&path, text).expect("write wire fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path)
+        .expect("missing tests/fixtures/wire_models.txt — regenerate with LBCHAT_GOLDEN_WRITE=1");
+    let pinned: Vec<(&str, &str)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split_once(' ').expect("fixture line is `name hex`"))
+        .collect();
+    assert_eq!(
+        pinned.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        encoded.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        "fixture must pin every codec in Codec::ALL order"
+    );
+    for ((name, want_hex), (_, got)) in pinned.iter().zip(&encoded) {
+        assert_eq!(
+            hex(got),
+            *want_hex,
+            "{name}: encoded bytes drifted from the pinned wire format \
+             (docs/COMPRESSION.md); if intentional, regenerate with \
+             LBCHAT_GOLDEN_WRITE=1 and update the docs"
+        );
+    }
+}
+
+#[test]
+fn pinned_buffers_still_decode_to_the_apply_output() {
+    let params = golden_params();
+    for (codec, (_, bytes)) in Codec::ALL.into_iter().zip(encode_all()) {
+        let wire = lbchat::prelude::WireModel::from_bytes(bytes);
+        let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+        assert_eq!(
+            wire.decode().expect("pinned buffer decodes").as_slice(),
+            codec.apply(&params, GOLDEN_PSI, &mut rng).as_slice(),
+            "{codec}: decode must reproduce apply bit for bit"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::frame::Frame;
 use simworld::expert::Command;
-use vnn::wire::WireError;
+use vnn::wire::{WireError, WireReader};
 
 /// Magic byte prefixed to every encoded frame (format versioning).
 const FRAME_MAGIC: u8 = 0xF7;
@@ -42,34 +42,27 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
             expected: "at least the 6-byte frame header",
         });
     }
-    if bytes[0] != FRAME_MAGIC {
-        return Err(WireError::BadMagic { got: bytes[0] });
+    let mut r = WireReader::new(bytes);
+    let magic = r.u8()?;
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: magic });
     }
-    let cmd_idx = bytes[1] as usize;
+    let cmd_idx = r.u8()? as usize;
     if cmd_idx >= Command::COUNT {
         return Err(WireError::BadValue { field: "command", got: cmd_idx as u32 });
     }
-    let n_feat = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
-    let n_wp = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
-    let need = 6 + 4 * (n_feat + n_wp);
-    if bytes.len() < need {
-        return Err(WireError::Truncated);
-    }
-    if bytes.len() > need {
-        return Err(WireError::Trailing { extra: bytes.len() - need });
-    }
-    let mut off = 6;
-    let read_f32s = |n: usize, off: &mut usize| -> Vec<f32> {
+    let n_feat = r.u16()? as usize;
+    let n_wp = r.u16()? as usize;
+    let read_f32s = |r: &mut WireReader, n: usize| -> Result<Vec<f32>, WireError> {
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
-            let c = &bytes[*off..*off + 4];
-            v.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
-            *off += 4;
+            v.push(r.f32()?);
         }
-        v
+        Ok(v)
     };
-    let features = read_f32s(n_feat, &mut off);
-    let waypoints = read_f32s(n_wp, &mut off);
+    let features = read_f32s(&mut r, n_feat)?;
+    let waypoints = read_f32s(&mut r, n_wp)?;
+    r.finish()?;
     Ok(Frame { features, command: Command::from_index(cmd_idx), waypoints })
 }
 
@@ -117,30 +110,27 @@ pub fn decode_frame_compressed(bytes: &[u8]) -> Result<Frame, WireError> {
             expected: "at least the 6-byte frame header",
         });
     }
-    if bytes[0] != (FRAME_MAGIC ^ 1) {
-        return Err(WireError::BadMagic { got: bytes[0] });
+    let mut r = WireReader::new(bytes);
+    let magic = r.u8()?;
+    if magic != (FRAME_MAGIC ^ 1) {
+        return Err(WireError::BadMagic { got: magic });
     }
-    let cmd_idx = bytes[1] as usize;
+    let cmd_idx = r.u8()? as usize;
     if cmd_idx >= Command::COUNT {
         return Err(WireError::BadValue { field: "command", got: cmd_idx as u32 });
     }
-    let n_feat = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
-    let n_wp = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+    let n_feat = r.u16()? as usize;
+    let n_wp = r.u16()? as usize;
     let mut features = Vec::with_capacity(n_feat);
-    let mut off = 6;
     while features.len() < n_feat {
-        let marker = *bytes.get(off).ok_or(WireError::Truncated)?;
-        off += 1;
+        let marker = r.u8()?;
         if marker == 0xFF {
-            let run = *bytes.get(off).ok_or(WireError::Truncated)? as usize;
-            off += 1;
+            let run = r.u8()? as usize;
             features.resize(features.len() + run, 0.0);
         } else if marker == 0x00 {
-            let c = bytes.get(off..off + 4).ok_or(WireError::Truncated)?;
-            features.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
-            off += 4;
+            features.push(r.f32()?);
         } else {
-            return Err(WireError::BadValue { field: "run marker", got: marker as u32 });
+            return Err(WireError::BadValue { field: "run marker", got: u32::from(marker) });
         }
     }
     if features.len() != n_feat {
@@ -152,13 +142,9 @@ pub fn decode_frame_compressed(bytes: &[u8]) -> Result<Frame, WireError> {
     }
     let mut waypoints = Vec::with_capacity(n_wp);
     for _ in 0..n_wp {
-        let c = bytes.get(off..off + 4).ok_or(WireError::Truncated)?;
-        waypoints.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
-        off += 4;
+        waypoints.push(r.f32()?);
     }
-    if off != bytes.len() {
-        return Err(WireError::Trailing { extra: bytes.len() - off });
-    }
+    r.finish()?;
     Ok(Frame { features, command: Command::from_index(cmd_idx), waypoints })
 }
 

@@ -1,0 +1,24 @@
+//! Codec sweep — accuracy vs bytes for every model codec.
+//!
+//! Trains LbChat once, then re-encodes the representative final model
+//! through each sweep codec (`topk`, `int8`, `int4`, `sketch`) at three ψ
+//! points and tables the held-out loss of the decoded model against the
+//! cost model's charged wire bytes. The table lands in the run manifest
+//! and in `results/codec_sweep.csv`; layouts and semantics are specified
+//! in `docs/COMPRESSION.md`.
+
+use experiments::harness::codec_sweep_table;
+use experiments::report::write_csv;
+use experiments::{exit_on_error, Args, RunManifest, Scenario};
+
+fn main() {
+    let args = Args::parse();
+    let s = Scenario::build(args.scale.clone());
+    let run = RunManifest::start("codec_sweep", &s.scale);
+    let table = exit_on_error(codec_sweep_table(&s, &[0.05, 0.15, 0.4], run.sink()));
+    println!("{}", table.render());
+    run.record_table(&table);
+    let path = write_csv("codec_sweep.csv", &table.to_csv()).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+    run.finish();
+}

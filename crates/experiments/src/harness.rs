@@ -181,6 +181,55 @@ pub fn success_table_obs(
     Ok((table, outputs))
 }
 
+/// Builds the accuracy-vs-bytes sweep of `docs/COMPRESSION.md`: trains
+/// LbChat once on the scenario, then re-encodes the representative final
+/// model through every sweep codec ([`lbchat::compress::Codec::SWEEP`]) at
+/// each ψ in `psis` and measures the held-out loss of the decoded model
+/// next to the cost model's charged wire bytes (at the scenario's dense
+/// `model_wire_bytes`). Rows are codecs, columns ψ points, each cell
+/// `loss @ KiB`. The training cell is recorded under `obs` like any other
+/// cell; callers put the returned table into the run manifest.
+pub fn codec_sweep_table(
+    s: &Scenario,
+    psis: &[f32],
+    obs: &ObsSink,
+) -> Result<Table, RuntimeError> {
+    use lbchat::prelude::Codec;
+    use lbchat::Learner;
+    use rand::SeedableRng;
+
+    let out = run_cell_obs(Method::LbChat, s, Condition::WithLoss, obs, 0)?;
+    let params = Learner::params(&out.representative).clone();
+    let mut table = Table::new(
+        "Accuracy vs bytes — held-out loss of the codec-roundtripped model",
+        psis.iter().map(|p| format!("psi={p}")).collect(),
+    )
+    .corner("codec");
+    for codec in Codec::SWEEP {
+        let cells = psis
+            .iter()
+            .map(|&psi| {
+                // Fixed seed per (codec, ψ): the sweep is reproducible and
+                // independent of how much RNG the training run consumed.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(s.scale.seed ^ 0xC0DEC);
+                let decoded = codec.apply(&params, psi, &mut rng);
+                let mut probe = out.representative.clone();
+                Learner::set_params(&mut probe, decoded);
+                let loss = s
+                    .eval
+                    .iter()
+                    .map(|f| f64::from(Learner::loss(&probe, f)))
+                    .sum::<f64>()
+                    / s.eval.len().max(1) as f64;
+                let kib = codec.wire_bytes(s.scale.model_wire_bytes, psi) as f64 / 1024.0;
+                format!("{loss:.4} @ {kib:.0} KiB")
+            })
+            .collect();
+        table.row(codec.name(), cells);
+    }
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -181,6 +181,7 @@ fn scale_json(s: &Scale) -> Json {
         ("coreset_size".to_string(), s.coreset_size.into()),
         ("lr".to_string(), s.lr.into()),
         ("seed".to_string(), s.seed.into()),
+        ("codec".to_string(), s.codec.name().into()),
     ])
 }
 
@@ -251,8 +252,13 @@ mod tests {
         let s = crate::scenario::Scale::quick();
         let snap = scale_json(&s);
         let obj = snap.as_obj().unwrap();
-        assert_eq!(obj.len(), 13, "update scale_json when Scale gains fields");
+        assert_eq!(obj.len(), 14, "update scale_json when Scale gains fields");
         assert_eq!(snap.get("seed").and_then(Json::as_u64), Some(s.seed));
+        assert_eq!(
+            snap.get("codec").and_then(Json::as_str),
+            Some(s.codec.name()),
+            "manifest must record the share codec"
+        );
         assert_eq!(snap.get("n_vehicles").and_then(Json::as_u64), Some(s.n_vehicles as u64));
     }
 }

@@ -1,6 +1,7 @@
 //! Scenario construction: everything every method shares.
 
 use driving::{collect_datasets, CollectConfig, DrivingLearner, Frame};
+use lbchat::prelude::Codec;
 use lbchat::WeightedDataset;
 use rand::SeedableRng;
 use simnet::geom::Vec2;
@@ -39,6 +40,9 @@ pub struct Scale {
     pub lr: f32,
     /// Base seed for world/data/training.
     pub seed: u64,
+    /// Model codec every share path routes model exchange through (the
+    /// `--codec` CLI axis; see docs/COMPRESSION.md).
+    pub codec: Codec,
 }
 
 impl Scale {
@@ -58,6 +62,7 @@ impl Scale {
             coreset_size: 40,
             lr: 3e-3,
             seed: 42,
+            codec: Codec::TopK,
         }
     }
 
@@ -78,6 +83,7 @@ impl Scale {
             coreset_size: 60,
             lr: 3e-3,
             seed: 42,
+            codec: Codec::TopK,
         }
     }
 
@@ -97,6 +103,7 @@ impl Scale {
             coreset_size: 150,
             lr: 1e-3,
             seed: 42,
+            codec: Codec::TopK,
         }
     }
 }

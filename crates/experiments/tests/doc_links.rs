@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 /// flags, and the cargo flags that appear in quoted commands.
 const KNOWN_FLAGS: &[&str] = &[
     // experiments::Args (see crates/experiments/src/lib.rs)
-    "quick", "paper", "seed", "jobs", "methods", "help",
+    "quick", "paper", "seed", "jobs", "methods", "codec", "help",
     // summarize_runs
     "tables",
     // lbchat-bench / bench_report (see crates/bench/src/main.rs and
@@ -131,6 +131,14 @@ fn docs_reference_only_real_flags_bins_and_examples() {
                     }
                 }
                 ("example", None) => problems.push(format!("{rel}: --example without a name")),
+                // `--codec NAME` (all-caps) is the usage-string placeholder
+                // convention, like `--seed N`; anything else must parse.
+                ("codec", Some(name))
+                    if name.chars().any(|c| c.is_ascii_lowercase())
+                        && lbchat::compress::Codec::from_key(&name).is_none() =>
+                {
+                    problems.push(format!("{rel}: --codec {name} is not a codec key"));
+                }
                 _ => {}
             }
         }
@@ -180,6 +188,31 @@ fn lint_ids_in_prose_exist_in_the_audit_binary() {
     let audit_doc = std::fs::read_to_string(root.join("docs/AUDIT.md")).expect("docs/AUDIT.md");
     for id in known {
         assert!(audit_doc.contains(id), "docs/AUDIT.md is missing lint {id}");
+    }
+}
+
+#[test]
+fn codec_names_in_prose_and_binary_agree() {
+    use lbchat::compress::Codec;
+    let root = repo_root();
+    // The wire-format contract must name every codec the binary ships…
+    let doc = std::fs::read_to_string(root.join("docs/COMPRESSION.md"))
+        .expect("docs/COMPRESSION.md is the normative codec spec");
+    for codec in Codec::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", codec.name())),
+            "docs/COMPRESSION.md is missing codec `{}`",
+            codec.name()
+        );
+    }
+    // …and every backticked codec-key-shaped token in it must resolve.
+    for token in doc.split('`').skip(1).step_by(2) {
+        if let Some(rest) = token.strip_prefix("--codec ") {
+            assert!(
+                Codec::from_key(rest).is_some(),
+                "docs/COMPRESSION.md mentions `--codec {rest}`, not a real key"
+            );
+        }
     }
 }
 

@@ -64,6 +64,87 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Little-endian byte cursor over an encoded buffer.
+///
+/// Decoders pull typed fields in layout order — a missing byte surfaces as
+/// [`WireError::Truncated`] at the exact field that ran dry — and call
+/// [`WireReader::finish`] at the end to reject trailing garbage. Shared by
+/// the model codecs in `lbchat::compress` and the driving frame decoders.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of buffer.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a little-endian `u16`.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let c = self.take(2)?;
+        Ok(u16::from_le_bytes([c[0], c[1]]))
+    }
+
+    /// Consumes a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let c = self.take(4)?;
+        Ok(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Consumes a little-endian `f32`.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        let c = self.take(4)?;
+        Ok(f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    /// [`WireError::Trailing`] with the leftover count otherwise.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(WireError::Trailing { extra }),
+        }
+    }
+}
+
 /// Serializes the full vector as little-endian `f32`s.
 pub fn to_dense_bytes(p: &ParamVec) -> Vec<u8> {
     let mut out = Vec::with_capacity(p.len() * BYTES_PER_PARAM);
@@ -242,5 +323,30 @@ mod tests {
     #[should_panic(expected = "sparse index out of range")]
     fn constructor_validates_indices() {
         let _ = SparseModel::new(3, vec![3], vec![1.0]);
+    }
+
+    #[test]
+    fn reader_walks_fields_in_order() {
+        let mut buf = vec![0xAB];
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.finish(), Ok(()));
+    }
+
+    #[test]
+    fn reader_reports_truncation_and_trailing() {
+        let buf = [1u8, 2, 3];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        // A failed read consumes nothing; the bytes are still trailing.
+        assert_eq!(r.finish(), Err(WireError::Trailing { extra: 3 }));
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
     }
 }

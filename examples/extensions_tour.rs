@@ -5,14 +5,15 @@
 //!    sampling.
 //! 2. **Adaptive coreset sizing** (the paper's stated future work): watch
 //!    the controller react to representation error and contact pressure.
-//! 3. **Quantized compression** (§III-C's "such as quantization"): wire
-//!    cost vs reconstruction error against plain top-k.
+//! 3. **Pluggable model codecs** (§III-C's "such as quantization"): wire
+//!    cost vs reconstruction error for every codec against plain top-k
+//!    (see `docs/COMPRESSION.md`).
 //!
 //! Run with: `cargo run --release --example extensions_tour`
 
 use driving::{collect_datasets, CollectConfig, DrivingLearner};
 use lbchat::adaptive::AdaptiveSizer;
-use lbchat::compress::CompressionMethod;
+use lbchat::compress::Codec;
 use lbchat::coreset::{construct, empirical_epsilon, CoresetConfig};
 use lbchat::coreset_alt::{kcenter_coreset, sensitivity_sampling};
 use lbchat::Learner;
@@ -67,22 +68,20 @@ fn main() {
         println!("  round {round}: comm-pressure -> size {n}");
     }
 
-    // --- 3. Quantized vs plain top-k compression. ---
-    println!("\ncompression methods at psi = 0.3 on the trained policy:");
+    // --- 3. Every model codec at the same compression ratio. ---
+    println!("\nmodel codecs at psi = 0.3 on the trained policy:");
     let params = learner.params();
-    for (name, m) in [
-        ("top-k", CompressionMethod::TopK),
-        ("top-k + int8", CompressionMethod::TopKQuantized),
-    ] {
-        let hat = m.apply(params, 0.3);
+    for codec in Codec::ALL {
+        let hat = codec.apply(params, 0.3, &mut rng);
         let err = params.distance(&hat) / params.l2_norm();
-        let bytes = m.wire_bytes(52 * 1024 * 1024, 0.3);
+        let bytes = codec.wire_bytes(52 * 1024 * 1024, 0.3);
         println!(
-            "  {name:<14} wire = {:>5.1} MB   relative L2 error = {:.4}",
+            "  {:<10} wire = {:>5.1} MB   relative L2 error = {:.4}",
+            codec.name(),
             bytes as f64 / 1e6,
             err
         );
     }
-    println!("\nquantization moves ~55% less data per psi at a small extra error —");
+    println!("\nquantized codecs move 4-8x less data per psi at a small extra error —");
     println!("worth it exactly when contacts are short, which Eq. (7) can now trade off.");
 }
