@@ -143,6 +143,7 @@ impl Profile {
                 "crates/core/src/exec.rs",
                 "crates/core/src/node.rs",
                 "crates/simnet/src/",
+                "crates/simworld/src/",
             ]),
             obs_doc: "docs/OBSERVABILITY.md".to_string(),
         }

@@ -27,7 +27,8 @@ use simnet::geom::Vec2;
 use simnet::loss::LossModel;
 use simnet::trace::MobilityTrace;
 use simworld::bev::{self, BevConfig, Pose};
-use simworld::world::{World, WorldConfig};
+use simworld::reference;
+use simworld::world::{FleetScale, World, WorldConfig};
 use std::time::Duration;
 use vnn::adam::Adam;
 use vnn::mlp::{Mlp, MlpSpec};
@@ -94,6 +95,7 @@ pub fn run(opts: &SuiteOpts) -> Vec<BenchResult> {
         ("compress", bench_compress),
         ("solver", bench_solver),
         ("bev", bench_bev),
+        ("simworld", bench_simworld),
         ("vnn", bench_vnn),
         ("simnet", bench_simnet),
         ("runtime", bench_runtime),
@@ -303,7 +305,7 @@ fn bench_bev(c: &mut Criterion, opts: &SuiteOpts) {
     let cfg = BevConfig::default();
     let cars: Vec<Vec2> = world.car_positions();
     let peds: Vec<Vec2> = world.pedestrian_positions();
-    let v = &world.experts()[0];
+    let v = world.expert_view(0);
     let pose = Pose { pos: v.position(world.map()), heading: v.heading(world.map()).angle() };
     let route: Vec<Vec2> = world.route_ahead_polyline(v, 60.0);
     let reference = opts.reference;
@@ -318,6 +320,76 @@ fn bench_bev(c: &mut Criterion, opts: &SuiteOpts) {
             }
         });
     });
+}
+
+fn bench_simworld(c: &mut Criterion, opts: &SuiteOpts) {
+    let reference = opts.reference;
+    let mut g = c.benchmark_group("simworld");
+    g.sample_size(10);
+    g.measurement_time(if opts.smoke {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_secs(2)
+    });
+
+    // City-scale tick: the structure-of-arrays world carrying N fleet
+    // vehicles on the park → dwell → drive cycle vs the retained
+    // per-agent-struct reference world carrying the same N as
+    // always-driving background traffic (the only shape it supports).
+    // The diff is the whole architecture change: SoA columns, the
+    // precomputed routing table, and the wake queue.
+    for (name, fleet) in [("tick_1k", FleetScale::K1), ("tick_100k", FleetScale::K100)] {
+        // Warm past the first spawn staggers so the fleet is churning —
+        // waking, driving, parking — rather than uniformly garaged.
+        const WARM_TICKS: usize = 50;
+        if reference {
+            let mut w = reference::World::new(WorldConfig {
+                n_background: 50 + fleet.n_fleet(),
+                ..WorldConfig::default()
+            });
+            for _ in 0..WARM_TICKS {
+                w.step();
+            }
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    w.step();
+                    w.time()
+                });
+            });
+        } else {
+            let mut w = World::new(WorldConfig::with_fleet(0, fleet));
+            for _ in 0..WARM_TICKS {
+                w.step();
+            }
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    w.step();
+                    w.time()
+                });
+            });
+        }
+    }
+
+    // Wake-queue isolation: identical 10k-fleet SoA worlds, the reference
+    // arm keeping every parked vehicle in the awake list (skipped inline,
+    // bit-identical trajectories). The diff is exactly what sleeping
+    // saves per tick.
+    {
+        let mut w = World::new(WorldConfig {
+            wake_queue: !reference,
+            ..WorldConfig::with_fleet(0, FleetScale::K10)
+        });
+        for _ in 0..50 {
+            w.step();
+        }
+        g.bench_function("wake_queue", |b| {
+            b.iter(|| {
+                w.step();
+                w.time()
+            });
+        });
+    }
+    g.finish();
 }
 
 fn bench_vnn(c: &mut Criterion, opts: &SuiteOpts) {

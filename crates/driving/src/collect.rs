@@ -57,7 +57,7 @@ pub fn command_weight(command: Command, turn_distance_norm: f32) -> f32 {
 /// observations out over the [`lbchat::exec`] worker pool; world stepping
 /// stays serial. The output is identical for any `LBCHAT_JOBS` setting.
 pub fn collect_datasets(world: &mut World, cfg: &CollectConfig) -> Vec<WeightedDataset<Frame>> {
-    let n = world.experts().len();
+    let n = world.n_experts();
     let pool = world.config().bev.pool;
     let frames = (cfg.seconds * world.config().fps).ceil() as usize;
     let mut per_vehicle: Vec<Vec<Frame>> = vec![Vec::new(); n];

@@ -58,6 +58,7 @@ use lbchat::exec;
 /// --jobs N               worker threads (also LBCHAT_JOBS; 1 = serial)
 /// --methods a,b,c        method subset for comparison binaries
 /// --codec NAME           model codec for every share path
+/// --fleet SCALE          background fleet size (seed, 1k, 10k, 100k, 1m)
 /// ```
 ///
 /// Flags accept both `--flag value` and `--flag=value`. Results are
@@ -78,7 +79,7 @@ impl Args {
     /// The usage text printed by `--help` and on parse errors.
     pub const USAGE: &'static str = "\
 usage: <experiment> [--quick | --paper] [--seed N] [--jobs N] [--methods a,b,c]
-                    [--codec NAME]
+                    [--codec NAME] [--fleet SCALE]
 
   --quick          smoke-test scale (seconds of wall time)
   --paper          the paper's full counts (hours of wall time)
@@ -88,7 +89,9 @@ usage: <experiment> [--quick | --paper] [--seed N] [--jobs N] [--methods a,b,c]
                    lbchat, sco, proxskip, rsul, dfl-dds, dp,
                    equal-comp, avg-agg, coreset:N
   --codec NAME     model codec for every share path (docs/COMPRESSION.md);
-                   keys: topk (default), topk-q8, int8, int4, sketch";
+                   keys: topk (default), topk-q8, int8, int4, sketch
+  --fleet SCALE    non-learning fleet vehicles stressing the world's wake
+                   queue; keys: seed (default, 0), 1k, 10k, 100k, 1m";
 
     /// Parses `std::env::args()`, applies `--jobs` to the worker pool, and
     /// exits with a message on `--help` or malformed flags.
@@ -120,6 +123,7 @@ usage: <experiment> [--quick | --paper] [--seed N] [--jobs N] [--methods a,b,c]
         let mut jobs: Option<usize> = None;
         let mut methods: Option<Vec<Method>> = None;
         let mut codec: Option<lbchat::prelude::Codec> = None;
+        let mut fleet: Option<simworld::world::FleetScale> = None;
         let mut it = raw.into_iter();
         while let Some(arg) = it.next() {
             // Accept --flag=value by splitting once.
@@ -172,6 +176,13 @@ usage: <experiment> [--quick | --paper] [--seed N] [--jobs N] [--methods a,b,c]
                             .ok_or_else(|| format!("unknown codec key {v:?}"))?,
                     );
                 }
+                "--fleet" => {
+                    let v = value("--fleet")?;
+                    fleet = Some(
+                        simworld::world::FleetScale::parse(&v)
+                            .ok_or_else(|| format!("unknown fleet scale {v:?}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -181,6 +192,9 @@ usage: <experiment> [--quick | --paper] [--seed N] [--jobs N] [--methods a,b,c]
         }
         if let Some(codec) = codec {
             scale.codec = codec;
+        }
+        if let Some(fleet) = fleet {
+            scale.fleet = fleet;
         }
         Ok(Args { scale, jobs, methods })
     }
@@ -240,6 +254,19 @@ mod tests {
         assert_eq!(a.scale.codec, Codec::Sketch);
         assert!(Args::try_parse(strs(&["--codec", "zstd"])).is_err());
         assert!(Args::try_parse(strs(&["--codec"])).is_err());
+    }
+
+    #[test]
+    fn fleet_flag_selects_the_world_scale() {
+        use simworld::world::FleetScale;
+        let a = Args::try_parse(strs(&[])).unwrap();
+        assert_eq!(a.scale.fleet, FleetScale::Seed, "default stays the paper's world");
+        let a = Args::try_parse(strs(&["--fleet", "100k"])).unwrap();
+        assert_eq!(a.scale.fleet, FleetScale::K100);
+        let a = Args::try_parse(strs(&["--quick", "--fleet=1k"])).unwrap();
+        assert_eq!(a.scale.fleet, FleetScale::K1);
+        assert!(Args::try_parse(strs(&["--fleet", "2k"])).is_err());
+        assert!(Args::try_parse(strs(&["--fleet"])).is_err());
     }
 
     #[test]

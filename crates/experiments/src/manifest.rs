@@ -182,6 +182,7 @@ fn scale_json(s: &Scale) -> Json {
         ("lr".to_string(), s.lr.into()),
         ("seed".to_string(), s.seed.into()),
         ("codec".to_string(), s.codec.name().into()),
+        ("fleet".to_string(), s.fleet.key().into()),
     ])
 }
 
@@ -252,12 +253,17 @@ mod tests {
         let s = crate::scenario::Scale::quick();
         let snap = scale_json(&s);
         let obj = snap.as_obj().unwrap();
-        assert_eq!(obj.len(), 14, "update scale_json when Scale gains fields");
+        assert_eq!(obj.len(), 15, "update scale_json when Scale gains fields");
         assert_eq!(snap.get("seed").and_then(Json::as_u64), Some(s.seed));
         assert_eq!(
             snap.get("codec").and_then(Json::as_str),
             Some(s.codec.name()),
             "manifest must record the share codec"
+        );
+        assert_eq!(
+            snap.get("fleet").and_then(Json::as_str),
+            Some(s.fleet.key()),
+            "manifest must record the fleet scale"
         );
         assert_eq!(snap.get("n_vehicles").and_then(Json::as_u64), Some(s.n_vehicles as u64));
     }

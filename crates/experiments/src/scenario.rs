@@ -6,7 +6,7 @@ use lbchat::WeightedDataset;
 use rand::SeedableRng;
 use simnet::geom::Vec2;
 use simnet::trace::MobilityTrace;
-use simworld::world::{World, WorldConfig};
+use simworld::world::{FleetScale, World, WorldConfig};
 use vnn::PolicySpec;
 
 /// Experiment scale knobs. `paper()` matches §IV-A; the default is a
@@ -43,6 +43,11 @@ pub struct Scale {
     /// Model codec every share path routes model exchange through (the
     /// `--codec` CLI axis; see docs/COMPRESSION.md).
     pub codec: Codec,
+    /// Non-learning fleet vehicles on the park → dwell → drive cycle (the
+    /// `--fleet` CLI axis). `Seed` (0 vehicles) reproduces the paper's
+    /// world bit for bit; larger scales stress the world's wake queue
+    /// without touching training or evaluation semantics.
+    pub fleet: FleetScale,
 }
 
 impl Scale {
@@ -63,6 +68,7 @@ impl Scale {
             lr: 3e-3,
             seed: 42,
             codec: Codec::TopK,
+            fleet: FleetScale::Seed,
         }
     }
 
@@ -84,6 +90,7 @@ impl Scale {
             lr: 3e-3,
             seed: 42,
             codec: Codec::TopK,
+            fleet: FleetScale::Seed,
         }
     }
 
@@ -104,6 +111,7 @@ impl Scale {
             lr: 1e-3,
             seed: 42,
             codec: Codec::TopK,
+            fleet: FleetScale::Seed,
         }
     }
 }
@@ -136,6 +144,7 @@ impl Scenario {
             n_experts: scale.n_vehicles,
             n_background: scale.n_background,
             n_pedestrians: scale.n_pedestrians,
+            n_fleet: scale.fleet.n_fleet(),
             ..WorldConfig::default()
         });
         let datasets = collect_datasets(

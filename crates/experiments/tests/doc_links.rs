@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 /// flags, and the cargo flags that appear in quoted commands.
 const KNOWN_FLAGS: &[&str] = &[
     // experiments::Args (see crates/experiments/src/lib.rs)
-    "quick", "paper", "seed", "jobs", "methods", "codec", "help",
+    "quick", "paper", "seed", "jobs", "methods", "codec", "fleet", "help",
     // summarize_runs
     "tables",
     // lbchat-bench / bench_report (see crates/bench/src/main.rs and
@@ -138,6 +138,13 @@ fn docs_reference_only_real_flags_bins_and_examples() {
                         && lbchat::compress::Codec::from_key(&name).is_none() =>
                 {
                     problems.push(format!("{rel}: --codec {name} is not a codec key"));
+                }
+                // `--fleet SCALE` follows the same placeholder convention.
+                ("fleet", Some(name))
+                    if name.chars().any(|c| c.is_ascii_lowercase())
+                        && simworld::world::FleetScale::parse(&name).is_none() =>
+                {
+                    problems.push(format!("{rel}: --fleet {name} is not a fleet scale key"));
                 }
                 _ => {}
             }

@@ -24,6 +24,140 @@ pub const HEADWAY: f32 = 1.6;
 /// Minimum standstill gap to the vehicle ahead (m).
 pub const MIN_GAP: f32 = 6.0;
 
+/// Index of an agent in the structure-of-arrays world's columns. The id
+/// space is laid out as `[experts][background][fleet][pedestrians]`, so
+/// every vehicle id precedes every pedestrian id.
+pub type AgentId = usize;
+
+/// What an agent id refers to in the structure-of-arrays world: the id
+/// space is laid out as `[experts][background][fleet][pedestrians]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentKind {
+    /// Expert autopilot (learning) vehicle — always awake.
+    Expert,
+    /// Background traffic vehicle — always awake.
+    Background,
+    /// Fleet vehicle on a park → dwell → drive cycle; costs nothing per
+    /// tick while parked (it sits in the world's wake queue).
+    Fleet,
+    /// Pedestrian roaming the town area — always awake.
+    Pedestrian,
+}
+
+/// A borrowed, `Copy` view of road-vehicle state: the route plus the
+/// scalar columns `(edge_idx, s, speed)`. Both the per-agent-struct
+/// [`RoadVehicle`] and the structure-of-arrays world project into this
+/// view, so the driving model (target speed, expert supervision, hazard
+/// cone) is one shared code path — which is what makes the SoA world's
+/// bit-identity to `crate::reference` provable rather than aspirational.
+#[derive(Debug, Clone, Copy)]
+pub struct VehicleRef<'a> {
+    /// Route being followed.
+    pub route: &'a Route,
+    /// Index into `route.edges` of the current edge.
+    pub edge_idx: usize,
+    /// Arc-length progress along the current edge (m).
+    pub s: f32,
+    /// Current speed (m/s).
+    pub speed: f32,
+}
+
+impl VehicleRef<'_> {
+    /// Current edge id.
+    pub fn edge(&self) -> EdgeId {
+        self.route.edges[self.edge_idx]
+    }
+
+    /// World position.
+    pub fn position(&self, map: &RoadNetwork) -> Vec2 {
+        map.position_on_edge(self.edge(), self.s)
+    }
+
+    /// Unit heading vector.
+    pub fn heading(&self, map: &RoadNetwork) -> Vec2 {
+        map.tangent_on_edge(self.edge(), self.s)
+    }
+
+    /// Remaining distance to the end of the current edge.
+    pub fn remaining_on_edge(&self, map: &RoadNetwork) -> f32 {
+        (map.edge(self.edge()).length - self.s).max(0.0)
+    }
+
+    /// The speed this vehicle should aim for given speed limits, upcoming
+    /// turns, and the gap to the vehicle ahead (`None` when the road ahead is
+    /// clear within sensing range).
+    pub fn target_speed(&self, map: &RoadNetwork, gap_ahead: Option<f32>) -> f32 {
+        let edge = map.edge(self.edge());
+        let mut target = edge.kind.speed_limit();
+        let remaining = self.remaining_on_edge(map);
+        let next_idx = self.edge_idx + 1;
+        // Slow down into turns.
+        if remaining < TURN_SLOWDOWN_DIST {
+            if let Some(&next) = self.route.edges.get(next_idx) {
+                if classify_turn(map, self.edge(), next) != TurnKind::Straight {
+                    target = target.min(TURN_SPEED);
+                }
+            } else {
+                // Approaching the destination: come down gently.
+                target = target.min(TURN_SPEED);
+            }
+        }
+        // Anticipatory braking for a lower limit on the next edge: the
+        // highest speed from which the next limit is reachable within the
+        // remaining distance at MAX_ACCEL braking.
+        if let Some(&next) = self.route.edges.get(next_idx) {
+            let next_limit = map.edge(next).kind.speed_limit();
+            if next_limit < target {
+                let reachable =
+                    (next_limit * next_limit + 2.0 * MAX_ACCEL * remaining).sqrt();
+                target = target.min(reachable);
+            }
+        }
+        // Car-following: keep a time headway to the leader.
+        if let Some(gap) = gap_ahead {
+            let safe = ((gap - MIN_GAP) / HEADWAY).max(0.0);
+            target = target.min(safe);
+        }
+        target
+    }
+}
+
+/// Advances road-locked vehicle state `(edge_idx, s, speed)` along `route`
+/// by `dt` seconds toward `target_speed`, transitioning across edges.
+/// Returns `true` while the route still has road left, `false` once the
+/// destination is reached. This is the single integrator both
+/// [`RoadVehicle::advance`] and the SoA apply pass run.
+pub fn advance_on_route(
+    map: &RoadNetwork,
+    route: &Route,
+    edge_idx: &mut usize,
+    s: &mut f32,
+    speed: &mut f32,
+    target_speed: f32,
+    dt: f32,
+) -> bool {
+    let accel = (target_speed - *speed).clamp(-MAX_ACCEL * dt, MAX_ACCEL * dt);
+    *speed = (*speed + accel).max(0.0);
+    let mut travel = *speed * dt;
+    loop {
+        let idx = *edge_idx;
+        let cur = route.edges[idx];
+        let edge_len = map.edge(cur).length;
+        if *s + travel < edge_len {
+            *s += travel;
+            return true;
+        }
+        travel -= edge_len - *s;
+        if *edge_idx + 1 < route.edges.len() {
+            *edge_idx += 1;
+            *s = 0.0;
+        } else {
+            *s = edge_len;
+            return false;
+        }
+    }
+}
+
 /// A vehicle locked to the road network, progressing along a [`Route`].
 #[derive(Debug, Clone)]
 pub struct RoadVehicle {
@@ -47,24 +181,29 @@ impl RoadVehicle {
         Self { route, edge_idx: 0, s: 0.0, speed: 0.0 }
     }
 
+    /// A borrowed [`VehicleRef`] over this vehicle's state.
+    pub fn view(&self) -> VehicleRef<'_> {
+        VehicleRef { route: &self.route, edge_idx: self.edge_idx, s: self.s, speed: self.speed }
+    }
+
     /// Current edge id.
     pub fn edge(&self) -> EdgeId {
-        self.route.edges[self.edge_idx]
+        self.view().edge()
     }
 
     /// World position.
     pub fn position(&self, map: &RoadNetwork) -> Vec2 {
-        map.position_on_edge(self.edge(), self.s)
+        self.view().position(map)
     }
 
     /// Unit heading vector.
     pub fn heading(&self, map: &RoadNetwork) -> Vec2 {
-        map.tangent_on_edge(self.edge(), self.s)
+        self.view().heading(map)
     }
 
     /// Remaining distance to the end of the current edge.
     pub fn remaining_on_edge(&self, map: &RoadNetwork) -> f32 {
-        (map.edge(self.edge()).length - self.s).max(0.0)
+        self.view().remaining_on_edge(map)
     }
 
     /// Whether the vehicle has consumed its whole route.
@@ -76,7 +215,8 @@ impl RoadVehicle {
     /// Remaining route distance to the destination.
     pub fn distance_to_destination(&self, map: &RoadNetwork) -> f32 {
         let mut d = self.remaining_on_edge(map);
-        for &eid in &self.route.edges[self.edge_idx + 1..] {
+        let rest = self.edge_idx + 1;
+        for &eid in &self.route.edges[rest..] {
             d += map.edge(eid).length;
         }
         d
@@ -86,61 +226,22 @@ impl RoadVehicle {
     /// turns, and the gap to the vehicle ahead (`None` when the road ahead is
     /// clear within sensing range).
     pub fn target_speed(&self, map: &RoadNetwork, gap_ahead: Option<f32>) -> f32 {
-        let edge = map.edge(self.edge());
-        let mut target = edge.kind.speed_limit();
-        let remaining = self.remaining_on_edge(map);
-        // Slow down into turns.
-        if remaining < TURN_SLOWDOWN_DIST {
-            if let Some(&next) = self.route.edges.get(self.edge_idx + 1) {
-                if classify_turn(map, self.edge(), next) != TurnKind::Straight {
-                    target = target.min(TURN_SPEED);
-                }
-            } else {
-                // Approaching the destination: come down gently.
-                target = target.min(TURN_SPEED);
-            }
-        }
-        // Anticipatory braking for a lower limit on the next edge: the
-        // highest speed from which the next limit is reachable within the
-        // remaining distance at MAX_ACCEL braking.
-        if let Some(&next) = self.route.edges.get(self.edge_idx + 1) {
-            let next_limit = map.edge(next).kind.speed_limit();
-            if next_limit < target {
-                let reachable =
-                    (next_limit * next_limit + 2.0 * MAX_ACCEL * remaining).sqrt();
-                target = target.min(reachable);
-            }
-        }
-        // Car-following: keep a time headway to the leader.
-        if let Some(gap) = gap_ahead {
-            let safe = ((gap - MIN_GAP) / HEADWAY).max(0.0);
-            target = target.min(safe);
-        }
-        target
+        self.view().target_speed(map, gap_ahead)
     }
 
     /// Advances the vehicle by `dt` seconds toward `target_speed`,
     /// transitioning across edges. Returns `true` while the route still has
     /// road left, `false` once the destination is reached.
     pub fn advance(&mut self, map: &RoadNetwork, target_speed: f32, dt: f32) -> bool {
-        let accel = (target_speed - self.speed).clamp(-MAX_ACCEL * dt, MAX_ACCEL * dt);
-        self.speed = (self.speed + accel).max(0.0);
-        let mut travel = self.speed * dt;
-        loop {
-            let edge_len = map.edge(self.edge()).length;
-            if self.s + travel < edge_len {
-                self.s += travel;
-                return true;
-            }
-            travel -= edge_len - self.s;
-            if self.edge_idx + 1 < self.route.edges.len() {
-                self.edge_idx += 1;
-                self.s = 0.0;
-            } else {
-                self.s = edge_len;
-                return false;
-            }
-        }
+        advance_on_route(
+            map,
+            &self.route,
+            &mut self.edge_idx,
+            &mut self.s,
+            &mut self.speed,
+            target_speed,
+            dt,
+        )
     }
 
     /// Samples the vehicle's future positions assuming it keeps to its route

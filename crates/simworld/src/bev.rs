@@ -117,7 +117,8 @@ impl Bev {
 
     /// Whether channel `c` is set at `(ix, iy)`.
     pub fn get(&self, c: usize, ix: usize, iy: usize) -> bool {
-        self.channels[c][iy * self.cells + ix]
+        let cell = iy * self.cells + ix;
+        self.channels[c][cell]
     }
 
     /// Number of set bits in channel `c` (sparsity diagnostics).
@@ -163,7 +164,8 @@ impl Bev {
                         for dx in 0..pool {
                             let ix = bx * pool + dx;
                             let iy = by * pool + dy;
-                            if ch[iy * self.cells + ix] {
+                            let cell = iy * self.cells + ix;
+                            if ch[cell] {
                                 acc += 1.0;
                             }
                         }
@@ -247,7 +249,9 @@ pub fn rasterize_into(
     for iy in 0..n {
         let ex = cfg.forward_offset - half + (iy as f32 + 0.5) * cfg.cell_m;
         let (c_ex, s_ex) = (c_fwd * ex, s_fwd * ex);
-        let row = &mut channels[channel::ROAD][iy * n..(iy + 1) * n];
+        let row_base = iy * n;
+        let row_end = row_base + n;
+        let row = &mut channels[channel::ROAD][row_base..row_end];
         for (cell, &(s_ey, c_ey)) in row.iter_mut().zip(&col_terms) {
             let world = Vec2::new(pose.pos.x + (c_ex - s_ey), pose.pos.y + (s_ex + c_ey));
             // `reset` cleared the row, so the branchless store matches the
@@ -279,7 +283,8 @@ pub fn rasterize_into(
             for dx in -radius_cells..=radius_cells {
                 let (x, y) = (cx + dx, cy + dy);
                 if x >= 0 && y >= 0 && (x as usize) < n && (y as usize) < n {
-                    channels[ch][y as usize * n + x as usize] = true;
+                    let cell = y as usize * n + x as usize;
+                    channels[ch][cell] = true;
                 }
             }
         }
@@ -361,7 +366,8 @@ pub mod reference {
                 );
                 let world = pose.to_world(ego);
                 if road.is_road(world) {
-                    channels[channel::ROAD][iy * n + ix] = true;
+                    let cell = iy * n + ix;
+                    channels[channel::ROAD][cell] = true;
                 }
             }
         }
@@ -375,7 +381,8 @@ pub mod reference {
                 for dx in -radius_cells..=radius_cells {
                     let (x, y) = (cx + dx, cy + dy);
                     if x >= 0 && y >= 0 && (x as usize) < n && (y as usize) < n {
-                        channels[ch][y as usize * n + x as usize] = true;
+                        let cell = y as usize * n + x as usize;
+                        channels[ch][cell] = true;
                     }
                 }
             }

@@ -8,7 +8,7 @@
 //! privileged world access, and emits the imitation-learning supervision:
 //! the high-level command and the ground-truth future waypoints.
 
-use crate::agents::RoadVehicle;
+use crate::agents::VehicleRef;
 use crate::map::RoadNetwork;
 use crate::route::{classify_turn, TurnKind};
 use simnet::geom::Vec2;
@@ -50,6 +50,7 @@ impl Command {
             1 => Command::Left,
             2 => Command::Right,
             3 => Command::Straight,
+            // audit:allow(P003): the panic is this method's documented contract.
             _ => panic!("command index out of range: {i}"),
         }
     }
@@ -114,7 +115,7 @@ pub fn next_turn_info(
 /// Computes the high-level command for a route-following vehicle: the turn
 /// direction of the next intersection when within [`COMMAND_HORIZON`],
 /// otherwise `Follow`.
-pub fn command_for(map: &RoadNetwork, vehicle: &RoadVehicle) -> Command {
+pub fn command_for(map: &RoadNetwork, vehicle: VehicleRef<'_>) -> Command {
     if vehicle.remaining_on_edge(map) > COMMAND_HORIZON {
         return Command::Follow;
     }
@@ -130,7 +131,7 @@ pub fn command_for(map: &RoadNetwork, vehicle: &RoadVehicle) -> Command {
 
 /// Samples `n` ground-truth waypoints along the vehicle's remaining route at
 /// [`WAYPOINT_SPACING`] intervals, expressed in the ego frame.
-pub fn waypoints_for(map: &RoadNetwork, vehicle: &RoadVehicle, n: usize) -> Vec<f32> {
+pub fn waypoints_for(map: &RoadNetwork, vehicle: VehicleRef<'_>, n: usize) -> Vec<f32> {
     let pos = vehicle.position(map);
     let heading = vehicle.heading(map).angle();
     let mut out = Vec::with_capacity(2 * n);
@@ -171,7 +172,7 @@ pub fn waypoints_for(map: &RoadNetwork, vehicle: &RoadVehicle, n: usize) -> Vec<
 }
 
 /// Full expert supervision for one frame.
-pub fn supervise(map: &RoadNetwork, vehicle: &RoadVehicle, n_waypoints: usize) -> ExpertOutput {
+pub fn supervise(map: &RoadNetwork, vehicle: VehicleRef<'_>, n_waypoints: usize) -> ExpertOutput {
     let (turn_distance, turn_sign) =
         next_turn_info(map, &vehicle.route.edges, vehicle.edge_idx, vehicle.s);
     ExpertOutput {
@@ -192,7 +193,7 @@ pub fn supervise(map: &RoadNetwork, vehicle: &RoadVehicle, n_waypoints: usize) -
 /// stop; at cruise they spread out along the route.
 pub fn waypoints_timed(
     map: &RoadNetwork,
-    vehicle: &RoadVehicle,
+    vehicle: VehicleRef<'_>,
     n: usize,
     step_dt: f32,
     v_target: f32,
@@ -246,7 +247,7 @@ pub fn waypoints_timed(
 /// car-following sensor), or `None` when clear within `lookahead`.
 pub fn forward_gap(
     map: &RoadNetwork,
-    vehicle: &RoadVehicle,
+    vehicle: VehicleRef<'_>,
     cars: &[Vec2],
     lookahead: f32,
     half_width: f32,
@@ -265,7 +266,7 @@ pub fn forward_gap(
 /// for the expert's chosen `v_target`, and the current speed.
 pub fn supervise_timed(
     map: &RoadNetwork,
-    vehicle: &RoadVehicle,
+    vehicle: VehicleRef<'_>,
     n_waypoints: usize,
     step_dt: f32,
     v_target: f32,
@@ -286,7 +287,7 @@ pub fn supervise_timed(
 /// offset < `half_width`), meaning the expert should brake.
 pub fn hazard_ahead(
     map: &RoadNetwork,
-    vehicle: &RoadVehicle,
+    vehicle: VehicleRef<'_>,
     obstacles: &[Vec2],
     lookahead: f32,
     half_width: f32,
@@ -302,6 +303,7 @@ pub fn hazard_ahead(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agents::RoadVehicle;
     use crate::map::RoadNetwork;
     use crate::route::Router;
 
@@ -315,7 +317,7 @@ mod tests {
         let map = RoadNetwork::generate(1);
         let v = vehicle_on(&map, 0, map.n_nodes() - 1);
         // Fresh on a ~110 m town edge: intersection > 30 m away.
-        assert_eq!(command_for(&map, &v), Command::Follow);
+        assert_eq!(command_for(&map, v.view()), Command::Follow);
     }
 
     #[test]
@@ -325,7 +327,7 @@ mod tests {
         let mut saw_non_follow = false;
         let mut guard = 0;
         while v.advance(&map, 8.0, 0.5) {
-            if command_for(&map, &v) != Command::Follow {
+            if command_for(&map, v.view()) != Command::Follow {
                 saw_non_follow = true;
                 assert!(v.remaining_on_edge(&map) <= COMMAND_HORIZON);
             }
@@ -339,7 +341,7 @@ mod tests {
     fn waypoints_have_requested_count_and_progress_forward() {
         let map = RoadNetwork::generate(2);
         let v = vehicle_on(&map, 0, map.n_nodes() - 1);
-        let wps = waypoints_for(&map, &v, 5);
+        let wps = waypoints_for(&map, v.view(), 5);
         assert_eq!(wps.len(), 10);
         // On a straight stretch waypoints advance along +x in ego frame.
         let xs: Vec<f32> = wps.chunks(2).map(|c| c[0]).collect();
@@ -354,7 +356,7 @@ mod tests {
         let map = RoadNetwork::generate(3);
         let mut v = vehicle_on(&map, 0, 1);
         while v.advance(&map, 10.0, 0.5) {}
-        let wps = waypoints_for(&map, &v, 4);
+        let wps = waypoints_for(&map, v.view(), 4);
         assert_eq!(wps.len(), 8);
         // All padded to (near) the destination = current position.
         for c in wps.chunks(2) {
@@ -371,9 +373,9 @@ mod tests {
         let ahead = pos + heading * 8.0;
         let behind = pos - heading * 8.0;
         let beside = pos + heading.perp() * 8.0;
-        assert!(hazard_ahead(&map, &v, &[ahead], 12.0, 3.0));
-        assert!(!hazard_ahead(&map, &v, &[behind], 12.0, 3.0));
-        assert!(!hazard_ahead(&map, &v, &[beside], 12.0, 3.0));
+        assert!(hazard_ahead(&map, v.view(), &[ahead], 12.0, 3.0));
+        assert!(!hazard_ahead(&map, v.view(), &[behind], 12.0, 3.0));
+        assert!(!hazard_ahead(&map, v.view(), &[beside], 12.0, 3.0));
     }
 
     #[test]
@@ -387,7 +389,7 @@ mod tests {
     fn supervise_bundles_everything() {
         let map = RoadNetwork::generate(5);
         let v = vehicle_on(&map, 0, map.n_nodes() - 1);
-        let out = supervise(&map, &v, 5);
+        let out = supervise(&map, v.view(), 5);
         assert_eq!(out.waypoints.len(), 10);
         assert_eq!(out.speed, 0.0);
     }

@@ -16,11 +16,17 @@
 //!   ground-truth waypoints used as imitation targets.
 //! * [`bev`] — ego-frame bird's-eye-view rasterization (sparse binary
 //!   tensor) and the feature vector fed to the policy network.
-//! * [`world`] — owns everything, steps at 2 fps, detects collisions, and
-//!   records [`simnet::MobilityTrace`]s.
+//! * [`world`] — owns everything in structure-of-arrays columns, steps at
+//!   2 fps with a two-phase (parallel intent / serial apply) tick, detects
+//!   collisions, and records [`simnet::MobilityTrace`]s. Scales to
+//!   100k–1M-vehicle fleets via a wake queue ([`FleetScale`]).
+//! * [`reference`] — the original per-agent-struct world, retained
+//!   verbatim as the bit-identity oracle for [`world::World`].
 //!
 //! Determinism: the map, traffic, and every agent decision derive from the
-//! seed given at construction.
+//! seed given at construction, and stepping is bit-identical for any
+//! `--jobs` setting (the intent phase is RNG-free and order-free; all RNG
+//! draws happen in the id-ordered apply pass).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +35,14 @@ pub mod agents;
 pub mod bev;
 pub mod expert;
 pub mod map;
+pub mod reference;
 pub mod render;
 pub mod route;
 pub mod world;
 
+pub use agents::{AgentId, AgentKind, VehicleRef};
 pub use bev::{Bev, BevConfig};
 pub use expert::{Command, ExpertOutput};
 pub use map::{EdgeId, NodeId, RoadKind, RoadNetwork};
-pub use route::{Route, Router};
-pub use world::{World, WorldConfig};
+pub use route::{Route, Router, RoutingTable};
+pub use world::{FleetScale, TickStats, World, WorldConfig};

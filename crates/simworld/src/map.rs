@@ -55,13 +55,19 @@ pub struct Edge {
     pub kind: RoadKind,
 }
 
-/// The directed road graph.
+/// The directed road graph. Adjacency is stored in compressed-sparse-row
+/// form: `out_flat[out_offsets[n]..out_offsets[n + 1]]` lists the edges
+/// leaving node `n`, in ascending edge-id order (the same order the
+/// previous `Vec<Vec<EdgeId>>` representation produced, so every
+/// traversal — Dijkstra relaxation included — visits edges identically).
 #[derive(Debug, Clone)]
 pub struct RoadNetwork {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
-    /// `out[n]` lists the edges leaving node `n`.
-    out: Vec<Vec<EdgeId>>,
+    /// CSR row offsets into `out_flat`, one per node plus a final sentinel.
+    out_offsets: Vec<u32>,
+    /// CSR column data: edge ids grouped by source node.
+    out_flat: Vec<EdgeId>,
     /// Side length of the (square) map in meters.
     extent: f32,
 }
@@ -94,6 +100,29 @@ impl Default for MapConfig {
             rural_jitter: 40.0,
         }
     }
+}
+
+/// Builds the CSR `(offsets, flat)` adjacency from an edge list: a
+/// counting pass sizes each row, a prefix sum places it, and a fill pass
+/// walks edges in ascending id so each row keeps ascending edge order.
+fn csr_adjacency(n_nodes: usize, edges: &[Edge]) -> (Vec<u32>, Vec<EdgeId>) {
+    let mut offsets = vec![0u32; n_nodes + 1];
+    for e in edges {
+        let row = e.from + 1;
+        offsets[row] += 1;
+    }
+    for i in 1..offsets.len() {
+        let prev = i - 1;
+        offsets[i] += offsets[prev];
+    }
+    let mut flat = vec![0 as EdgeId; edges.len()];
+    let mut cursor: Vec<u32> = offsets[..n_nodes].to_vec();
+    for (eid, e) in edges.iter().enumerate() {
+        let slot = cursor[e.from] as usize;
+        flat[slot] = eid;
+        cursor[e.from] += 1;
+    }
+    (offsets, flat)
 }
 
 impl RoadNetwork {
@@ -185,11 +214,8 @@ impl RoadNetwork {
             add_road(&mut edges, &nodes, a, b, RoadKind::Rural, Some(midpoint + dir * jitter));
         }
 
-        let mut out = vec![Vec::new(); nodes.len()];
-        for (eid, e) in edges.iter().enumerate() {
-            out[e.from].push(eid);
-        }
-        Self { nodes, edges, out, extent: cfg.extent }
+        let (out_offsets, out_flat) = csr_adjacency(nodes.len(), &edges);
+        Self { nodes, edges, out_offsets, out_flat, extent: cfg.extent }
     }
 
     /// Number of intersections.
@@ -217,9 +243,12 @@ impl RoadNetwork {
         &self.edges[id]
     }
 
-    /// Edges leaving node `id`.
+    /// Edges leaving node `id`, in ascending edge-id order.
     pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
-        &self.out[id]
+        let next = id + 1;
+        let lo = self.out_offsets[id] as usize;
+        let hi = self.out_offsets[next] as usize;
+        &self.out_flat[lo..hi]
     }
 
     /// All edges (for rasterization and tests).
@@ -368,5 +397,25 @@ mod tests {
                 assert_eq!(m.edge(eid).from, n);
             }
         }
+    }
+
+    #[test]
+    fn csr_rows_are_complete_and_ascending() {
+        // The CSR adjacency must list every edge exactly once, under its
+        // source node, in ascending edge-id order — the order the previous
+        // Vec<Vec<EdgeId>> build produced, which routing depends on.
+        let m = RoadNetwork::generate(6);
+        let mut seen = vec![false; m.n_edges()];
+        for n in 0..m.n_nodes() {
+            let row = m.out_edges(n);
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {n} not ascending: {row:?}");
+            }
+            for &eid in row {
+                assert!(!seen[eid], "edge {eid} listed twice");
+                seen[eid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every edge must appear in some row");
     }
 }

@@ -22,7 +22,8 @@ pub fn render_ascii(world: &World, cols: usize, rows: usize, overlay: &[Vec2]) -
         // Flip y so north is up.
         let cy = rows as isize - 1 - (p.y / sy) as isize;
         if cx >= 0 && cy >= 0 && (cx as usize) < cols && (cy as usize) < rows {
-            grid[cy as usize * cols + cx as usize] = ch;
+            let cell = cy as usize * cols + cx as usize;
+            grid[cell] = ch;
         }
     };
 
@@ -39,7 +40,7 @@ pub fn render_ascii(world: &World, cols: usize, rows: usize, overlay: &[Vec2]) -
     for p in world.pedestrian_positions() {
         plot(p, b'p', &mut grid);
     }
-    let n_experts = world.experts().len();
+    let n_experts = world.n_experts();
     for (i, p) in world.car_positions().iter().enumerate() {
         plot(*p, if i < n_experts { b'E' } else { b'c' }, &mut grid);
     }
@@ -48,8 +49,8 @@ pub fn render_ascii(world: &World, cols: usize, rows: usize, overlay: &[Vec2]) -
     }
 
     let mut out = String::with_capacity((cols + 1) * rows);
-    for r in 0..rows {
-        out.push_str(std::str::from_utf8(&grid[r * cols..(r + 1) * cols]).expect("ascii"));
+    for row in grid.chunks(cols) {
+        out.extend(row.iter().map(|&b| b as char));
         out.push('\n');
     }
     out

@@ -3,6 +3,15 @@
 //! Vehicles follow routes computed by Dijkstra over the road graph — the
 //! stand-in for the navigation service the paper assumes ("future routes in
 //! next few minutes, which can be obtained from navigation services").
+//!
+//! Two routers coexist: the original per-query [`Router`] (one Dijkstra
+//! per `route` call, kept for the reference world and small tools) and
+//! the precomputed [`RoutingTable`] the structure-of-arrays world uses —
+//! one all-sources Dijkstra sweep at construction, after which every
+//! query is an allocation-free predecessor walk. The table reproduces
+//! [`Router::route`]'s paths *exactly* (same comparator, same relaxation
+//! order, no early exit — see [`RoutingTable::new`]), which
+//! `routing_table_matches_router_on_all_pairs` pins for every pair.
 
 use crate::map::{EdgeId, NodeId, RoadNetwork};
 use simnet::geom::Vec2;
@@ -28,6 +37,7 @@ impl Route {
     /// # Panics
     /// Panics on an empty route.
     pub fn destination(&self, map: &RoadNetwork) -> NodeId {
+        // audit:allow(P002): the panic is this method's documented contract.
         map.edge(*self.edges.last().expect("route must have edges")).to
     }
 
@@ -75,8 +85,9 @@ pub enum TurnKind {
 pub fn classify_turn(map: &RoadNetwork, from: EdgeId, to: EdgeId) -> TurnKind {
     let e_in = map.edge(from);
     let e_out = map.edge(to);
-    let n = e_in.polyline.len();
-    let dir_in = (e_in.polyline[n - 1] - e_in.polyline[n - 2]).normalized();
+    let last = e_in.polyline.len() - 1;
+    let penult = last - 1;
+    let dir_in = (e_in.polyline[last] - e_in.polyline[penult]).normalized();
     let dir_out = (e_out.polyline[1] - e_out.polyline[0]).normalized();
     let cross = dir_in.cross(dir_out);
     let dot = dir_in.dot(dir_out);
@@ -106,8 +117,12 @@ struct QueueItem {
 impl Eq for QueueItem {}
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        // Min-heap on distance. `total_cmp` agrees with the former
+        // `partial_cmp(..).unwrap_or(Equal)` on every value that can occur
+        // here (finite, non-negative, never -0.0 except the shared source
+        // zero), so heap order — and thus tie-breaking between
+        // equal-length paths — is unchanged.
+        other.dist.total_cmp(&self.dist)
     }
 }
 impl PartialOrd for QueueItem {
@@ -158,11 +173,137 @@ impl<'a> Router<'a> {
         let mut edges = Vec::new();
         let mut cur = to;
         while cur != from {
-            let eid = prev_edge[cur].expect("path reconstructed from reached node");
+            // A reached node always has a predecessor; bail defensively
+            // instead of panicking if that invariant ever broke.
+            let eid = prev_edge[cur]?;
             edges.push(eid);
             cur = self.map.edge(eid).from;
         }
         edges.reverse();
+        Some(Route { edges })
+    }
+}
+
+/// All-pairs shortest-path table: one full Dijkstra per source node at
+/// construction, stored as a flattened predecessor-edge matrix. Queries
+/// walk predecessors backward — no heap, no per-query allocation
+/// ([`RoutingTable::route_into`] refills a caller-owned buffer).
+///
+/// Paths are identical to [`Router::route`]'s: each source sweep runs the
+/// same relaxation loop with the same heap comparator and edge order,
+/// only without the early exit. Early exit cannot change reconstruction —
+/// when the target pops off the heap every node on its predecessor chain
+/// (strictly smaller distance, positive edge lengths) is already
+/// finalized, and finalized predecessor entries never change again.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n_nodes: usize,
+    /// `prev[src * n_nodes + node]`: the edge entering `node` on the
+    /// shortest path from `src`, `None` for `node == src` or unreachable.
+    prev: Vec<Option<EdgeId>>,
+    /// `edge_from[e]`: source node of edge `e` (copied out of the map so
+    /// queries need no map borrow).
+    edge_from: Vec<NodeId>,
+    /// Edge count of the longest shortest path over all pairs — the
+    /// capacity bound that makes per-vehicle route buffers allocation-free
+    /// for the lifetime of the world.
+    max_route_edges: usize,
+}
+
+impl RoutingTable {
+    /// Precomputes shortest paths from every source node of `map`.
+    pub fn new(map: &RoadNetwork) -> Self {
+        let n = map.n_nodes();
+        let mut prev: Vec<Option<EdgeId>> = vec![None; n * n];
+        let mut dist = vec![f32::INFINITY; n];
+        let mut heap: BinaryHeap<QueueItem> = BinaryHeap::new();
+        for src in 0..n {
+            dist.fill(f32::INFINITY);
+            heap.clear();
+            let row_base = src * n;
+            let row_end = row_base + n;
+            let row = &mut prev[row_base..row_end];
+            dist[src] = 0.0;
+            heap.push(QueueItem { dist: 0.0, node: src });
+            while let Some(QueueItem { dist: d, node }) = heap.pop() {
+                if d > dist[node] {
+                    continue;
+                }
+                for &eid in map.out_edges(node) {
+                    let e = map.edge(eid);
+                    let nd = d + e.length;
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        row[e.to] = Some(eid);
+                        heap.push(QueueItem { dist: nd, node: e.to });
+                    }
+                }
+            }
+        }
+        let edge_from: Vec<NodeId> = map.edges().iter().map(|e| e.from).collect();
+        let mut max_route_edges = 0;
+        for src in 0..n {
+            for dst in 0..n {
+                let mut len = 0usize;
+                let mut cur = dst;
+                let row_base = src * n;
+                while cur != src {
+                    let cell = row_base + cur;
+                    let Some(eid) = prev[cell] else { break };
+                    len += 1;
+                    cur = edge_from[eid];
+                }
+                if cur == src {
+                    max_route_edges = max_route_edges.max(len);
+                }
+            }
+        }
+        Self { n_nodes: n, prev, edge_from, max_route_edges }
+    }
+
+    /// Edge count of the longest shortest path between any node pair.
+    pub fn max_route_edges(&self) -> usize {
+        self.max_route_edges
+    }
+
+    /// Refills `edges` with the shortest route from `from` to `to`.
+    /// Returns `None` when no route exists (`from == to`, or unreachable —
+    /// never on generated maps), leaving `edges` empty; otherwise
+    /// `Some(grew)` where `grew` reports whether the buffer had to
+    /// reallocate (a warm buffer sized to [`RoutingTable::max_route_edges`]
+    /// never does — the zero-allocation regression test counts exactly
+    /// this signal).
+    pub fn route_into(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        edges: &mut Vec<EdgeId>,
+    ) -> Option<bool> {
+        edges.clear();
+        if from == to {
+            return None;
+        }
+        let cap_before = edges.capacity();
+        let row_base = from * self.n_nodes;
+        let mut cur = to;
+        while cur != from {
+            let cell = row_base + cur;
+            let Some(eid) = self.prev[cell] else {
+                edges.clear();
+                return None;
+            };
+            edges.push(eid);
+            cur = self.edge_from[eid];
+        }
+        edges.reverse();
+        Some(edges.capacity() > cap_before)
+    }
+
+    /// Shortest route from `from` to `to` as an owned [`Route`] — the
+    /// [`Router::route`]-shaped convenience the evaluator and tests use.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        let mut edges = Vec::new();
+        self.route_into(from, to, &mut edges)?;
         Some(Route { edges })
     }
 }
@@ -222,6 +363,46 @@ mod tests {
         // single-edge route has no turns.
         let route = r.route(0, 1).unwrap();
         assert_eq!(route.turn_count(&m), 0);
+    }
+
+    #[test]
+    fn routing_table_matches_router_on_all_pairs() {
+        for seed in [0, 7, 19] {
+            let m = RoadNetwork::generate(seed);
+            let table = RoutingTable::new(&m);
+            let router = Router::new(&m);
+            let n = m.n_nodes();
+            let mut buf = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    let fast = table.route_into(a, b, &mut buf);
+                    let slow = router.route(a, b);
+                    match slow {
+                        None => assert!(fast.is_none(), "pair ({a},{b}) seed {seed}"),
+                        Some(r) => {
+                            assert!(fast.is_some(), "pair ({a},{b}) seed {seed}");
+                            assert_eq!(buf, r.edges, "pair ({a},{b}) seed {seed}");
+                            assert!(buf.len() <= table.max_route_edges());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_route_buffer_never_reallocates() {
+        let m = RoadNetwork::generate(6);
+        let table = RoutingTable::new(&m);
+        let mut buf = Vec::with_capacity(table.max_route_edges());
+        let n = m.n_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                if let Some(grew) = table.route_into(a, b, &mut buf) {
+                    assert!(!grew, "pair ({a},{b}) grew a warm buffer");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,56 @@
 //! The simulated world: map + traffic + stepping + trace recording.
+//!
+//! # Structure-of-arrays layout
+//!
+//! Agents live in parallel columns keyed by [`AgentId`], laid out as
+//! `[experts][background][fleet][pedestrians]`. Road vehicles carry
+//! `(route, edge_idx, s, speed)` in four columns plus a cached world
+//! position; pedestrians keep their tiny waypoint state in a side table
+//! and mirror their position into the shared `pos` column so the vehicle
+//! hazard scan reads one contiguous slice.
+//!
+//! # Two-phase tick
+//!
+//! [`World::step`] splits each frame into an **intent** phase and an
+//! **apply** phase:
+//!
+//! 1. *Intent* — for every awake vehicle, compute its final target speed
+//!    (speed limits, turn slowdown, car-following against a pre-built gap
+//!    index, pedestrian braking) from pre-step state only. The phase draws
+//!    no randomness and writes only its own `intents[i]` slot, so it shards
+//!    over [`lbchat::exec::par_for_each_mut`] and is bit-for-bit identical
+//!    for any job count — and for any evaluation order, which
+//!    [`World::step_permuted`] exposes for the property suite.
+//! 2. *Apply* — serial, in ascending [`AgentId`] order: integrate every
+//!    awake vehicle, then step every pedestrian. All RNG draws (reroutes,
+//!    fleet dwell times, pedestrian waypoints) happen here, in id order —
+//!    exactly the draw order of the retained [`crate::reference`] world,
+//!    which is what makes the two worlds bit-identical at seed scale.
+//!
+//! # Wake queue
+//!
+//! Fleet vehicles ([`AgentKind::Fleet`], the `--fleet` axis) cycle
+//! park → dwell → drive. While parked they are *garaged*: absent from the
+//! gap index, BEV car layers, and collision checks, and — with the wake
+//! queue enabled — absent from the awake list entirely, so a mostly-parked
+//! million-vehicle fleet costs nothing per tick. A min-heap of
+//! `(wake_tick, id)` readmits them; `config.wake_queue = false` keeps every
+//! agent in the awake list (the bench reference arm) and must produce
+//! bit-identical trajectories, which the property suite pins.
 
-use crate::agents::{radii, Pedestrian, RoadVehicle};
+use crate::agents::{
+    advance_on_route, radii, AgentId, AgentKind, Pedestrian, RoadVehicle, VehicleRef,
+};
 use crate::bev::{rasterize, Bev, BevConfig, Pose};
 use crate::expert::{hazard_ahead, ExpertOutput};
-use crate::map::{MapConfig, RoadNetwork};
-use crate::route::{Route, Router};
+use crate::map::{EdgeId, MapConfig, NodeId, RoadNetwork};
+use crate::route::{Route, RoutingTable};
+use lbchat::obs::ObsSink;
 use rand::{Rng, RngExt, SeedableRng};
 use simnet::geom::Vec2;
 use simnet::trace::MobilityTrace;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Precomputed drivable-area raster of the whole map, shared by every BEV
 /// rasterization (sampling this grid is far cheaper than re-walking all road
@@ -76,7 +118,8 @@ impl RoadRaster {
                 if x >= 0 && y >= 0 && (x as usize) < self.side && (y as usize) < self.side {
                     let p = Vec2::new((x as f32 + 0.5) * self.cell, (y as f32 + 0.5) * self.cell);
                     if p.distance(center) <= radius {
-                        self.bits[y as usize * self.side + x as usize] = true;
+                        let cell = y as usize * self.side + x as usize;
+                        self.bits[cell] = true;
                     }
                 }
             }
@@ -93,7 +136,61 @@ impl RoadRaster {
             Some(inv) => ((p.x * inv) as usize, (p.y * inv) as usize),
             None => ((p.x / self.cell) as usize, (p.y / self.cell) as usize),
         };
-        self.bits[y * self.side + x]
+        let cell = y * self.side + x;
+        self.bits[cell]
+    }
+}
+
+/// The fleet-size axis (`--fleet`): how many [`AgentKind::Fleet`] vehicles
+/// the world carries on top of the paper's expert/background/pedestrian
+/// populations. `Seed` (0) keeps the world bit-identical to
+/// [`crate::reference`]; the larger steps are the city-scale workloads the
+/// `simworld/tick_*` bench cells measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetScale {
+    /// No fleet vehicles — the paper-scale world (default).
+    #[default]
+    Seed,
+    /// 1 000 fleet vehicles.
+    K1,
+    /// 10 000 fleet vehicles.
+    K10,
+    /// 100 000 fleet vehicles.
+    K100,
+    /// 1 000 000 fleet vehicles.
+    M1,
+}
+
+impl FleetScale {
+    /// Every scale, smallest first.
+    pub const ALL: [FleetScale; 5] =
+        [FleetScale::Seed, FleetScale::K1, FleetScale::K10, FleetScale::K100, FleetScale::M1];
+
+    /// The CLI / manifest key (`seed`, `1k`, `10k`, `100k`, `1m`).
+    pub fn key(self) -> &'static str {
+        match self {
+            FleetScale::Seed => "seed",
+            FleetScale::K1 => "1k",
+            FleetScale::K10 => "10k",
+            FleetScale::K100 => "100k",
+            FleetScale::M1 => "1m",
+        }
+    }
+
+    /// Number of fleet vehicles this scale adds.
+    pub fn n_fleet(self) -> usize {
+        match self {
+            FleetScale::Seed => 0,
+            FleetScale::K1 => 1_000,
+            FleetScale::K10 => 10_000,
+            FleetScale::K100 => 100_000,
+            FleetScale::M1 => 1_000_000,
+        }
+    }
+
+    /// Parses a CLI key (the inverse of [`FleetScale::key`]).
+    pub fn parse(key: &str) -> Option<FleetScale> {
+        FleetScale::ALL.into_iter().find(|f| f.key() == key)
     }
 }
 
@@ -106,8 +203,16 @@ pub struct WorldConfig {
     pub n_experts: usize,
     /// Number of background cars. Paper: 50.
     pub n_background: usize,
+    /// Number of fleet vehicles on the park → dwell → drive cycle
+    /// (the `--fleet` axis; 0 reproduces the paper-scale world exactly).
+    pub n_fleet: usize,
     /// Number of pedestrians. Paper: 250.
     pub n_pedestrians: usize,
+    /// Whether parked fleet vehicles leave the awake list entirely
+    /// (`true`, the default) or stay in it and get skipped per tick
+    /// (`false` — the wake-queue bench's reference arm). Trajectories are
+    /// bit-identical either way.
+    pub wake_queue: bool,
     /// Simulation frame rate (frames per second). Paper: 2.
     pub fps: f64,
     /// Map generation parameters.
@@ -124,7 +229,9 @@ impl Default for WorldConfig {
             seed: 0,
             n_experts: 32,
             n_background: 50,
+            n_fleet: 0,
             n_pedestrians: 250,
+            wake_queue: true,
             fps: 2.0,
             map: MapConfig::default(),
             n_waypoints: 5,
@@ -144,55 +251,182 @@ impl WorldConfig {
             ..Self::default()
         }
     }
+
+    /// The default config with the given fleet scale applied.
+    pub fn with_fleet(seed: u64, fleet: FleetScale) -> Self {
+        Self { seed, n_fleet: fleet.n_fleet(), ..Self::default() }
+    }
 }
 
-/// The running world. `Clone` snapshots the full state (map, agents, RNG),
-/// letting evaluation run independent trials from a common base world.
-#[derive(Debug, Clone)]
+/// Per-tick accounting returned by [`World::step`], mirrored into the
+/// `world.tick.{awake,slept,woken}` counters when an [`ObsSink`] is
+/// attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Agents actually simulated this tick (moving vehicles + pedestrians).
+    pub awake: usize,
+    /// Fleet vehicles that parked (entered the wake queue) this tick.
+    pub slept: usize,
+    /// Fleet vehicles whose dwell ended this tick (route planned, they
+    /// drive from the next tick).
+    pub woken: usize,
+}
+
+/// The running world, structure-of-arrays edition. `Clone` snapshots the
+/// full state (map, columns, RNG), letting evaluation run independent
+/// trials from a common base world.
+///
+/// At seed scale (`n_fleet == 0`) this world is bit-identical to the
+/// retained [`crate::reference::World`] — same RNG draw order, same f32
+/// arithmetic — which the property suite and the golden trajectory fixture
+/// pin.
+#[derive(Clone)]
 pub struct World {
     config: WorldConfig,
     map: RoadNetwork,
     raster: RoadRaster,
-    experts: Vec<RoadVehicle>,
-    background: Vec<RoadVehicle>,
-    pedestrians: Vec<Pedestrian>,
+    table: RoutingTable,
+    // --- agent columns, indexed by AgentId ---
+    kind: Vec<AgentKind>,
+    /// World position: vehicles refresh it in the apply pass; pedestrians
+    /// mirror theirs after stepping. `pos[ped_base..]` is the contiguous
+    /// pedestrian slice the hazard scan reads.
+    pos: Vec<Vec2>,
+    speed: Vec<f32>,
+    edge_idx: Vec<usize>,
+    s: Vec<f32>,
+    /// Per-vehicle route buffer; empty while a fleet vehicle is garaged.
+    /// Capacity is reserved to [`RoutingTable::max_route_edges`] up front so
+    /// reroutes never allocate.
+    routes: Vec<Route>,
+    parked_at: Vec<NodeId>,
+    wake_at: Vec<u64>,
+    /// Pedestrian waypoint state, `peds[j]` ↔ agent id `ped_base + j`.
+    peds: Vec<Pedestrian>,
+    ped_base: usize,
+    // --- wake queue ---
+    /// Sorted ids of vehicles currently simulated per tick.
+    awake: Vec<AgentId>,
+    sleepers: BinaryHeap<Reverse<(u64, AgentId)>>,
+    // --- tick machinery (reused scratch) ---
+    intents: Vec<f32>,
+    gap_index: Vec<(EdgeId, f32)>,
+    woken_scratch: Vec<AgentId>,
     rng: rand::rngs::StdRng,
     time: f64,
+    tick: u64,
+    route_grows: u64,
+    obs: ObsSink,
 }
 
 impl World {
-    /// Builds a world: generates the map, spawns experts and background
-    /// traffic on random routes, and scatters pedestrians over the town.
+    /// Builds a world: generates the map, precomputes the routing table,
+    /// spawns experts and background traffic on random routes, parks the
+    /// fleet, and scatters pedestrians over the town.
     pub fn new(config: WorldConfig) -> Self {
         let map = RoadNetwork::generate(config.seed);
         let raster = RoadRaster::from_map(&map);
+        let table = RoutingTable::new(&map);
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0x9E3779B9));
-        let router = Router::new(&map);
-        let spawn = |rng: &mut rand::rngs::StdRng| -> RoadVehicle {
+        let n_always = config.n_experts + config.n_background;
+        let n_vehicles = n_always + config.n_fleet;
+        let n_agents = n_vehicles + config.n_pedestrians;
+        let reserve = table.max_route_edges();
+
+        let mut kind = Vec::with_capacity(n_agents);
+        let mut pos = Vec::with_capacity(n_agents);
+        let speed = vec![0.0f32; n_agents];
+        let edge_idx = vec![0usize; n_agents];
+        let mut s = vec![0.0f32; n_agents];
+        let mut routes: Vec<Route> = Vec::with_capacity(n_agents);
+        let mut parked_at = vec![0 as NodeId; n_agents];
+        let mut wake_at = vec![0u64; n_agents];
+
+        // Experts then background: the exact draw sequence of the reference
+        // world (route retries included — `route_into` fails iff the two
+        // endpoints coincide, same as `Router::route`).
+        for (id, s_slot) in s.iter_mut().enumerate().take(n_always) {
+            kind.push(if id < config.n_experts {
+                AgentKind::Expert
+            } else {
+                AgentKind::Background
+            });
+            let mut route = Route { edges: Vec::with_capacity(reserve) };
             loop {
-                let a = map.random_node(rng);
-                let b = map.random_node(rng);
-                if let Some(route) = router.route(a, b) {
-                    let mut v = RoadVehicle::new(route);
-                    // Spread vehicles along their first edge.
-                    v.s = rng.random_range(0.0..map.edge(v.edge()).length * 0.8);
-                    return v;
+                let a = map.random_node(&mut rng);
+                let b = map.random_node(&mut rng);
+                if table.route_into(a, b, &mut route.edges).is_some() {
+                    break;
                 }
             }
-        };
-        let experts = (0..config.n_experts).map(|_| spawn(&mut rng)).collect();
-        let background = (0..config.n_background).map(|_| spawn(&mut rng)).collect();
-        let town_area = (
-            config.map.town_origin,
-            config.map.town_origin
-                + Vec2::new(
-                    (config.map.grid - 1) as f32 * config.map.block,
-                    (config.map.grid - 1) as f32 * config.map.block,
-                ),
-        );
-        let pedestrians =
-            (0..config.n_pedestrians).map(|_| Pedestrian::spawn(town_area, &mut rng)).collect();
-        Self { config, map, raster, experts, background, pedestrians, rng, time: 0.0 }
+            let first = route.edges[0];
+            // Spread vehicles along their first edge.
+            let spawn_s = rng.random_range(0.0..map.edge(first).length * 0.8);
+            *s_slot = spawn_s;
+            pos.push(map.position_on_edge(first, spawn_s));
+            routes.push(route);
+        }
+
+        // Fleet: parked at a random node with a staggered first wake, so a
+        // freshly built city doesn't dump the whole fleet onto the roads on
+        // tick one. (Only reached when n_fleet > 0, so seed-scale draw
+        // sequences are untouched.)
+        for _ in 0..config.n_fleet {
+            let id = routes.len();
+            kind.push(AgentKind::Fleet);
+            let node = map.random_node(&mut rng);
+            parked_at[id] = node;
+            wake_at[id] = rng.random_range(0..600u64);
+            pos.push(map.node(node).pos);
+            routes.push(Route { edges: Vec::with_capacity(reserve) });
+        }
+
+        let town_area = town_area_of(&config.map);
+        let mut peds = Vec::with_capacity(config.n_pedestrians);
+        for _ in 0..config.n_pedestrians {
+            let p = Pedestrian::spawn(town_area, &mut rng);
+            kind.push(AgentKind::Pedestrian);
+            pos.push(p.pos);
+            routes.push(Route { edges: Vec::new() });
+            peds.push(p);
+        }
+
+        let mut awake: Vec<AgentId> = Vec::with_capacity(n_vehicles);
+        let mut sleepers = BinaryHeap::new();
+        for id in 0..n_vehicles {
+            if kind[id] == AgentKind::Fleet && config.wake_queue {
+                sleepers.push(Reverse((wake_at[id], id)));
+            } else {
+                awake.push(id);
+            }
+        }
+
+        Self {
+            config,
+            map,
+            raster,
+            table,
+            kind,
+            pos,
+            speed,
+            edge_idx,
+            s,
+            routes,
+            parked_at,
+            wake_at,
+            peds,
+            ped_base: n_vehicles,
+            awake,
+            sleepers,
+            intents: Vec::new(),
+            gap_index: Vec::new(),
+            woken_scratch: Vec::new(),
+            rng,
+            time: 0.0,
+            tick: 0,
+            route_grows: 0,
+            obs: ObsSink::default(),
+        }
     }
 
     /// Construction parameters.
@@ -215,121 +449,345 @@ impl World {
         self.time
     }
 
-    /// The expert (learning) vehicles.
-    pub fn experts(&self) -> &[RoadVehicle] {
-        &self.experts
+    /// Number of ticks stepped so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of expert (learning) vehicles.
+    pub fn n_experts(&self) -> usize {
+        self.config.n_experts
+    }
+
+    /// Total number of agents across all kinds.
+    pub fn n_agents(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// How many route-buffer reallocations have happened since
+    /// construction. Stays 0 after spawn in steady state — buffers are
+    /// reserved to the routing table's worst case — which the
+    /// zero-allocation regression test asserts.
+    pub fn route_grows(&self) -> u64 {
+        self.route_grows
+    }
+
+    /// Attaches an observability sink; `step` emits the
+    /// `world.tick.{awake,slept,woken}` counters through it.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
+    /// The kind of agent `id`.
+    pub fn agent_kind(&self, id: AgentId) -> AgentKind {
+        self.kind[id]
+    }
+
+    /// A borrowed view of road-vehicle `id` (experts, background, and
+    /// non-garaged fleet).
+    ///
+    /// # Panics
+    /// Panics if `id` is a pedestrian or a garaged fleet vehicle (their
+    /// route is empty).
+    pub fn vehicle_view(&self, id: AgentId) -> VehicleRef<'_> {
+        assert!(
+            !self.routes[id].edges.is_empty(),
+            "agent {id} has no route (pedestrian or garaged fleet)"
+        );
+        VehicleRef {
+            route: &self.routes[id],
+            edge_idx: self.edge_idx[id],
+            s: self.s[id],
+            speed: self.speed[id],
+        }
+    }
+
+    /// A borrowed view of expert `idx` (experts hold ids `0..n_experts`).
+    pub fn expert_view(&self, idx: usize) -> VehicleRef<'_> {
+        assert!(idx < self.config.n_experts, "expert index out of range");
+        self.vehicle_view(idx)
     }
 
     /// Positions of all pedestrians.
     pub fn pedestrian_positions(&self) -> Vec<Vec2> {
-        self.pedestrians.iter().map(|p| p.pos).collect()
+        self.pos[self.ped_base..].to_vec()
     }
 
-    /// Positions of all cars (experts + background).
+    /// Positions of all active cars (experts + background + driving fleet;
+    /// garaged fleet vehicles are off the road).
     pub fn car_positions(&self) -> Vec<Vec2> {
-        self.experts
-            .iter()
-            .chain(&self.background)
-            .map(|v| v.position(&self.map))
-            .collect()
-    }
-
-    /// Positions of cars excluding expert `skip` (for that expert's BEV).
-    pub fn car_positions_except(&self, skip: usize) -> Vec<Vec2> {
-        self.experts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != skip)
-            .map(|(_, v)| v.position(&self.map))
-            .chain(self.background.iter().map(|v| v.position(&self.map)))
-            .collect()
-    }
-
-    /// Advances the world by one frame (`1 / fps` seconds).
-    pub fn step(&mut self) {
-        let dt = (1.0 / self.config.fps) as f32;
-        let gaps = self.compute_gaps();
-        let ped_positions: Vec<Vec2> = self.pedestrians.iter().map(|p| p.pos).collect();
-        let router = Router::new(&self.map);
-
-        let vehicles = self.experts.iter_mut().chain(self.background.iter_mut());
-        for (vehicle, &gap) in vehicles.zip(&gaps) {
-            let mut target = vehicle.target_speed(&self.map, gap);
-            // Privileged braking for pedestrians in the path.
-            if hazard_ahead(&self.map, vehicle, &ped_positions, 10.0, 2.5) {
-                target = 0.0;
+        let mut out = Vec::with_capacity(self.ped_base);
+        for id in 0..self.ped_base {
+            if self.routes[id].edges.is_empty() {
+                continue;
             }
-            let still_going = vehicle.advance(&self.map, target, dt);
-            if !still_going {
-                // Arrived: plan a fresh random route from the destination.
-                let here = vehicle.route.destination(&self.map);
+            out.push(self.pos[id]);
+        }
+        out
+    }
+
+    /// Positions of active cars excluding expert `skip` (for that expert's
+    /// BEV).
+    pub fn car_positions_except(&self, skip: usize) -> Vec<Vec2> {
+        let mut out = Vec::with_capacity(self.ped_base.saturating_sub(1));
+        for id in 0..self.ped_base {
+            if id == skip || self.routes[id].edges.is_empty() {
+                continue;
+            }
+            out.push(self.pos[id]);
+        }
+        out
+    }
+
+    /// Advances the world by one frame (`1 / fps` seconds): parallel
+    /// intent phase, then the serial id-ordered apply pass.
+    pub fn step(&mut self) -> TickStats {
+        self.begin_tick();
+        let mut intents = std::mem::take(&mut self.intents);
+        let mut gap_index = std::mem::take(&mut self.gap_index);
+        self.build_gap_index(&mut gap_index);
+        self.compute_intents(&gap_index, &mut intents);
+        let stats = self.apply(&intents);
+        self.intents = intents;
+        self.gap_index = gap_index;
+        stats
+    }
+
+    /// [`World::step`] with the intent phase evaluated serially in a
+    /// pseudo-random agent order derived from `perm_seed`. Because intents
+    /// are pure functions of pre-step state, the result must be bit-for-bit
+    /// identical to `step` for every permutation — the property the
+    /// bit-identity suite checks to certify the phase is order-free.
+    pub fn step_permuted(&mut self, perm_seed: u64) -> TickStats {
+        self.begin_tick();
+        let mut intents = std::mem::take(&mut self.intents);
+        let mut gap_index = std::mem::take(&mut self.gap_index);
+        self.build_gap_index(&mut gap_index);
+        intents.clear();
+        intents.resize(self.awake.len(), 0.0);
+        let mut order: Vec<usize> = (0..self.awake.len()).collect();
+        let mut prng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = prng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            intents[i] = self.intent_for(self.awake[i], &gap_index);
+        }
+        let stats = self.apply(&intents);
+        self.intents = intents;
+        self.gap_index = gap_index;
+        stats
+    }
+
+    /// Starts a tick: advances the counter and readmits fleet vehicles
+    /// whose dwell has ended (wake-queue mode; with the queue disabled the
+    /// apply pass performs the same check inline).
+    fn begin_tick(&mut self) {
+        self.tick += 1;
+        if !self.config.wake_queue {
+            return;
+        }
+        let mut woke = std::mem::take(&mut self.woken_scratch);
+        woke.clear();
+        while let Some(&Reverse((due, id))) = self.sleepers.peek() {
+            if due > self.tick {
+                break;
+            }
+            self.sleepers.pop();
+            woke.push(id);
+        }
+        if !woke.is_empty() {
+            woke.sort_unstable();
+            merge_sorted(&mut self.awake, &woke);
+        }
+        self.woken_scratch = woke;
+    }
+
+    /// Rebuilds the leader-gap index: `(edge, s)` of every active vehicle,
+    /// sorted by edge then progress. Pushed in ascending id order and
+    /// stable-sorted, this is element-for-element the order the reference
+    /// world's per-edge `BTreeMap` lists take.
+    fn build_gap_index(&self, out: &mut Vec<(EdgeId, f32)>) {
+        out.clear();
+        for &id in &self.awake {
+            let route = &self.routes[id];
+            if route.edges.is_empty() {
+                continue;
+            }
+            let eid = route.edges[self.edge_idx[id]];
+            out.push((eid, self.s[id]));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    /// The parallel intent phase: one target-speed slot per awake agent.
+    fn compute_intents(&self, gap_index: &[(EdgeId, f32)], intents: &mut Vec<f32>) {
+        intents.clear();
+        intents.resize(self.awake.len(), 0.0);
+        lbchat::exec::par_for_each_mut(intents, |i, out| {
+            *out = self.intent_for(self.awake[i], gap_index);
+        });
+    }
+
+    /// The final target speed of vehicle `id` from pre-step state: speed
+    /// limits + turn slowdown + car-following + pedestrian braking. Pure —
+    /// no RNG, no writes — which is what licenses the parallel shard.
+    fn intent_for(&self, id: AgentId, gap_index: &[(EdgeId, f32)]) -> f32 {
+        let route = &self.routes[id];
+        if route.edges.is_empty() {
+            return 0.0;
+        }
+        let v = VehicleRef {
+            route,
+            edge_idx: self.edge_idx[id],
+            s: self.s[id],
+            speed: self.speed[id],
+        };
+        let gap = gap_from_index(&self.map, gap_index, v);
+        let mut target = v.target_speed(&self.map, gap);
+        // Privileged braking for pedestrians in the path.
+        if self.ped_hazard(v) {
+            target = 0.0;
+        }
+        target
+    }
+
+    /// Pedestrian-braking check with a conservative town-bbox prefilter:
+    /// `hazard_ahead` only sees obstacles within
+    /// `sqrt(lookahead² + half_width²)` ≈ 10.4 m of the vehicle, and
+    /// pedestrians never leave the town rectangle (their waypoints and
+    /// steps stay inside it), so a vehicle further than that from the
+    /// rectangle can skip the scan — the answer is exactly `false` either
+    /// way, keeping the filter bit-transparent.
+    fn ped_hazard(&self, v: VehicleRef<'_>) -> bool {
+        let peds = &self.pos[self.ped_base..];
+        if peds.is_empty() {
+            return false;
+        }
+        const REACH: f32 = 10.5;
+        let p = v.position(&self.map);
+        let (lo, hi) = town_area_of(&self.config.map);
+        let dx = (lo.x - p.x).max(p.x - hi.x).max(0.0);
+        let dy = (lo.y - p.y).max(p.y - hi.y).max(0.0);
+        if dx * dx + dy * dy > REACH * REACH {
+            return false;
+        }
+        hazard_ahead(&self.map, v, peds, 10.0, 2.5)
+    }
+
+    /// The serial apply pass: integrate awake vehicles in ascending id
+    /// order (reroutes and fleet transitions draw RNG here), then step
+    /// every pedestrian. Vehicles read pre-step pedestrian positions from
+    /// the `pos` column because every vehicle id precedes every pedestrian
+    /// id — no snapshot copy needed.
+    fn apply(&mut self, intents: &[f32]) -> TickStats {
+        let dt = (1.0 / self.config.fps) as f32;
+        let mut active = 0usize;
+        let mut woken = 0usize;
+        let mut slept = 0usize;
+        let mut slept_ids = std::mem::take(&mut self.woken_scratch);
+        slept_ids.clear();
+        for (i, &intent) in intents.iter().enumerate().take(self.awake.len()) {
+            let id = self.awake[i];
+            if self.routes[id].edges.is_empty() {
+                // Garaged fleet vehicle (wake queue disabled, or woken this
+                // tick): plan a fresh route once its dwell ends; it drives
+                // from the next tick.
+                if self.wake_at[id] <= self.tick {
+                    self.plan_fleet_route(id);
+                    woken += 1;
+                }
+                continue;
+            }
+            active += 1;
+            let still_going = advance_on_route(
+                &self.map,
+                &self.routes[id],
+                &mut self.edge_idx[id],
+                &mut self.s[id],
+                &mut self.speed[id],
+                intent,
+                dt,
+            );
+            if still_going {
+                let eid = self.routes[id].edges[self.edge_idx[id]];
+                self.pos[id] = self.map.position_on_edge(eid, self.s[id]);
+            } else if self.kind[id] == AgentKind::Fleet {
+                // Arrived: garage the vehicle and queue its next outing.
+                let here = self.routes[id].destination(&self.map);
+                self.routes[id].edges.clear();
+                self.edge_idx[id] = 0;
+                self.s[id] = 0.0;
+                self.speed[id] = 0.0;
+                self.parked_at[id] = here;
+                self.pos[id] = self.map.node(here).pos;
+                let dwell = self.rng.random_range(60..600u64);
+                self.wake_at[id] = self.tick + dwell;
+                slept += 1;
+                if self.config.wake_queue {
+                    self.sleepers.push(Reverse((self.wake_at[id], id)));
+                    slept_ids.push(id);
+                }
+            } else {
+                // Arrived: plan a fresh random route from the destination,
+                // carrying speed across the reroute (reference semantics).
+                let here = self.routes[id].destination(&self.map);
                 loop {
                     let next = self.map.random_node(&mut self.rng);
-                    if let Some(route) = router.route(here, next) {
-                        let speed = vehicle.speed;
-                        *vehicle = RoadVehicle::new(route);
-                        vehicle.speed = speed;
+                    if let Some(grew) =
+                        self.table.route_into(here, next, &mut self.routes[id].edges)
+                    {
+                        if grew {
+                            self.route_grows += 1;
+                        }
                         break;
                     }
                 }
+                self.edge_idx[id] = 0;
+                self.s[id] = 0.0;
+                let eid = self.routes[id].edges[0];
+                self.pos[id] = self.map.position_on_edge(eid, 0.0);
             }
         }
-
-        let town_area = (
-            self.config.map.town_origin,
-            self.config.map.town_origin
-                + Vec2::new(
-                    (self.config.map.grid - 1) as f32 * self.config.map.block,
-                    (self.config.map.grid - 1) as f32 * self.config.map.block,
-                ),
-        );
-        for p in &mut self.pedestrians {
-            p.step(town_area, dt, &mut self.rng);
+        if !slept_ids.is_empty() {
+            remove_sorted(&mut self.awake, &slept_ids);
         }
-        self.time += dt as f64;
+        self.woken_scratch = slept_ids;
+
+        let town = town_area_of(&self.config.map);
+        let base = self.ped_base;
+        for j in 0..self.peds.len() {
+            self.peds[j].step(town, dt, &mut self.rng);
+            let id = base + j;
+            self.pos[id] = self.peds[j].pos;
+        }
+        self.time += f64::from(dt);
+
+        let stats = TickStats { awake: active + self.peds.len(), slept, woken };
+        self.obs.add("world.tick.awake", stats.awake as u64);
+        self.obs.add("world.tick.slept", stats.slept as u64);
+        self.obs.add("world.tick.woken", stats.woken as u64);
+        stats
     }
 
-    /// Leader gap for every road vehicle (experts then background):
-    /// the free distance to the nearest vehicle ahead on the same edge or
-    /// the immediate next route edge, `None` when clear.
-    fn compute_gaps(&self) -> Vec<Option<f32>> {
-        let all: Vec<&RoadVehicle> =
-            self.experts.iter().chain(&self.background).collect();
-        // Group (s, slot) by edge. BTreeMap keeps iteration (and thus any
-        // future order-sensitive use) deterministic; the map is tiny, so
-        // the tree overhead is irrelevant here.
-        let mut by_edge: BTreeMap<usize, Vec<(f32, usize)>> = BTreeMap::new();
-        for (slot, v) in all.iter().enumerate() {
-            by_edge.entry(v.edge()).or_default().push((v.s, slot));
-        }
-        for list in by_edge.values_mut() {
-            list.sort_by(|a, b| a.0.total_cmp(&b.0));
-        }
-        all.iter()
-            .map(|v| {
-                let mut best: Option<f32> = None;
-                // Same edge, ahead of us.
-                if let Some(list) = by_edge.get(&v.edge()) {
-                    for &(s, _) in list {
-                        if s > v.s + 0.1 {
-                            best = Some(s - v.s);
-                            break;
-                        }
-                    }
+    /// Plans a fresh route for fleet vehicle `id` out of its parking node.
+    fn plan_fleet_route(&mut self, id: AgentId) {
+        let here = self.parked_at[id];
+        loop {
+            let next = self.map.random_node(&mut self.rng);
+            if let Some(grew) = self.table.route_into(here, next, &mut self.routes[id].edges) {
+                if grew {
+                    self.route_grows += 1;
                 }
-                // Next edge on our route, near its start.
-                if best.is_none() {
-                    if let Some(&next) = v.route.edges.get(v.edge_idx + 1) {
-                        if let Some(list) = by_edge.get(&next) {
-                            if let Some(&(s, _)) = list.first() {
-                                best = Some(v.remaining_on_edge(&self.map) + s);
-                            }
-                        }
-                    }
-                }
-                best.filter(|&g| g < 60.0)
-            })
-            .collect()
+                break;
+            }
+        }
+        self.edge_idx[id] = 0;
+        self.s[id] = 0.0;
+        self.speed[id] = 0.0;
+        let eid = self.routes[id].edges[0];
+        self.pos[id] = self.map.position_on_edge(eid, 0.0);
     }
 
     /// Captures expert `idx`'s BEV observation and supervision for the
@@ -337,7 +795,7 @@ impl World {
     /// time-spaced at the world frame interval using the expert's privileged
     /// speed decision (turn slowdown, car-following, pedestrian braking).
     pub fn observe_expert(&self, idx: usize) -> (Bev, ExpertOutput) {
-        let v = &self.experts[idx];
+        let v = self.expert_view(idx);
         let pose = Pose {
             pos: v.position(&self.map),
             heading: v.heading(&self.map).angle(),
@@ -363,25 +821,8 @@ impl World {
 
     /// Densely sampled world-frame points along the next `horizon` meters of
     /// a vehicle's route (the BEV route channel input).
-    pub fn route_ahead_polyline(&self, v: &RoadVehicle, horizon: f32) -> Vec<Vec2> {
-        let mut pts = Vec::new();
-        let mut remaining = horizon;
-        let mut first = true;
-        for &eid in &v.route.edges[v.edge_idx..] {
-            let edge = self.map.edge(eid);
-            let start = if first { v.s } else { 0.0 };
-            first = false;
-            let mut s = start;
-            while s < edge.length && remaining > 0.0 {
-                pts.push(self.map.position_on_edge(eid, s));
-                s += 2.0;
-                remaining -= 2.0;
-            }
-            if remaining <= 0.0 {
-                break;
-            }
-        }
-        pts
+    pub fn route_ahead_polyline(&self, v: VehicleRef<'_>, horizon: f32) -> Vec<Vec2> {
+        self.route_polyline_from(v.route, v.edge_idx, v.s, horizon)
     }
 
     /// Same as [`World::route_ahead_polyline`] but for an arbitrary route
@@ -408,25 +849,22 @@ impl World {
         pts
     }
 
-    /// Whether a circle at `pos` with `radius` collides with any car or
-    /// pedestrian (the closed-loop failure check). `skip_expert` excludes
+    /// Whether a circle at `pos` with `radius` collides with any active car
+    /// or pedestrian (the closed-loop failure check). `skip_expert` excludes
     /// one expert (the ego vehicle itself when it is driven externally).
     pub fn collides(&self, pos: Vec2, radius: f32, skip_expert: Option<usize>) -> bool {
-        for (i, v) in self.experts.iter().enumerate() {
-            if Some(i) == skip_expert {
+        let car_r = radius + radii::CAR;
+        for id in 0..self.ped_base {
+            if Some(id) == skip_expert || self.routes[id].edges.is_empty() {
                 continue;
             }
-            if v.position(&self.map).distance(pos) < radius + radii::CAR {
+            if self.pos[id].distance(pos) < car_r {
                 return true;
             }
         }
-        for v in &self.background {
-            if v.position(&self.map).distance(pos) < radius + radii::CAR {
-                return true;
-            }
-        }
-        for p in &self.pedestrians {
-            if p.pos.distance(pos) < radius + radii::PEDESTRIAN {
+        let ped_r = radius + radii::PEDESTRIAN;
+        for p in &self.pos[self.ped_base..] {
+            if p.distance(pos) < ped_r {
                 return true;
             }
         }
@@ -439,10 +877,10 @@ impl World {
     pub fn record_trace(&mut self, seconds: f64) -> MobilityTrace {
         let frames = (seconds * self.config.fps).ceil() as usize + 1;
         let mut positions: Vec<Vec<Vec2>> =
-            vec![Vec::with_capacity(frames); self.experts.len()];
+            vec![Vec::with_capacity(frames); self.config.n_experts];
         for _ in 0..frames {
-            for (i, v) in self.experts.iter().enumerate() {
-                positions[i].push(v.position(&self.map));
+            for (i, track) in positions.iter_mut().enumerate() {
+                track.push(self.pos[i]);
             }
             self.step();
         }
@@ -451,13 +889,13 @@ impl World {
 
     /// Future route samples of expert `idx` (assist-message content).
     pub fn expert_future(&self, idx: usize, dt: f64, n: usize) -> Vec<Vec2> {
-        self.experts[idx].predict_future(&self.map, dt, n)
-    }
-
-    /// Mutable access to an expert vehicle (tests and the evaluator use this
-    /// to reposition or re-route).
-    pub fn expert_mut(&mut self, idx: usize) -> &mut RoadVehicle {
-        &mut self.experts[idx]
+        let ghost = RoadVehicle {
+            route: self.routes[idx].clone(),
+            edge_idx: self.edge_idx[idx],
+            s: self.s[idx],
+            speed: self.speed[idx],
+        };
+        ghost.predict_future(&self.map, dt, n)
     }
 
     /// The world's RNG, for auxiliary draws that must stay reproducible.
@@ -465,19 +903,18 @@ impl World {
         &mut self.rng
     }
 
-    /// A router borrowed over this world's map.
-    pub fn router(&self) -> Router<'_> {
-        Router::new(&self.map)
+    /// The precomputed routing table over this world's map.
+    pub fn router(&self) -> &RoutingTable {
+        &self.table
     }
 
     /// Draws a random route with at least `min_len` meters, for evaluation
     /// tasks.
     pub fn random_route<R: Rng + ?Sized>(&self, min_len: f32, rng: &mut R) -> Route {
-        let router = Router::new(&self.map);
         loop {
             let a = self.map.random_node(rng);
             let b = self.map.random_node(rng);
-            if let Some(r) = router.route(a, b) {
+            if let Some(r) = self.table.route(a, b) {
                 if r.length(&self.map) >= min_len {
                     return r;
                 }
@@ -486,12 +923,107 @@ impl World {
     }
 }
 
+/// The town rectangle pedestrians roam, `(min, max)` corners — the same
+/// f32 expression the reference world evaluates.
+fn town_area_of(map: &MapConfig) -> (Vec2, Vec2) {
+    (
+        map.town_origin,
+        map.town_origin
+            + Vec2::new(
+                (map.grid - 1) as f32 * map.block,
+                (map.grid - 1) as f32 * map.block,
+            ),
+    )
+}
+
+/// Leader gap for one vehicle against the sorted `(edge, s)` gap index:
+/// free distance to the nearest vehicle ahead on the same edge or the
+/// immediate next route edge, `None` when clear within 60 m — value-for-
+/// value the reference world's `compute_gaps` answer.
+fn gap_from_index(map: &RoadNetwork, index: &[(EdgeId, f32)], v: VehicleRef<'_>) -> Option<f32> {
+    let edge = v.edge();
+    let mut best: Option<f32> = None;
+    // Same edge, ahead of us: the first entry past `s + 0.1` in the
+    // edge's sorted run.
+    let lo = index.partition_point(|&(e, _)| e < edge);
+    let run = &index[lo..];
+    let hi = run.partition_point(|&(e, _)| e == edge);
+    let same = &run[..hi];
+    let cut = v.s + 0.1;
+    let k = same.partition_point(|&(_, s)| s <= cut);
+    if let Some(&(_, s)) = same.get(k) {
+        best = Some(s - v.s);
+    }
+    // Next edge on our route, near its start.
+    if best.is_none() {
+        let next_idx = v.edge_idx + 1;
+        if let Some(&next) = v.route.edges.get(next_idx) {
+            let nlo = index.partition_point(|&(e, _)| e < next);
+            if let Some(&(e, s)) = index.get(nlo) {
+                if e == next {
+                    best = Some(v.remaining_on_edge(map) + s);
+                }
+            }
+        }
+    }
+    best.filter(|&g| g < 60.0)
+}
+
+/// Merges sorted `add` into sorted `dst` in place (backward merge, no
+/// extra allocation beyond the tail growth).
+fn merge_sorted(dst: &mut Vec<AgentId>, add: &[AgentId]) {
+    let mut a = dst.len();
+    dst.resize(a + add.len(), 0);
+    let mut b = add.len();
+    let mut w = dst.len();
+    while b > 0 {
+        w -= 1;
+        let take_dst = a > 0 && {
+            let ai = a - 1;
+            let bi = b - 1;
+            dst[ai] > add[bi]
+        };
+        if take_dst {
+            a -= 1;
+            dst[w] = dst[a];
+        } else {
+            b -= 1;
+            dst[w] = add[b];
+        }
+    }
+}
+
+/// Removes every id in sorted `gone` from sorted `dst` with one two-pointer
+/// sweep.
+fn remove_sorted(dst: &mut Vec<AgentId>, gone: &[AgentId]) {
+    let mut keep = 0usize;
+    let mut k = 0usize;
+    for r in 0..dst.len() {
+        let id = dst[r];
+        if k < gone.len() && gone[k] == id {
+            k += 1;
+            continue;
+        }
+        dst[keep] = id;
+        keep += 1;
+    }
+    dst.truncate(keep);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small_world() -> World {
         World::new(WorldConfig::small(3))
+    }
+
+    fn fleet_world(seed: u64, n_fleet: usize, wake_queue: bool) -> World {
+        World::new(WorldConfig {
+            n_fleet,
+            wake_queue,
+            ..WorldConfig::small(seed)
+        })
     }
 
     #[test]
@@ -518,9 +1050,10 @@ mod tests {
     #[test]
     fn world_constructs_with_requested_population() {
         let w = small_world();
-        assert_eq!(w.experts().len(), 8);
+        assert_eq!(w.n_experts(), 8);
         assert_eq!(w.car_positions().len(), 8 + 12);
         assert_eq!(w.pedestrian_positions().len(), 40);
+        assert_eq!(w.n_agents(), 8 + 12 + 40);
     }
 
     #[test]
@@ -543,7 +1076,8 @@ mod tests {
             w.step();
         }
         // No panics and everyone still has a live route.
-        for v in w.experts() {
+        for idx in 0..w.n_experts() {
+            let v = w.expert_view(idx);
             assert!(v.edge_idx < v.route.edges.len());
         }
     }
@@ -620,5 +1154,108 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let r = w.random_route(400.0, &mut rng);
         assert!(r.length(w.map()) >= 400.0);
+    }
+
+    #[test]
+    fn fleet_scale_keys_round_trip() {
+        for f in FleetScale::ALL {
+            assert_eq!(FleetScale::parse(f.key()), Some(f));
+        }
+        assert_eq!(FleetScale::parse("nope"), None);
+        assert_eq!(FleetScale::Seed.n_fleet(), 0);
+        assert!(FleetScale::M1.n_fleet() > FleetScale::K100.n_fleet());
+    }
+
+    #[test]
+    fn fleet_vehicles_cycle_between_parked_and_driving() {
+        let mut w = fleet_world(11, 30, true);
+        assert_eq!(w.n_agents(), 8 + 12 + 30 + 40);
+        // Everyone starts parked (garaged fleet is off the road).
+        assert_eq!(w.car_positions().len(), 20);
+        let mut woken_total = 0;
+        let mut slept_total = 0;
+        let mut max_active = 0;
+        for _ in 0..800 {
+            let stats = w.step();
+            woken_total += stats.woken;
+            slept_total += stats.slept;
+            max_active = max_active.max(stats.awake);
+        }
+        assert!(woken_total > 0, "dwells under 600 ticks must have ended");
+        assert!(slept_total > 0, "some fleet trips must have completed");
+        assert!(max_active > 20 + 40, "fleet vehicles must have driven");
+        // The awake list only holds experts/background plus driving fleet.
+        assert!(w.awake.len() <= 20 + 30);
+        assert!(w.awake.windows(2).all(|p| p[0] < p[1]), "awake stays sorted");
+    }
+
+    #[test]
+    fn wake_queue_disabled_is_bit_identical() {
+        let mut on = fleet_world(21, 25, true);
+        let mut off = fleet_world(21, 25, false);
+        for _ in 0..700 {
+            on.step();
+            off.step();
+        }
+        assert_eq!(on.pos.len(), off.pos.len());
+        for (a, b) in on.pos.iter().zip(&off.pos) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+        assert_eq!(on.tick, off.tick);
+    }
+
+    #[test]
+    fn permuted_intent_order_is_bit_identical() {
+        let mut a = fleet_world(31, 15, true);
+        let mut b = fleet_world(31, 15, true);
+        for k in 0..120 {
+            a.step();
+            b.step_permuted(0xBAD5EED ^ k);
+        }
+        for (p, q) in a.pos.iter().zip(&b.pos) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+        }
+        for (p, q) in a.speed.iter().zip(&b.speed) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn routes_never_reallocate_after_spawn() {
+        let mut w = fleet_world(41, 20, true);
+        assert_eq!(w.route_grows(), 0, "spawn must reserve the worst case");
+        for _ in 0..900 {
+            w.step();
+        }
+        assert_eq!(w.route_grows(), 0, "steady-state reroutes must not allocate");
+    }
+
+    #[test]
+    fn tick_counters_flow_to_the_obs_sink() {
+        let sink = ObsSink::recording();
+        let mut w = fleet_world(51, 10, true);
+        w.attach_obs(sink.clone());
+        for _ in 0..650 {
+            w.step();
+        }
+        let counters = sink.counters();
+        assert!(counters.get("world.tick.awake").copied().unwrap_or(0) > 0);
+        assert!(counters.get("world.tick.woken").copied().unwrap_or(0) > 0);
+        assert!(counters.get("world.tick.slept").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn merge_and_remove_keep_sorted_sets() {
+        let mut v = vec![1usize, 4, 7, 9];
+        merge_sorted(&mut v, &[0, 5, 9]);
+        assert_eq!(v, vec![0, 1, 4, 5, 7, 9, 9]);
+        let mut v = vec![1usize, 3, 5, 7];
+        remove_sorted(&mut v, &[3, 7]);
+        assert_eq!(v, vec![1, 5]);
+        let mut v: Vec<usize> = vec![2, 4];
+        merge_sorted(&mut v, &[]);
+        assert_eq!(v, vec![2, 4]);
     }
 }

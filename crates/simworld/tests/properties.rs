@@ -49,8 +49,8 @@ proptest! {
             w.step();
         }
         let raster = w.raster();
-        for v in w.experts() {
-            let p = v.position(w.map());
+        for i in 0..w.n_experts() {
+            let p = w.expert_view(i).position(w.map());
             prop_assert!(raster.is_road(p), "vehicle off-road at {p:?} (seed {seed})");
         }
     }
@@ -127,7 +127,8 @@ fn speed_limits_respected_by_traffic() {
     let mut w = World::new(WorldConfig::small(4));
     for _ in 0..400 {
         w.step();
-        for v in w.experts() {
+        for i in 0..w.n_experts() {
+            let v = w.expert_view(i);
             let limit = w.map().edge(v.edge()).kind.speed_limit();
             // A vehicle crossing onto a slower road mid-frame only starts
             // braking the next frame, so entry overshoot is bounded by two
