@@ -1,0 +1,531 @@
+//! Symbol table and conservative call graph over the workspace.
+//!
+//! [`CallGraph::build`] takes every parsed file and produces one node per
+//! non-test `fn` item plus resolved caller→callee edges. Resolution is
+//! deliberately *conservative in the over-approximating direction* for
+//! anything the taint lints walk: an unqualified method call resolves to
+//! every method of that name anywhere in the workspace, so a taint walk
+//! can only see *more* paths than really exist, never fewer. Free and
+//! module-qualified calls are narrowed by Rust-like scoping — unqualified
+//! calls see file-top-level fns plus same-inline-mod siblings, `m::f(..)`
+//! sees fns whose (file or inline) module is `m` — but always fall back
+//! to every same-name free fn when the scoped set is empty. The one
+//! documented under-approximation is an exactly-qualified call to a type
+//! with no matching method (`Foreign::thing(..)`): it resolves to
+//! nothing, because inventing edges to unrelated same-name methods would
+//! drown the lints in noise. `docs/AUDIT.md` spells out both directions.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::FileScan;
+use crate::parser::{tokenize, word, FnItem, ItemSet, Tok};
+
+/// One function in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// The module the fn lives in: the innermost *inline* `mod` block
+    /// containing it, or the file's own module name (its stem, or the
+    /// parent directory for `mod.rs`/`lib.rs`/`main.rs`).
+    pub module: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+impl FnNode {
+    /// Human-readable handle: `path::Type::name` without the `.rs`, with
+    /// the inline mod spliced in when the fn lives in one
+    /// (`path::reference::name`).
+    pub fn display(&self) -> String {
+        if self.module == module_of(&self.file) {
+            format!("{}::{}", self.file.trim_end_matches(".rs"), self.item.display())
+        } else {
+            format!(
+                "{}::{}::{}",
+                self.file.trim_end_matches(".rs"),
+                self.module,
+                self.item.display()
+            )
+        }
+    }
+}
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `name(..)` — an unqualified free call.
+    Free(String),
+    /// `.name(..)` — a method call on some receiver.
+    Method(String),
+    /// `qual::name(..)` — the last qualifier segment and the name.
+    Path(String, String),
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test functions, in deterministic (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// `edges[i]` = sorted, deduped callee indices of `fns[i]`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files. `files` must already be in
+    /// deterministic (sorted-walk) order; node order follows it.
+    pub fn build(files: &[(FileScan, ItemSet)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (scan, items) in files {
+            for item in &items.fns {
+                if !item.is_test {
+                    // Innermost inline mod containing the declaration, by
+                    // byte offset of the decl line.
+                    let decl_off = scan
+                        .line_starts
+                        .get(item.decl_line - 1)
+                        .copied()
+                        .unwrap_or(0);
+                    let module = items
+                        .mods
+                        .iter()
+                        .filter(|m| m.span.0 <= decl_off && decl_off <= m.span.1)
+                        .min_by_key(|m| m.span.1 - m.span.0)
+                        .map_or_else(
+                            || module_of(&scan.rel).to_string(),
+                            |m| m.name.clone(),
+                        );
+                    fns.push(FnNode {
+                        file: scan.rel.clone(),
+                        module,
+                        item: item.clone(),
+                    });
+                }
+            }
+        }
+        // Symbol table: free fns by name, methods by name, and methods by
+        // (type, name) for exactly-qualified calls.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, node) in fns.iter().enumerate() {
+            match &node.item.impl_type {
+                None => free.entry(&node.item.name).or_default().push(i),
+                Some(t) => {
+                    methods.entry(&node.item.name).or_default().push(i);
+                    typed.entry((t, &node.item.name)).or_default().push(i);
+                }
+            }
+        }
+        let scan_of: BTreeMap<&str, &FileScan> =
+            files.iter().map(|(s, _)| (s.rel.as_str(), s)).collect();
+        let mut edges = Vec::with_capacity(fns.len());
+        for node in &fns {
+            let mut out = Vec::new();
+            if let (Some(scan), Some(span)) = (scan_of.get(node.file.as_str()), node.item.body) {
+                for site in extract_calls(&scan.code[span.0..=span.1]) {
+                    resolve(&site, node, &fns, &free, &methods, &typed, &mut out);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Index of the unique fn named `name` defined in `file` (first match
+    /// in source order).
+    pub fn find(&self, file: &str, name: &str) -> Option<usize> {
+        self.fns
+            .iter()
+            .position(|n| n.file == file && n.item.name == name)
+    }
+
+    /// All resolved edges as display-name pairs, sorted — the golden
+    /// fixture format.
+    pub fn edge_pairs(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (i, callees) in self.edges.iter().enumerate() {
+            for &j in callees {
+                out.push((self.fns[i].display(), self.fns[j].display()));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Words that look like calls but are control flow or declarations.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "let", "move", "in", "as", "ref",
+    "mut", "else", "unsafe", "await", "struct", "enum", "union", "trait", "impl", "where",
+];
+
+/// Extracts every call site from a blanked body slice.
+pub fn extract_calls(body: &str) -> Vec<CallSite> {
+    let toks = tokenize(body);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Word(..) = toks[i] else { continue };
+        let name = word(body, &toks[i]);
+        if NON_CALL_WORDS.contains(&name) {
+            continue;
+        }
+        // A call is `name (` or `name ::< … > (` (turbofish).
+        let mut j = i + 1;
+        if matches!(
+            (toks.get(j), toks.get(j + 1), toks.get(j + 2)),
+            (
+                Some(Tok::Punct(_, b':')),
+                Some(Tok::Punct(_, b':')),
+                Some(Tok::Punct(_, b'<'))
+            )
+        ) {
+            // Skip the balanced angle list.
+            let mut depth = 0i32;
+            j += 2;
+            while j < toks.len() {
+                match toks[j] {
+                    Tok::Punct(_, b'<') => depth += 1,
+                    Tok::Punct(o, b'>') if !(o > 0 && body.as_bytes()[o - 1] == b'-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !matches!(toks.get(j), Some(Tok::Punct(_, b'('))) {
+            continue;
+        }
+        // Macro invocation `name!(..)` is not a fn call.
+        if matches!(toks.get(i + 1), Some(Tok::Punct(_, b'!'))) {
+            continue;
+        }
+        // Classify by what precedes the name.
+        match (i.checked_sub(2).map(|k| toks[k]), i.checked_sub(1).map(|k| toks[k])) {
+            (Some(Tok::Punct(_, b':')), Some(Tok::Punct(_, b':'))) => {
+                // Declaration keywords immediately before never happen
+                // here (`::` in between), so this is a path call; the
+                // qualifier is the word before the two colons, looking
+                // through a generic list (`Vec::<u8>::new`, `Vec<u8>::new`).
+                out.push(CallSite::Path(path_qual(body, &toks, i), name.to_string()));
+            }
+            (_, Some(Tok::Punct(_, b'.'))) => out.push(CallSite::Method(name.to_string())),
+            (_, Some(Tok::Word(o, l))) => {
+                // `fn name(`, `struct Name(` … are declarations.
+                if !NON_CALL_WORDS.contains(&&body[o..o + l]) {
+                    out.push(CallSite::Free(name.to_string()));
+                }
+            }
+            _ => out.push(CallSite::Free(name.to_string())),
+        }
+    }
+    out
+}
+
+/// The qualifier of a path call whose name sits at token `i` (with
+/// `toks[i-2..i]` being `::`): the word before the colons, skipping a
+/// balanced generic list and its optional own `::` (`Vec::<u8>::new`,
+/// `Vec<u8>::new`). Empty when nothing word-like precedes.
+fn path_qual(body: &str, toks: &[Tok], i: usize) -> String {
+    let Some(mut k) = i.checked_sub(3) else {
+        return String::new();
+    };
+    if let Tok::Punct(_, b'>') = toks[k] {
+        // Walk back over the balanced `<…>`.
+        let mut depth = 0i32;
+        loop {
+            match toks[k] {
+                Tok::Punct(_, b'>') => depth += 1,
+                Tok::Punct(_, b'<') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            match k.checked_sub(1) {
+                Some(p) => k = p,
+                None => return String::new(),
+            }
+        }
+        // Before the `<`: either the qualifier word directly or a `::`.
+        let Some(mut p) = k.checked_sub(1) else {
+            return String::new();
+        };
+        if matches!(
+            (p.checked_sub(1).map(|q| toks[q]), toks[p]),
+            (Some(Tok::Punct(_, b':')), Tok::Punct(_, b':'))
+        ) {
+            match p.checked_sub(2) {
+                Some(q) => p = q,
+                None => return String::new(),
+            }
+        }
+        k = p;
+    }
+    match toks[k] {
+        Tok::Word(..) => word(body, &toks[k]).to_string(),
+        _ => String::new(),
+    }
+}
+
+/// The module name a file defines: its stem, or the parent directory for
+/// `mod.rs` / `lib.rs` / `main.rs` (`crates/core/src/runtime/mod.rs` →
+/// `runtime`).
+fn module_of(file: &str) -> &str {
+    let stem = file
+        .rsplit('/')
+        .next()
+        .unwrap_or(file)
+        .trim_end_matches(".rs");
+    if matches!(stem, "mod" | "lib" | "main") {
+        let mut parts = file.rsplit('/');
+        parts.next();
+        parts.next().unwrap_or(stem)
+    } else {
+        stem
+    }
+}
+
+/// Appends the node indices a call site may reach.
+fn resolve(
+    site: &CallSite,
+    caller: &FnNode,
+    fns: &[FnNode],
+    free: &BTreeMap<&str, Vec<usize>>,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    typed: &BTreeMap<(&str, &str), Vec<usize>>,
+    out: &mut Vec<usize>,
+) {
+    match site {
+        // Free call: every free fn of that name that is actually in scope
+        // unqualified — file-top-level fns anywhere (importable with a
+        // plain `use`) plus siblings in the caller's own inline mod. A
+        // free fn buried in *another* inline mod needs qualification to
+        // reach, so edges to it would be pure noise (`reference::reduce`
+        // vs the optimized `reduce`). Falls back to every fn of the name
+        // if the scoped set is empty, to stay over-approximate.
+        CallSite::Free(name) => {
+            if let Some(v) = free.get(name.as_str()) {
+                let scoped: Vec<usize> = v
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let n = &fns[i];
+                        n.module == module_of(&n.file)
+                            || (n.file == caller.file && n.module == caller.module)
+                    })
+                    .collect();
+                if scoped.is_empty() {
+                    out.extend_from_slice(v);
+                } else {
+                    out.extend_from_slice(&scoped);
+                }
+            }
+        }
+        // Method call: every method of that name on any type — the
+        // over-approximation that keeps taint sound without type info.
+        CallSite::Method(name) => {
+            if let Some(v) = methods.get(name.as_str()) {
+                out.extend_from_slice(v);
+            }
+        }
+        CallSite::Path(qual, name) => {
+            let qual = if qual == "Self" {
+                caller.item.impl_type.clone().unwrap_or_default()
+            } else {
+                qual.clone()
+            };
+            if qual.chars().next().is_some_and(char::is_uppercase) {
+                // Exactly qualified: only that type's methods. A type we
+                // did not parse (std, vendored) resolves to nothing —
+                // the documented under-approximation.
+                if let Some(v) = typed.get(&(qual.as_str(), name.as_str())) {
+                    out.extend_from_slice(v);
+                }
+            } else {
+                // Module-qualified (`event_loop::run`, `reference::reduce`):
+                // narrow to the free fns whose module — file-level or
+                // inline — matches the qualifier; a same-name free fn in
+                // an unrelated module is not reachable through this path.
+                // If nothing matches the qualifier (`self::`, `super::`,
+                // a re-export), fall back to every free fn of that name
+                // to stay over-approximate.
+                if let Some(v) = free.get(name.as_str()) {
+                    let narrowed: Vec<usize> = v
+                        .iter()
+                        .copied()
+                        .filter(|&i| fns[i].module == *qual)
+                        .collect();
+                    if narrowed.is_empty() {
+                        out.extend_from_slice(v);
+                    } else {
+                        out.extend_from_slice(&narrowed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_items;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<(FileScan, ItemSet)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let scan = FileScan::new(rel, src);
+                let items = parse_items(&scan);
+                (scan, items)
+            })
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    #[test]
+    fn free_calls_resolve_across_files() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn top() { helper(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(
+            g.edge_pairs(),
+            [("crates/a/src/lib::top".into(), "crates/b/src/lib::helper".into())]
+        );
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\nimpl A {\n    fn go(&self) {}\n}\nimpl B {\n    fn go(&self) {}\n}\nfn driver(a: &A) { a.go(); }\n",
+        )]);
+        let driver = g.find("crates/a/src/lib.rs", "driver").unwrap();
+        assert_eq!(g.edges[driver].len(), 2);
+    }
+
+    #[test]
+    fn exact_qualification_narrows_and_self_maps_to_impl_type() {
+        let src = "struct A;\nstruct B;\nimpl A {\n    fn mk() {}\n    fn call(&self) { Self::mk(); B::mk(); }\n}\nimpl B {\n    fn mk() {}\n}\n";
+        let g = graph(&[("crates/a/src/lib.rs", src)]);
+        let call = g
+            .fns
+            .iter()
+            .position(|n| n.item.name == "call")
+            .unwrap();
+        let callees: Vec<String> =
+            g.edges[call].iter().map(|&j| g.fns[j].display()).collect();
+        assert_eq!(
+            callees,
+            [
+                "crates/a/src/lib::A::mk",
+                "crates/a/src/lib::B::mk"
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_qualified_type_resolves_to_nothing() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn lonely() { Foreign::thing(); }\nfn thing() {}\n",
+        )]);
+        let lonely = g.find("crates/a/src/lib.rs", "lonely").unwrap();
+        assert!(g.edges[lonely].is_empty());
+    }
+
+    #[test]
+    fn module_qualified_call_narrows_to_the_module_file() {
+        let g = graph(&[
+            (
+                "crates/core/src/runtime/mod.rs",
+                "pub fn top() { event_loop::run(); }\n",
+            ),
+            ("crates/core/src/runtime/event_loop.rs", "pub fn run() {}\n"),
+            ("crates/bench/src/suite.rs", "pub fn run() {}\n"),
+        ]);
+        assert_eq!(
+            g.edge_pairs(),
+            [(
+                "crates/core/src/runtime/mod::top".into(),
+                "crates/core/src/runtime/event_loop::run".into()
+            )]
+        );
+    }
+
+    #[test]
+    fn inline_mod_fns_are_qualified_not_ambient() {
+        // `fast()` from outside the inline mod must NOT resolve to
+        // `reference::fast` — only `reference::fast()` reaches it.
+        let src = "pub fn fast() {}\npub fn driver() { fast(); }\npub fn golden() { reference::fast(); }\npub mod reference {\n    pub fn fast() {}\n}\n";
+        let g = graph(&[("crates/core/src/coreset.rs", src)]);
+        assert_eq!(
+            g.edge_pairs(),
+            [
+                (
+                    "crates/core/src/coreset::driver".into(),
+                    "crates/core/src/coreset::fast".into()
+                ),
+                (
+                    "crates/core/src/coreset::golden".into(),
+                    "crates/core/src/coreset::reference::fast".into()
+                ),
+            ]
+        );
+        let golden = g.find("crates/core/src/coreset.rs", "golden").unwrap();
+        let callee = g.edges[golden][0];
+        assert_eq!(g.fns[callee].module, "reference");
+    }
+
+    #[test]
+    fn unmatched_module_qualifier_falls_back_to_all_free_fns() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn top() { reexported::run(); }\n"),
+            ("crates/b/src/suite.rs", "pub fn run() {}\n"),
+        ]);
+        let top = g.find("crates/a/src/lib.rs", "top").unwrap();
+        assert_eq!(g.edges[top].len(), 1);
+    }
+
+    #[test]
+    fn macros_and_declarations_are_not_calls() {
+        let calls = extract_calls("{ println!(\"x\"); struct Inner(u32); fn nested() {} let v = Vec::<u8>::new(); }");
+        assert_eq!(
+            calls,
+            [CallSite::Path("Vec".into(), "new".into())]
+        );
+    }
+
+    #[test]
+    fn turbofish_is_a_call() {
+        let calls = extract_calls("{ parse::<u32>(s); x.collect::<Vec<_>>(); }");
+        assert_eq!(
+            calls,
+            [
+                CallSite::Free("parse".into()),
+                CallSite::Method("collect".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::live(); }\n}\n",
+        )]);
+        assert_eq!(g.fns.len(), 1);
+        assert!(g.edge_pairs().is_empty());
+    }
+}

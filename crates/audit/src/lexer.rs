@@ -90,9 +90,9 @@ impl FileScan {
         let mut line_starts = vec![0usize];
         let mut line = 1usize;
         let mut state = State::Code;
-        let mut lit = String::new();
+        let mut lit: Vec<u8> = Vec::new();
         let mut lit_start = (0usize, 0usize);
-        let mut comment = String::new();
+        let mut comment: Vec<u8> = Vec::new();
         let mut comment_line = 0usize;
         let mut i = 0usize;
         while i < bytes.len() {
@@ -100,7 +100,7 @@ impl FileScan {
             if b == b'\n' {
                 code[i] = b'\n';
                 if state == State::LineComment {
-                    comments.push(Comment { line: comment_line, text: std::mem::take(&mut comment) });
+                    comments.push(Comment { line: comment_line, text: take_utf8(&mut comment) });
                     state = State::Code;
                 }
                 line += 1;
@@ -168,7 +168,7 @@ impl FileScan {
                     i += 1;
                 }
                 State::LineComment => {
-                    comment.push(b as char);
+                    comment.push(b);
                     i += 1;
                 }
                 State::Block(depth) => {
@@ -176,7 +176,7 @@ impl FileScan {
                         if depth == 1 {
                             comments.push(Comment {
                                 line: comment_line,
-                                text: std::mem::take(&mut comment),
+                                text: take_utf8(&mut comment),
                             });
                             state = State::Code;
                         } else {
@@ -190,13 +190,13 @@ impl FileScan {
                         i += 2;
                         continue;
                     }
-                    comment.push(b as char);
+                    comment.push(b);
                     i += 1;
                 }
                 State::Str { raw_hashes: None } => {
                     if b == b'\\' && i + 1 < bytes.len() {
-                        lit.push(b as char);
-                        lit.push(bytes[i + 1] as char);
+                        lit.push(b);
+                        lit.push(bytes[i + 1]);
                         i += 2;
                         continue;
                     }
@@ -205,13 +205,13 @@ impl FileScan {
                         strings.push(StrLit {
                             offset: lit_start.0,
                             line: lit_start.1,
-                            content: std::mem::take(&mut lit),
+                            content: take_utf8(&mut lit),
                         });
                         state = State::Code;
                         i += 1;
                         continue;
                     }
-                    lit.push(b as char);
+                    lit.push(b);
                     i += 1;
                 }
                 State::Str { raw_hashes: Some(h) } => {
@@ -220,19 +220,19 @@ impl FileScan {
                         strings.push(StrLit {
                             offset: lit_start.0,
                             line: lit_start.1,
-                            content: std::mem::take(&mut lit),
+                            content: take_utf8(&mut lit),
                         });
                         state = State::Code;
                         i += 1 + h as usize;
                         continue;
                     }
-                    lit.push(b as char);
+                    lit.push(b);
                     i += 1;
                 }
             }
         }
         if state == State::LineComment || matches!(state, State::Block(_)) {
-            comments.push(Comment { line: comment_line, text: comment });
+            comments.push(Comment { line: comment_line, text: take_utf8(&mut comment) });
         }
         let code = String::from_utf8_lossy(&code).into_owned();
         let whole_file_test = rel.contains("/tests/")
@@ -331,6 +331,14 @@ impl FileScan {
         }
         out
     }
+}
+
+/// Drains an accumulated byte buffer into a `String`. Literals and
+/// comments are collected byte-by-byte (the lexer walks bytes, not
+/// chars), so multi-byte UTF-8 must be reassembled at the flush point —
+/// pushing each byte `as char` would mangle it into Latin-1 mojibake.
+fn take_utf8(buf: &mut Vec<u8>) -> String {
+    String::from_utf8_lossy(&std::mem::take(buf)).into_owned()
 }
 
 fn prev_is_ident(code: &[u8], i: usize) -> bool {

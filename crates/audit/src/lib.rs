@@ -5,31 +5,50 @@
 //! the compiler prevents a future change from smuggling a `HashMap`
 //! iteration, a wall-clock read, or an unseeded RNG into a seeded path and
 //! silently breaking them — so this crate checks the *source* on every
-//! push. It is a dependency-free, hand-rolled scanner (no `syn`,
+//! push. It is a dependency-free, hand-rolled analyzer (no `syn`,
 //! consistent with the vendored-offline policy): a line-based lexer that
 //! understands string literals, comments, and `#[cfg(test)]`/`mod tests`
-//! regions, plus a small set of repo-specific lint families:
+//! regions; an item parser and conservative workspace call graph on top
+//! of it; and a set of repo-specific lint families:
 //!
 //! * **D-lints** (determinism): wall-clock reads, unordered collections,
-//!   and ambient entropy in seeded crates.
+//!   and ambient entropy in seeded crates, textually.
 //! * **P-lints** (panic-safety): `unwrap`/`expect`/`panic!`/inline index
-//!   arithmetic in the runtime/exec/node/simnet hot paths.
+//!   arithmetic in the runtime/exec/node/simnet hot paths — plus P005,
+//!   which walks the call graph from `audit:entry(hot)` functions to
+//!   panic sites *outside* the hot directories.
+//! * **T-lints** (taint): T001 proves `audit:phase(intent)` functions
+//!   cannot reach an RNG draw (the two-phase-tick invariant, statically);
+//!   T002 proves ambient entropy outside the seeded set is unreachable
+//!   from `audit:entry(seeded)` functions.
 //! * **O-lints** (observability): every event kind, counter, and gauge
 //!   emitted through `lbchat::obs` must be documented in
 //!   `docs/OBSERVABILITY.md`, and vice versa.
+//! * **W001** (wire contract): the codec registry in `lbchat::compress`
+//!   must agree with docs/COMPRESSION.md in both directions — keys,
+//!   magic bytes, `Codec::ALL`, decode arms, layout constants.
+//! * **R001** (reference drift): retained-verbatim reference oracles are
+//!   content-hash-pinned in a committed manifest.
 //! * **A-lints** (suppression hygiene): unused or malformed
-//!   `// audit:allow(<id>): <reason>` comments are themselves errors.
+//!   `audit:allow` / `audit:phase` / `audit:entry` comments are
+//!   themselves errors.
 //!
 //! Findings are emitted human-readably and as a machine-diffable JSON
 //! report (schema [`report::SCHEMA`], hand-rolled JSON via `lbchat::obs`);
-//! see `docs/AUDIT.md` for the catalogue and suppression syntax.
+//! see `docs/AUDIT.md` for the catalogue, the annotation grammar, and the
+//! call-graph resolution rules.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod refs;
 pub mod report;
+pub mod taint;
 pub mod walk;
+pub mod wire;
 
 pub use lints::{Finding, Profile, Suppressed, LINTS};
 pub use report::Report;
@@ -54,27 +73,54 @@ impl std::fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
+/// The fully parsed workspace: one `(scan, items)` per file in walk
+/// order, shared by every cross-file pass.
+pub struct Workspace {
+    /// Parsed files in deterministic walk order.
+    pub files: Vec<(lexer::FileScan, parser::ItemSet)>,
+}
+
+impl Workspace {
+    /// Reads and parses every workspace file under `root`.
+    pub fn load(root: &Path, profile: &Profile) -> Result<Workspace, AuditError> {
+        let rels = walk::workspace_files(root, profile)?;
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in &rels {
+            let abs = root.join(rel);
+            let text = std::fs::read_to_string(&abs)
+                .map_err(|e| AuditError::Io(abs.display().to_string(), e))?;
+            let scan = lexer::FileScan::new(rel, &text);
+            let items = parser::parse_items(&scan);
+            files.push((scan, items));
+        }
+        Ok(Workspace { files })
+    }
+}
+
 /// Scans the workspace under `root` with `profile` and returns the full
-/// report: per-file D/P findings, cross-file O-lint findings, and the
+/// report: per-file D/P findings, the graph lints (T001/T002/P005), the
+/// wire-contract and reference-drift cross-checks, the O-lints, and the
 /// suppression bookkeeping (A-lints).
 pub fn audit(root: &Path, profile: &Profile) -> Result<Report, AuditError> {
-    let files = walk::workspace_files(root, profile)?;
+    let ws = Workspace::load(root, profile)?;
     let mut raw = Vec::new();
     let mut allows = Vec::new();
     let mut emitted = Vec::new();
-    for rel in &files {
-        let abs = root.join(rel);
-        let text = std::fs::read_to_string(&abs)
-            .map_err(|e| AuditError::Io(abs.display().to_string(), e))?;
-        let scan = lexer::FileScan::new(rel, &text);
-        raw.append(&mut lints::check_file(&scan, profile));
-        allows.append(&mut lints::collect_allows(&scan));
+    for (scan, _) in &ws.files {
+        raw.append(&mut lints::check_file(scan, profile));
+        allows.append(&mut lints::collect_allows(scan));
         emitted.append(&mut scan.obs_names());
     }
+    let call_graph = graph::CallGraph::build(&ws.files);
+    raw.append(&mut taint::check_graph(&ws.files, &call_graph, profile));
+    let wire_doc = std::fs::read_to_string(root.join(&profile.wire_doc)).ok();
+    raw.append(&mut wire::check_wire(&ws.files, profile, wire_doc.as_deref()));
+    let manifest = std::fs::read_to_string(root.join(&profile.reference_manifest)).ok();
+    raw.append(&mut refs::check_references(&ws.files, profile, manifest.as_deref()));
     let doc_abs = root.join(&profile.obs_doc);
     let doc_text = std::fs::read_to_string(&doc_abs)
         .map_err(|e| AuditError::Io(doc_abs.display().to_string(), e))?;
     raw.append(&mut lints::check_obs(&profile.obs_doc, &doc_text, &emitted));
     let (findings, suppressed) = lints::apply_allows(raw, allows);
-    Ok(Report::new(files.len(), findings, suppressed))
+    Ok(Report::new(ws.files.len(), findings, suppressed))
 }

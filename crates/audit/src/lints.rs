@@ -29,6 +29,13 @@ pub struct LintSpec {
     pub name: &'static str,
     /// One-line description (shown by `--list-lints` and in docs).
     pub summary: &'static str,
+    /// Why the lint exists — what breaks when it is violated
+    /// (shown by `--explain`).
+    pub rationale: &'static str,
+    /// A minimal offending snippet (shown by `--explain`).
+    pub example: &'static str,
+    /// The suppression policy: how (or whether) `audit:allow` applies.
+    pub suppression: &'static str,
 }
 
 /// Every lint the scanner knows, in id order.
@@ -37,61 +44,137 @@ pub const LINTS: &[LintSpec] = &[
         id: "D001",
         name: "wall-clock-read",
         summary: "Instant::now / SystemTime::now in a seeded crate outside the obs/bench/criterion timing layers",
+        rationale: "Seeded crates promise output that is a pure function of the seed; a wall-clock read is ambient state that can leak into results and break the jobs=1 == jobs=N bit-identity guarantee.",
+        example: "let t = std::time::Instant::now(); // in crates/core/src/",
+        suppression: "audit:allow(D001): <reason> on the offending line; legitimate only in timing layers that never feed results (the obs/ subtree is already exempt).",
     },
     LintSpec {
         id: "D002",
         name: "unordered-collection",
         summary: "HashMap/HashSet in a seeded crate: iteration order can leak into results; use BTreeMap/BTreeSet or sort at iteration",
+        rationale: "HashMap iteration order depends on RandomState and can differ between runs and builds; any fold over it becomes nondeterministic.",
+        example: "let peers: HashMap<NodeId, Score> = HashMap::new();",
+        suppression: "audit:allow(D002): <reason> — acceptable only when the map is never iterated or the iteration is explicitly sorted.",
     },
     LintSpec {
         id: "D003",
         name: "ambient-entropy",
         summary: "thread_rng / OsRng / from_entropy / getrandom in a seeded crate: all randomness must flow from derive_seed",
+        rationale: "Every stochastic choice must be reproducible from the experiment seed; OS entropy makes a run unrepeatable.",
+        example: "let mut rng = rand::thread_rng();",
+        suppression: "audit:allow(D003): <reason> — there is no known legitimate use inside the seeded set; prefer plumbing a seeded StdRng.",
     },
     LintSpec {
         id: "D004",
         name: "wall-clock-payload",
         summary: "epoch/date timestamps (UNIX_EPOCH, Utc::now, ...) in a seeded crate: wall-clock values must not enter result payloads",
+        rationale: "A timestamp embedded in a result payload diffs on every run, defeating golden fixtures and the run differ.",
+        example: "manifest.started = SystemTime::now().duration_since(UNIX_EPOCH);",
+        suppression: "audit:allow(D004): <reason> — acceptable for fields explicitly excluded from fixtures and diffs.",
     },
     LintSpec {
         id: "P001",
         name: "hot-path-unwrap",
         summary: ".unwrap() in a runtime/exec/node/simnet hot path: convert to Result or justify with an allow",
+        rationale: "A panic in the session runtime or worker pool aborts the whole experiment mid-run; hot paths must degrade through Result instead.",
+        example: "let next = queue.pop().unwrap();",
+        suppression: "audit:allow(P001): <reason> stating the invariant that makes the unwrap infallible.",
     },
     LintSpec {
         id: "P002",
         name: "hot-path-expect",
         summary: ".expect(...) in a runtime/exec/node/simnet hot path: convert to Result or justify with an allow",
+        rationale: "Same failure mode as P001; the message string does not make the abort less fatal.",
+        example: "let cfg = table.get(&id).expect(\"id registered\");",
+        suppression: "audit:allow(P002): <reason> stating the invariant that makes the expect infallible.",
     },
     LintSpec {
         id: "P003",
         name: "hot-path-panic",
         summary: "panic!/unreachable!/todo!/unimplemented! in a hot path",
+        rationale: "Explicit panic macros in the hot path turn recoverable protocol states into aborts.",
+        example: "_ => unreachable!(\"unknown packet\"),",
+        suppression: "audit:allow(P003): <reason> — acceptable only for states the type system cannot rule out and tests pin as impossible.",
     },
     LintSpec {
         id: "P004",
         name: "inline-index-arithmetic",
         summary: "slice/array index computed inline (x[i * n + j]) in a hot path: hoist with a bounds argument or justify with an allow",
+        rationale: "Inline index arithmetic hides bounds reasoning and is where off-by-one panics breed; hoisting the index next to its bounds makes the proof local.",
+        example: "let v = grid[y * width + x];",
+        suppression: "audit:allow(P004): <reason> pointing at the bounds argument.",
+    },
+    LintSpec {
+        id: "P005",
+        name: "panic-reachability",
+        summary: "panic-family token outside the hot set transitively reachable from an audit:entry(hot) function",
+        rationale: "P001-P004 only see text inside the hot directories; a hot entry point calling into a helper crate still aborts the run if that helper unwraps. The call-graph walk closes the gap.",
+        example: "// audit:entry(hot)\npub fn step(&mut self) { encode_all(); } // encode_all() -> .expect(...) elsewhere",
+        suppression: "audit:allow(P005): <reason> on the panic site's line, stating why the path cannot be taken or cannot fail.",
     },
     LintSpec {
         id: "O001",
         name: "undocumented-obs-name",
         summary: "event kind / counter / gauge emitted via lbchat::obs but missing from docs/OBSERVABILITY.md",
+        rationale: "The observability doc is the schema consumers parse; an undocumented name is an API change nobody reviewed.",
+        example: "obs::counter(\"mystery.total\").inc();",
+        suppression: "not suppressable — document the name or stop emitting it.",
     },
     LintSpec {
         id: "O002",
         name: "orphaned-obs-doc",
         summary: "event kind / counter / gauge documented in docs/OBSERVABILITY.md but never emitted",
+        rationale: "Dead schema entries mislead consumers into waiting for data that never comes.",
+        example: "| `ghost.counter` | documented, emitted nowhere |",
+        suppression: "not suppressable — delete the row or emit the name.",
+    },
+    LintSpec {
+        id: "T001",
+        name: "phase-purity",
+        summary: "audit:phase(intent) function can reach an RNG draw through the call graph",
+        rationale: "The two-phase tick is bit-identical across --jobs only because the parallel intent phase draws no randomness; one draw behind a helper call reintroduces schedule-dependent streams. T001 proves RNG-freedom statically instead of relying on proptests to notice.",
+        example: "// audit:phase(intent)\nfn intent_for(..) { self.ped_hazard(..) } // ped_hazard() -> rng.random_range(..)",
+        suppression: "audit:allow(T001): <reason> on the annotated fn's declaration line; prefer moving the draw to the apply phase.",
+    },
+    LintSpec {
+        id: "T002",
+        name: "seeded-entropy-taint",
+        summary: "ambient entropy outside the seeded set transitively reachable from an audit:entry(seeded) function",
+        rationale: "D001-D004 only see text inside the seeded directories; a seeded entry point calling a helper crate that reads the clock or spins up thread_rng is just as nondeterministic. The call-graph walk extends the guarantee across crate boundaries.",
+        example: "// audit:entry(seeded)\nfn run_cell(..) { helper() } // helper() -> SystemTime::now() in a non-seeded crate",
+        suppression: "audit:allow(T002): <reason> on the entropy site's line, stating why the value cannot reach results.",
+    },
+    LintSpec {
+        id: "W001",
+        name: "wire-contract",
+        summary: "codec registry out of sync with docs/COMPRESSION.md: keys, magic bytes, ALL/decode arms, or layout constants disagree",
+        rationale: "docs/COMPRESSION.md is the normative wire contract; a codec whose magic byte, key, or decode arm drifts from it ships buffers peers cannot (or wrongly do) decode.",
+        example: "| `int8` | `0x39` | ... |  // code says magic::INT8 = 0x38",
+        suppression: "not suppressable — fix the code or the doc; the contract must hold in both directions.",
+    },
+    LintSpec {
+        id: "R001",
+        name: "reference-drift",
+        summary: "a retained-verbatim reference oracle's content hash no longer matches the committed manifest",
+        rationale: "Optimized paths are proptested bit-identical to retained reference modules; if an oracle is edited, every equivalence proof against it silently weakens. The manifest pin makes oracle edits a reviewed, explicit act.",
+        example: "edit crates/vnn/src/reference.rs without re-running --write-reference-manifest",
+        suppression: "not suppressable — re-pin deliberately with `lbchat-audit --write-reference-manifest`.",
     },
     LintSpec {
         id: "A001",
         name: "unused-allow",
         summary: "audit:allow comment that suppresses nothing (stale after the code was fixed)",
+        rationale: "Stale allows are camouflage: the next real finding on that line would be silently swallowed.",
+        example: "// audit:allow(P001): was needed before the refactor\nfn now_clean() {}",
+        suppression: "not suppressable — delete the stale comment.",
     },
     LintSpec {
         id: "A002",
         name: "malformed-allow",
-        summary: "audit:allow comment with an unknown lint id or a missing `: reason`",
+        summary: "audit:allow / audit:phase / audit:entry comment with an unknown id or value, or a missing `: reason`",
+        rationale: "A suppression or annotation that does not parse does nothing; failing loudly beats a typo silently disabling the check it names.",
+        example: "// audit:allow(P001)  <- missing \": reason\"",
+        suppression: "not suppressable — fix the comment.",
     },
 ];
 
@@ -119,6 +202,14 @@ pub struct Profile {
     pub hot: Vec<String>,
     /// The observability schema document, workspace-relative.
     pub obs_doc: String,
+    /// The wire-format source file W001 parses (codec registry).
+    pub wire_code: String,
+    /// The normative wire-format document W001 cross-references.
+    pub wire_doc: String,
+    /// The committed reference-oracle hash manifest (R001).
+    pub reference_manifest: String,
+    /// The retained-verbatim oracles R001 pins.
+    pub reference_modules: Vec<crate::refs::RefModule>,
 }
 
 impl Profile {
@@ -146,6 +237,36 @@ impl Profile {
                 "crates/simworld/src/",
             ]),
             obs_doc: "docs/OBSERVABILITY.md".to_string(),
+            wire_code: "crates/core/src/compress.rs".to_string(),
+            wire_doc: "docs/COMPRESSION.md".to_string(),
+            reference_manifest: "crates/audit/reference_manifest.txt".to_string(),
+            reference_modules: vec![
+                crate::refs::RefModule {
+                    name: "coreset::reference".to_string(),
+                    file: "crates/core/src/coreset.rs".to_string(),
+                    inline_mod: Some("reference".to_string()),
+                },
+                crate::refs::RefModule {
+                    name: "bev::reference".to_string(),
+                    file: "crates/simworld/src/bev.rs".to_string(),
+                    inline_mod: Some("reference".to_string()),
+                },
+                crate::refs::RefModule {
+                    name: "runtime::reference".to_string(),
+                    file: "crates/core/src/runtime/reference.rs".to_string(),
+                    inline_mod: None,
+                },
+                crate::refs::RefModule {
+                    name: "simworld::reference".to_string(),
+                    file: "crates/simworld/src/reference.rs".to_string(),
+                    inline_mod: None,
+                },
+                crate::refs::RefModule {
+                    name: "vnn::reference".to_string(),
+                    file: "crates/vnn/src/reference.rs".to_string(),
+                    inline_mod: None,
+                },
+            ],
         }
     }
 
@@ -159,6 +280,10 @@ impl Profile {
             d001_exempt: Vec::new(),
             hot: vec![String::new()],
             obs_doc: "docs/OBSERVABILITY.md".to_string(),
+            wire_code: "crates/core/src/compress.rs".to_string(),
+            wire_doc: "docs/COMPRESSION.md".to_string(),
+            reference_manifest: "crates/audit/reference_manifest.txt".to_string(),
+            reference_modules: Vec::new(),
         }
     }
 
@@ -307,7 +432,9 @@ fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn has_token(code: &str, token: &str) -> bool {
+/// Whether `code` contains `token` with identifier boundaries respected
+/// on both sides (shared with the taint lints' source-site scan).
+pub fn has_token(code: &str, token: &str) -> bool {
     let code_b = code.as_bytes();
     let tok_b = token.as_bytes();
     let mut from = 0;
@@ -718,10 +845,17 @@ mod tests {
         let mut seen: Vec<&str> = Vec::new();
         for l in LINTS {
             assert_eq!(l.id.len(), 4, "{} must be a letter + 3 digits", l.id);
-            assert!(matches!(l.id.as_bytes()[0], b'D' | b'P' | b'O' | b'A'));
+            assert!(matches!(l.id.as_bytes()[0], b'D' | b'P' | b'O' | b'A' | b'T' | b'W' | b'R'));
             assert!(l.id[1..].bytes().all(|b| b.is_ascii_digit()));
             assert!(!seen.contains(&l.id), "duplicate id {}", l.id);
             seen.push(l.id);
+            for (field, text) in [
+                ("rationale", l.rationale),
+                ("example", l.example),
+                ("suppression", l.suppression),
+            ] {
+                assert!(!text.trim().is_empty(), "{} has an empty {field}", l.id);
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 
 #![forbid(unsafe_code)]
 
-use lbchat_audit::{audit, Profile, Report, LINTS};
+use lbchat_audit::{audit, lints, refs, Profile, Report, Workspace, LINTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,7 +20,12 @@ OPTIONS:
     --out <FILE>        Write the JSON report (schema lbchat-audit/v1)
     --baseline <FILE>   Ratchet mode: fail only on findings not present
                         in this previously written report
+    --github            Also print findings as GitHub ::error workflow
+                        commands (annotations on the diff view)
     --list-lints        Print the lint catalogue and exit
+    --explain <ID>      Print one lint's full catalogue entry and exit
+    --write-reference-manifest
+                        Re-pin the reference-oracle hashes (R001) and exit
     --help              Show this help
 
 EXIT CODES:
@@ -34,7 +39,10 @@ struct Args {
     root: PathBuf,
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    github: bool,
     list_lints: bool,
+    explain: Option<String>,
+    write_reference_manifest: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -42,7 +50,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         root: PathBuf::from("."),
         out: None,
         baseline: None,
+        github: false,
         list_lints: false,
+        explain: None,
+        write_reference_manifest: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,12 +64,31 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--root" => args.root = PathBuf::from(value("--root")?),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--github" => args.github = true,
             "--list-lints" => args.list_lints = true,
+            "--explain" => args.explain = Some(value("--explain")?),
+            "--write-reference-manifest" => args.write_reference_manifest = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(Some(args))
+}
+
+fn explain(id: &str) -> Result<(), String> {
+    let Some(l) = lints::lint_spec(id) else {
+        let known: Vec<&str> = LINTS.iter().map(|l| l.id).collect();
+        return Err(format!("unknown lint id {id:?} (known: {})", known.join(", ")));
+    };
+    println!("{} — {}", l.id, l.name);
+    println!("\nsummary:\n    {}", l.summary);
+    println!("\nrationale:\n    {}", l.rationale);
+    println!("\nexample:");
+    for line in l.example.lines() {
+        println!("    {line}");
+    }
+    println!("\nsuppression:\n    {}", l.suppression);
+    Ok(())
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -72,7 +102,25 @@ fn run() -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::SUCCESS);
     }
-    let report = audit(&args.root, &Profile::lbchat()).map_err(|e| e.to_string())?;
+    if let Some(id) = &args.explain {
+        explain(id)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    let profile = Profile::lbchat();
+    if args.write_reference_manifest {
+        let ws = Workspace::load(&args.root, &profile).map_err(|e| e.to_string())?;
+        let text = refs::manifest_text(&ws.files, &profile);
+        let path = args.root.join(&profile.reference_manifest);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        print!("{text}");
+        println!("pinned {} reference module(s) in {}", text.lines().count(), path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = audit(&args.root, &profile).map_err(|e| e.to_string())?;
     if let Some(out) = &args.out {
         if let Some(dir) = out.parent() {
             std::fs::create_dir_all(dir)
@@ -89,6 +137,9 @@ fn run() -> Result<ExitCode, String> {
         let baseline = Report::from_json(&text)
             .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
         let new = report.diff(&baseline);
+        if args.github {
+            print!("{}", Report::github_annotations(&new));
+        }
         if new.is_empty() {
             println!(
                 "baseline: no new findings ({} in baseline)",
@@ -101,6 +152,9 @@ fn run() -> Result<ExitCode, String> {
             println!("  {}: {}:{}: {}", f.lint, f.path, f.line, f.message);
         }
         return Ok(ExitCode::FAILURE);
+    }
+    if args.github {
+        print!("{}", Report::github_annotations(&report.findings));
     }
     if report.is_clean() {
         Ok(ExitCode::SUCCESS)

@@ -165,6 +165,26 @@ impl Report {
         out
     }
 
+    /// GitHub-annotations rendering: one `::error` workflow command per
+    /// finding, so CI paints findings directly onto the diff view. Only
+    /// the listed findings are rendered (the caller passes the post-
+    /// ratchet set in baseline mode, or all findings otherwise).
+    pub fn github_annotations(findings: &[Finding]) -> String {
+        let mut out = String::new();
+        for f in findings {
+            let name = crate::lints::lint_spec(&f.lint).map_or("", |l| l.name);
+            out.push_str(&format!(
+                "::error file={},line={},title={} {}::{}\n",
+                gh_escape_property(&f.path),
+                f.line,
+                f.lint,
+                gh_escape_property(name),
+                gh_escape_data(&f.message),
+            ));
+        }
+        out
+    }
+
     /// Ratchet diff against a baseline report: the findings of `self`
     /// not present in `baseline`. Matching is by the multiset of
     /// `(lint, path, snippet)` — line numbers are excluded so unrelated
@@ -183,6 +203,16 @@ impl Report {
         }
         new
     }
+}
+
+/// Escapes a workflow-command data section (`%`, CR, LF).
+fn gh_escape_data(text: &str) -> String {
+    text.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property value (data escapes plus `:`, `,`).
+fn gh_escape_property(text: &str) -> String {
+    gh_escape_data(text).replace(':', "%3A").replace(',', "%2C")
 }
 
 #[cfg(test)]
@@ -273,6 +303,22 @@ mod tests {
         let new = grown.diff(&base);
         assert_eq!(new.len(), 1);
         assert_eq!(new[0].snippet, "w.unwrap()");
+    }
+
+    #[test]
+    fn github_annotations_escape_workflow_commands() {
+        let f = vec![Finding {
+            lint: "D002".into(),
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "50% of runs\ndiffer".into(),
+            snippet: String::new(),
+        }];
+        let out = Report::github_annotations(&f);
+        assert_eq!(
+            out,
+            "::error file=crates/x/src/a.rs,line=7,title=D002 unordered-collection::50%25 of runs%0Adiffer\n"
+        );
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The interprocedural taint lints: T001 phase-purity, T002
+//! seeded-entropy taint, and P005 panic-reachability.
+//!
+//! All three share one shape: *roots* come from source annotations
+//! (`// audit:phase(intent)` or `// audit:entry(seeded|hot)` attached to
+//! the next `fn`), *sources* are token sites inside function bodies, and
+//! a breadth-first walk over the [`CallGraph`] decides reachability. The
+//! walk is deterministic — adjacency lists are sorted, roots are visited
+//! in node order — so the reported shortest chains never flap between
+//! runs.
+//!
+//! Division of labour with the textual lints: D001–D004 already police
+//! ambient entropy *inside* the seeded crates and P001–P004 police panic
+//! tokens *inside* the hot paths, so T002 only sources sites in files
+//! **outside** the seeded set and P005 only in files **outside** the hot
+//! set. The graph walk is what connects those outside sites back to the
+//! annotated entry points.
+
+use std::collections::VecDeque;
+
+use crate::graph::CallGraph;
+use crate::lexer::FileScan;
+use crate::lints::{Finding, Profile};
+use crate::parser::ItemSet;
+
+/// Tokens whose presence marks a function as *drawing* from an RNG
+/// (the vendored `rand` draw surface).
+pub const RNG_DRAW_TOKENS: &[&str] = &[
+    ".random(",
+    ".random::<",
+    ".random_range(",
+    ".random_bool(",
+    ".shuffle(",
+    ".next_u64(",
+    ".next_u32(",
+    "sample_standard(",
+    ".sample_from(",
+    ".sample(",
+];
+
+/// Ambient entropy tokens for T002: the D001/D003/D004 clock and entropy
+/// tokens plus unordered-collection and thread-identity sources.
+pub const AMBIENT_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "from_os_rng",
+    "getrandom",
+    "UNIX_EPOCH",
+    "Utc::now",
+    "Local::now",
+    "OffsetDateTime",
+    "NaiveDateTime",
+    "RandomState",
+    "thread::current",
+    "HashMap",
+    "HashSet",
+];
+
+/// Panic-family tokens for P005.
+pub const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// What an annotation marks its function as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnKind {
+    /// `audit:phase(intent)` — must not reach RNG draws (T001).
+    PhaseIntent,
+    /// `audit:entry(seeded)` — must not reach ambient entropy (T002).
+    EntrySeeded,
+    /// `audit:entry(hot)` — must not reach panic sites (P005).
+    EntryHot,
+}
+
+/// Runs all three graph lints. `files` must be the full parsed
+/// workspace in walk order; returns raw findings (suppression is applied
+/// later by `apply_allows`, so `audit:allow(T001|T002|P005)` works like
+/// any other allow). Malformed annotations come back as A002 findings.
+pub fn check_graph(
+    files: &[(FileScan, ItemSet)],
+    graph: &CallGraph,
+    profile: &Profile,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut roots: Vec<(AnnKind, usize)> = Vec::new();
+    for (scan, items) in files {
+        collect_annotations(scan, items, graph, &mut roots, &mut findings);
+    }
+    roots.sort_by_key(|&(_, idx)| idx);
+
+    let scan_of = |rel: &str| files.iter().map(|(s, _)| s).find(|s| s.rel == rel);
+
+    // Source sites per graph node, one vector per lint.
+    let draw_sites = token_sites(files, graph, RNG_DRAW_TOKENS, |_| true);
+    let ambient_sites =
+        token_sites(files, graph, AMBIENT_TOKENS, |rel| !in_prefix(&profile.seeded, rel));
+    let panic_sites =
+        token_sites(files, graph, PANIC_TOKENS, |rel| !in_prefix(&profile.hot, rel));
+
+    // T001: each phase root individually — the finding anchors on the
+    // root's declaration so the invariant holder owns the report.
+    for &(kind, root) in &roots {
+        if kind != AnnKind::PhaseIntent {
+            continue;
+        }
+        if let Some((node, parent)) = bfs_first(graph, &[root], &draw_sites) {
+            let (line, token) = &draw_sites[node][0];
+            let decl = &graph.fns[root];
+            let snippet = scan_of(&decl.file)
+                .map(|s| s.raw_line(decl.item.decl_line).trim().to_string())
+                .unwrap_or_default();
+            findings.push(Finding {
+                path: decl.file.clone(),
+                line: decl.item.decl_line,
+                lint: "T001".to_string(),
+                message: format!(
+                    "audit:phase(intent) fn `{}` can reach RNG draw `{}` at {}:{} via {}",
+                    decl.item.display(),
+                    token,
+                    graph.fns[node].file,
+                    line,
+                    chain(graph, &parent, root, node),
+                ),
+                snippet,
+            });
+        }
+    }
+
+    // T002 / P005: multi-source walk from all entries of the kind; one
+    // finding per reachable source *site*, anchored at the token line.
+    for (kind, sites, lint, what) in [
+        (AnnKind::EntrySeeded, &ambient_sites, "T002", "draws ambient entropy"),
+        (AnnKind::EntryHot, &panic_sites, "P005", "can panic"),
+    ] {
+        let entries: Vec<usize> = roots
+            .iter()
+            .filter(|&&(k, _)| k == kind)
+            .map(|&(_, idx)| idx)
+            .collect();
+        if entries.is_empty() {
+            continue;
+        }
+        let (dist, parent) = bfs_all(graph, &entries);
+        for (node, node_sites) in sites.iter().enumerate() {
+            if dist[node] == usize::MAX || node_sites.is_empty() {
+                continue;
+            }
+            let owner = &graph.fns[node];
+            let root = chain_root(&parent, &entries, node);
+            for (line, token) in node_sites {
+                let snippet = scan_of(&owner.file)
+                    .map(|s| s.raw_line(*line).trim().to_string())
+                    .unwrap_or_default();
+                findings.push(Finding {
+                    path: owner.file.clone(),
+                    line: *line,
+                    lint: lint.to_string(),
+                    message: format!(
+                        "`{}` {} and is reachable from {} entry `{}` via {}",
+                        token,
+                        what,
+                        match kind {
+                            AnnKind::EntrySeeded => "seeded",
+                            _ => "hot",
+                        },
+                        graph.fns[root].item.display(),
+                        chain(graph, &parent, root, node),
+                    ),
+                    snippet,
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn in_prefix(prefixes: &[String], rel: &str) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// Parses `audit:phase(...)` / `audit:entry(...)` comments in one file
+/// and resolves each to a graph node. Malformed annotations (bad value,
+/// nothing to attach to) become A002 findings.
+fn collect_annotations(
+    scan: &FileScan,
+    items: &ItemSet,
+    graph: &CallGraph,
+    roots: &mut Vec<(AnnKind, usize)>,
+    findings: &mut Vec<Finding>,
+) {
+    for c in &scan.comments {
+        if scan.is_test_line(c.line) {
+            continue;
+        }
+        let t = c.text.trim_start_matches(['/', '!']).trim_start();
+        let (head, kind_of): (&str, fn(&str) -> Option<AnnKind>) =
+            if t.starts_with("audit:phase") {
+                ("audit:phase", |v| (v == "intent").then_some(AnnKind::PhaseIntent))
+            } else if t.starts_with("audit:entry") {
+                ("audit:entry", |v| match v {
+                    "seeded" => Some(AnnKind::EntrySeeded),
+                    "hot" => Some(AnnKind::EntryHot),
+                    _ => None,
+                })
+            } else {
+                continue;
+            };
+        let mut bad = |why: String| {
+            findings.push(Finding {
+                path: scan.rel.clone(),
+                line: c.line,
+                lint: "A002".to_string(),
+                message: why,
+                snippet: String::new(),
+            });
+        };
+        let rest = t[head.len()..].trim_start();
+        let Some(value) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(v, _)| v.trim())
+        else {
+            bad(format!("expected `{head}(<value>)`"));
+            continue;
+        };
+        let Some(kind) = kind_of(value) else {
+            bad(format!("unknown {head} value `{value}`"));
+            continue;
+        };
+        // Attach to the next non-test fn at or after the comment line.
+        let target = items
+            .fns
+            .iter()
+            .filter(|f| !f.is_test && f.decl_line >= c.line)
+            .min_by_key(|f| f.decl_line);
+        let Some(target) = target else {
+            bad(format!("{head}({value}) does not precede a function"));
+            continue;
+        };
+        let Some(idx) = graph
+            .fns
+            .iter()
+            .position(|n| n.file == scan.rel && n.item.decl_line == target.decl_line && n.item.name == target.name)
+        else {
+            bad(format!("{head}({value}) target fn is not in the call graph"));
+            continue;
+        };
+        roots.push((kind, idx));
+    }
+}
+
+/// Token sites per graph node: `(line, token)` pairs found in the body
+/// span of each node whose file passes `file_ok`. Test lines never
+/// contribute.
+fn token_sites(
+    files: &[(FileScan, ItemSet)],
+    graph: &CallGraph,
+    tokens: &[&'static str],
+    file_ok: impl Fn(&str) -> bool,
+) -> Vec<Vec<(usize, &'static str)>> {
+    let mut out = vec![Vec::new(); graph.fns.len()];
+    for (idx, node) in graph.fns.iter().enumerate() {
+        if !file_ok(&node.file) {
+            continue;
+        }
+        let Some(span) = node.item.body else { continue };
+        let Some(scan) = files.iter().map(|(s, _)| s).find(|s| s.rel == node.file) else {
+            continue;
+        };
+        let (lo, hi) = (scan.line_of(span.0), scan.line_of(span.1));
+        for line in lo..=hi {
+            if scan.is_test_line(line) {
+                continue;
+            }
+            let code = scan.code_line(line);
+            for &tok in tokens {
+                if crate::lints::has_token(code, tok) {
+                    out[idx].push((line, tok));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multi-source BFS: `(dist, parent)` over the whole graph, `usize::MAX`
+/// distance for unreachable nodes.
+fn bfs_all(graph: &CallGraph, roots: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = graph.fns.len();
+    let mut dist = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    for &r in roots {
+        if dist[r] == usize::MAX {
+            dist[r] = 0;
+            q.push_back(r);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        for &v in &graph.edges[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = u;
+                q.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// BFS from `roots` that stops at the first node (in pop order — i.e.
+/// nearest, ties broken by sorted adjacency) with a nonempty site list.
+/// Returns `(node, parent_array)`.
+fn bfs_first(
+    graph: &CallGraph,
+    roots: &[usize],
+    sites: &[Vec<(usize, &'static str)>],
+) -> Option<(usize, Vec<usize>)> {
+    let (dist, parent) = bfs_all(graph, roots);
+    // Deterministic "first": minimal distance, then minimal node index.
+    (0..graph.fns.len())
+        .filter(|&i| dist[i] != usize::MAX && !sites[i].is_empty())
+        .min_by_key(|&i| (dist[i], i))
+        .map(|i| (i, parent))
+}
+
+/// Walks `parent` back from `node` to its root.
+fn chain_root(parent: &[usize], roots: &[usize], mut node: usize) -> usize {
+    while parent[node] != usize::MAX {
+        node = parent[node];
+    }
+    debug_assert!(roots.contains(&node));
+    node
+}
+
+/// Formats the call chain `root → … → node` with short fn handles.
+fn chain(graph: &CallGraph, parent: &[usize], root: usize, node: usize) -> String {
+    let mut path = vec![node];
+    let mut cur = node;
+    while cur != root && parent[cur] != usize::MAX {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path.iter()
+        .map(|&i| format!("`{}`", graph.fns[i].item.display()))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_items;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<(FileScan, ItemSet)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let scan = FileScan::new(rel, src);
+                let items = parse_items(&scan);
+                (scan, items)
+            })
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        check_graph(&parsed, &graph, &Profile::lbchat())
+    }
+
+    #[test]
+    fn t001_fires_through_a_call_chain() {
+        let f = run(&[(
+            "crates/simworld/src/x.rs",
+            "// audit:phase(intent)\nfn intent() { helper(); }\nfn helper() { deep(); }\nfn deep(rng: &mut R) { let _ = rng.random_range(0..4); }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "T001");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("`intent` -> `helper` -> `deep`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn t001_quiet_when_draws_are_unreachable() {
+        let f = run(&[(
+            "crates/simworld/src/x.rs",
+            "// audit:phase(intent)\nfn intent() { helper(); }\nfn helper() {}\nfn apply(rng: &mut R) { let _ = rng.random_range(0..4); }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn t002_fires_on_ambient_entropy_outside_seeded_scope() {
+        let f = run(&[
+            (
+                "crates/experiments/src/run.rs",
+                "// audit:entry(seeded)\nfn main_cell() { helper(); }\n",
+            ),
+            (
+                "crates/bench/src/lib.rs",
+                "pub fn helper() { let t = std::time::SystemTime::now(); }\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "T002");
+        assert_eq!(f[0].path, "crates/bench/src/lib.rs");
+        assert!(f[0].message.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn t002_does_not_double_report_seeded_files() {
+        // Inside the seeded set D003 owns the site; T002 stays quiet.
+        let f = run(&[(
+            "crates/core/src/x.rs",
+            "// audit:entry(seeded)\nfn cell() { let r = thread_rng(); }\n",
+        )]);
+        assert!(f.iter().all(|x| x.lint != "T002"), "{f:?}");
+    }
+
+    #[test]
+    fn p005_fires_on_panic_outside_hot_scope() {
+        let f = run(&[
+            (
+                "crates/core/src/runtime/session.rs",
+                "// audit:entry(hot)\nfn run() { encode_all(); }\n",
+            ),
+            (
+                "crates/core/src/compress2.rs",
+                "pub fn encode_all() { let v: Option<u8> = None; v.unwrap(); }\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "P005");
+        assert_eq!(f[0].path, "crates/core/src/compress2.rs");
+    }
+
+    #[test]
+    fn mutual_recursion_terminates() {
+        let f = run(&[(
+            "crates/simworld/src/x.rs",
+            "// audit:phase(intent)\nfn a() { b(); }\nfn b() { a(); }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn malformed_annotations_are_a002() {
+        let f = run(&[(
+            "crates/simworld/src/x.rs",
+            "// audit:phase(apply)\nfn a() {}\n// audit:entry(warm)\nfn b() {}\n// audit:phase(intent)\n",
+        )]);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == "A002"));
+    }
+}

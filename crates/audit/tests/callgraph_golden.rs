@@ -1,0 +1,64 @@
+//! Golden test of workspace call-graph construction: the committed
+//! fixture pair under `tests/fixtures/callgraph/` must resolve to
+//! exactly the caller→callee edges pinned in `expected_edges.txt`.
+//! Any change to extraction or resolution shows up as a diff against
+//! that file — review it, then update the fixture deliberately.
+
+use lbchat_audit::graph::CallGraph;
+use lbchat_audit::lexer::FileScan;
+use lbchat_audit::parser::{parse_items, ItemSet};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/callgraph")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The fixture files parsed under their pretend workspace paths.
+fn parsed() -> Vec<(FileScan, ItemSet)> {
+    [
+        ("crates/core/src/util.rs", fixture("util.rs")),
+        ("crates/simworld/src/world.rs", fixture("world.rs")),
+    ]
+    .into_iter()
+    .map(|(rel, src)| {
+        let scan = FileScan::new(rel, &src);
+        let items = parse_items(&scan);
+        (scan, items)
+    })
+    .collect()
+}
+
+#[test]
+fn edges_match_the_committed_golden_file() {
+    let graph = CallGraph::build(&parsed());
+    let mut lines = std::collections::BTreeSet::new();
+    for (i, callees) in graph.edges.iter().enumerate() {
+        for &j in callees {
+            lines.insert(format!("{} -> {}\n", graph.fns[i].display(), graph.fns[j].display()));
+        }
+    }
+    let actual: String = lines.into_iter().collect();
+    let expected = fixture("expected_edges.txt");
+    assert_eq!(
+        actual, expected,
+        "call-graph edges drifted from tests/fixtures/callgraph/expected_edges.txt;\n\
+         if the resolution change is intentional, update the golden file to:\n{actual}"
+    );
+}
+
+#[test]
+fn cyclic_edges_build_and_stay_deterministic() {
+    let files = parsed();
+    let graph = CallGraph::build(&files);
+    let ping = graph.find("crates/core/src/util.rs", "ping").expect("ping in graph");
+    let pong = graph.find("crates/core/src/util.rs", "pong").expect("pong in graph");
+    assert!(graph.edges[ping].contains(&pong), "ping -> pong");
+    assert!(graph.edges[pong].contains(&ping), "pong -> ping closes the cycle");
+    // A second build over the same input must produce identical edges —
+    // the taint BFS and the golden file both rely on this.
+    let again = CallGraph::build(&files);
+    assert_eq!(graph.edge_pairs(), again.edge_pairs());
+}

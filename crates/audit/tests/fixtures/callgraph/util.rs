@@ -1,0 +1,17 @@
+// Call-graph golden fixture, file 2 (pretend path
+// crates/core/src/util.rs). `ping`/`pong` form a two-cycle the graph
+// build and the taint walks must terminate on.
+
+pub fn clamp(x: f32) -> f32 {
+    x.min(1.0)
+}
+
+pub fn ping(n: u32) {
+    if n > 0 {
+        pong(n - 1)
+    }
+}
+
+pub fn pong(n: u32) {
+    ping(n)
+}

@@ -1,0 +1,32 @@
+// Call-graph golden fixture, file 1 (pretend path
+// crates/simworld/src/world.rs). Exercises method-name
+// over-approximation, Self:: qualification, free calls, module-qualified
+// narrowing into another file, and an inline mod reaching a top-level fn.
+
+pub struct World;
+
+impl World {
+    pub fn step(&mut self) {
+        self.intents();
+        apply(self);
+        util::clamp(1.0);
+    }
+
+    fn intents(&mut self) {
+        Self::helper();
+    }
+
+    fn helper() {}
+}
+
+pub fn apply(w: &mut World) {
+    w.intents();
+}
+
+pub fn helper_free() {}
+
+pub mod reference {
+    pub fn golden_apply() {
+        helper_free()
+    }
+}

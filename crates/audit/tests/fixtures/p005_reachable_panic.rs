@@ -1,0 +1,8 @@
+// Bad snippet: a panic site outside the hot directories, reachable from
+// a hot entry point elsewhere. Must fire P005 exactly once, at the
+// unwrap below. The e2e test places this file outside the hot set
+// (where P001 does not apply) and pairs it with a hot entry that calls
+// `head()`.
+pub fn head(v: &[f32]) -> f32 {
+    *v.first().unwrap()
+}

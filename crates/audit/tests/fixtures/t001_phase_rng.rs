@@ -1,0 +1,12 @@
+// Bad snippet: an intent-phase fn transitively reaches an RNG draw.
+// Must fire T001 exactly once, anchored at the annotated declaration.
+use rand::{Rng, RngExt};
+
+// audit:phase(intent)
+pub fn intents(rng: &mut rand::rngs::StdRng) -> f32 {
+    nudge(rng)
+}
+
+fn nudge(rng: &mut rand::rngs::StdRng) -> f32 {
+    rng.random_range(-0.5..0.5)
+}

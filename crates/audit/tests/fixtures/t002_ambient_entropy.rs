@@ -1,0 +1,9 @@
+// Bad snippet: ambient entropy in a non-seeded crate, reachable from a
+// seeded entry point elsewhere. Must fire T002 exactly once, at the
+// wall-clock read below. The e2e test places this file outside the
+// seeded set (where D001 does not apply) and pairs it with a seeded
+// entry that calls `wall_stamp()`.
+pub fn wall_stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

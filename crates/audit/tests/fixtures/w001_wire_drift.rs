@@ -1,0 +1,50 @@
+// Bad snippet: a codec registry whose magic byte disagrees with the
+// wire-format doc. The e2e test places this file at the profile's
+// `wire_code` path next to a doc that claims `0x4C` for `topk`; W001
+// must fire exactly once, at the doc's codec row.
+
+/// Codec magic bytes.
+pub mod magic {
+    /// Top-k sparsification.
+    pub const TOPK: u8 = 0x4B;
+}
+
+/// Available codecs.
+#[derive(Clone, Copy)]
+pub enum Codec {
+    /// Top-k sparsification.
+    TopK,
+}
+
+impl Codec {
+    /// Every codec, in wire order.
+    pub const ALL: [Codec; 1] = [Codec::TopK];
+
+    /// Parses a CLI key.
+    pub fn from_key(key: &str) -> Option<Codec> {
+        match key {
+            "topk" => Some(Codec::TopK),
+            _ => None,
+        }
+    }
+
+    /// The codec's on-wire magic byte.
+    pub fn magic(self) -> u8 {
+        match self {
+            Codec::TopK => magic::TOPK,
+        }
+    }
+}
+
+/// A decoded frame header.
+pub struct WireModel;
+
+impl WireModel {
+    /// Decodes the frame's codec from its first byte.
+    pub fn decode(bytes: &[u8]) -> Option<Codec> {
+        match bytes.first().copied() {
+            Some(magic::TOPK) => Some(Codec::TopK),
+            _ => None,
+        }
+    }
+}

@@ -70,6 +70,7 @@ pub fn jobs() -> usize {
 ///
 /// # Panics
 /// Re-raises a panic from any work item on the calling thread.
+// audit:phase(intent)
 pub fn par_run<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -170,6 +171,7 @@ where
 ///
 /// # Panics
 /// Re-raises a panic from any work item on the calling thread.
+// audit:phase(intent)
 pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
 where
     T: Send,

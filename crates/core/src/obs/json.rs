@@ -278,7 +278,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -311,7 +311,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -334,7 +334,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -345,7 +345,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -362,7 +362,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let start = self.pos;
@@ -409,7 +409,7 @@ impl Parser<'_> {
                 if (0xD800..0xDC00).contains(&hi) {
                     if self.peek() == Some(b'\\') {
                         self.pos += 1;
-                        self.expect(b'u')?;
+                        self.expect_byte(b'u')?;
                         let lo = self.hex4()?;
                         let cp =
                             0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF);
@@ -452,6 +452,7 @@ impl Parser<'_> {
                 _ => break,
             }
         }
+        // audit:allow(P005): the scan loop above only advances past ASCII digit/sign/dot bytes, so the slice is valid UTF-8
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
         if !is_float && !text.starts_with('-') {
             if let Ok(u) = text.parse::<u64>() {

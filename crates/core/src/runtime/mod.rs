@@ -633,6 +633,7 @@ impl Runtime {
     ///
     /// With [`RuntimeConfig::contention`] unset this reproduces
     /// [`Runtime::run_reference`] bit for bit.
+    // audit:entry(hot)
     pub fn run<A: CollabAlgorithm>(
         &self,
         algo: &mut A,

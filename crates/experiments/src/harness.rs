@@ -51,6 +51,7 @@ pub fn train_and_evaluate(
 /// event the cell produces under its [`cell_label`]. `index` is the
 /// cell's position in the caller's fan-out, recorded for cross-reference
 /// with `work_unit` events.
+// audit:entry(seeded)
 pub fn train_and_evaluate_obs(
     method: Method,
     s: &Scenario,
@@ -76,6 +77,7 @@ pub fn train_and_evaluate_obs(
 /// `cell_start`/`cell_finish` events (no `rates` field). The loss-curve
 /// figure bins use this: their deliverable is the `round` event stream,
 /// not driving success rates.
+// audit:entry(seeded)
 pub fn run_cell_obs(
     method: Method,
     s: &Scenario,

@@ -18,7 +18,7 @@ const KNOWN_FLAGS: &[&str] = &[
     // crates/bench/src/bin/bench_report.rs)
     "smoke", "reference", "filter", "out", "name", "threshold",
     // lbchat-audit (see crates/audit/src/main.rs)
-    "root", "baseline", "list-lints",
+    "root", "baseline", "list-lints", "explain", "github", "write-reference-manifest",
     // cargo itself
     "release", "bin", "example", "workspace", "no-deps", "all-targets", "test", "package",
 ];
@@ -153,14 +153,14 @@ fn docs_reference_only_real_flags_bins_and_examples() {
     assert!(problems.is_empty(), "stale documentation references:\n{}", problems.join("\n"));
 }
 
-/// Yields every audit-lint-shaped token (`D001`, `P004`, …) in `text`:
-/// one of the four family letters followed by exactly three digits, with
+/// Yields every audit-lint-shaped token (`D001`, `T002`, …) in `text`:
+/// one of the lint family letters followed by exactly three digits, with
 /// identifier boundaries on both sides.
 fn lint_ids(text: &str) -> Vec<String> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     for i in 0..bytes.len().saturating_sub(3) {
-        if !matches!(bytes[i], b'D' | b'P' | b'O' | b'A') {
+        if !matches!(bytes[i], b'D' | b'P' | b'O' | b'A' | b'T' | b'W' | b'R') {
             continue;
         }
         if !(bytes[i + 1].is_ascii_digit() && bytes[i + 2].is_ascii_digit() && bytes[i + 3].is_ascii_digit()) {
@@ -227,6 +227,7 @@ fn codec_names_in_prose_and_binary_agree() {
 fn lint_id_scanner_respects_boundaries() {
     assert_eq!(lint_ids("fires D001 once"), ["D001"]);
     assert_eq!(lint_ids("`P004`/`A002`"), ["P004", "A002"]);
+    assert_eq!(lint_ids("T001 walks; W001 checks; R001 pins"), ["T001", "W001", "R001"]);
     assert!(lint_ids("ID0012 and XP004 and P04 and P0045").is_empty());
 }
 

@@ -20,7 +20,7 @@
 //!   2 fps with a two-phase (parallel intent / serial apply) tick, detects
 //!   collisions, and records [`simnet::MobilityTrace`]s. Scales to
 //!   100k–1M-vehicle fleets via a wake queue ([`FleetScale`]).
-//! * [`reference`] — the original per-agent-struct world, retained
+//! * [`mod@reference`] — the original per-agent-struct world, retained
 //!   verbatim as the bit-identity oracle for [`world::World`].
 //!
 //! Determinism: the map, traffic, and every agent decision derive from the

@@ -72,7 +72,7 @@ impl World {
                 ),
         );
         let pedestrians =
-            (0..config.n_pedestrians).map(|_| Pedestrian::spawn(town_area, &mut rng)).collect();
+            (0..config.n_pedestrians).map(|_| Pedestrian::spawn_in(town_area, &mut rng)).collect();
         Self { config, map, raster, experts, background, pedestrians, rng, time: 0.0 }
     }
 

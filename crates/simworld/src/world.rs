@@ -384,7 +384,7 @@ impl World {
         let town_area = town_area_of(&config.map);
         let mut peds = Vec::with_capacity(config.n_pedestrians);
         for _ in 0..config.n_pedestrians {
-            let p = Pedestrian::spawn(town_area, &mut rng);
+            let p = Pedestrian::spawn_in(town_area, &mut rng);
             kind.push(AgentKind::Pedestrian);
             pos.push(p.pos);
             routes.push(Route { edges: Vec::new() });
@@ -541,6 +541,7 @@ impl World {
 
     /// Advances the world by one frame (`1 / fps` seconds): parallel
     /// intent phase, then the serial id-ordered apply pass.
+    // audit:entry(hot)
     pub fn step(&mut self) -> TickStats {
         self.begin_tick();
         let mut intents = std::mem::take(&mut self.intents);
@@ -622,6 +623,7 @@ impl World {
     }
 
     /// The parallel intent phase: one target-speed slot per awake agent.
+    // audit:phase(intent)
     fn compute_intents(&self, gap_index: &[(EdgeId, f32)], intents: &mut Vec<f32>) {
         intents.clear();
         intents.resize(self.awake.len(), 0.0);
@@ -633,6 +635,7 @@ impl World {
     /// The final target speed of vehicle `id` from pre-step state: speed
     /// limits + turn slowdown + car-following + pedestrian braking. Pure —
     /// no RNG, no writes — which is what licenses the parallel shard.
+    // audit:phase(intent)
     fn intent_for(&self, id: AgentId, gap_index: &[(EdgeId, f32)]) -> f32 {
         let route = &self.routes[id];
         if route.edges.is_empty() {

@@ -74,11 +74,13 @@ impl MlpSpec {
 
     /// Input dimensionality.
     pub fn input_dim(&self) -> usize {
+        // audit:allow(P005): documented contract — a spec with no layers is a construction bug, caught by Mlp::new's assert
         *self.sizes.first().expect("spec must have layers")
     }
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
+        // audit:allow(P005): documented contract — a spec with no layers is a construction bug, caught by Mlp::new's assert
         *self.sizes.last().expect("spec must have layers")
     }
 }
@@ -106,6 +108,7 @@ pub struct Cache {
 impl Cache {
     /// Network output (activation of the final layer).
     pub fn output(&self) -> &[f32] {
+        // audit:allow(P005): forward() seeds acts with the input before any layer runs, so the cache is never empty
         self.acts.last().expect("cache holds at least the input")
     }
 }
@@ -159,6 +162,7 @@ impl Mlp {
             let (fan_in, fan_out) = (w[0], w[1]);
             let weights = &p[off..off + fan_in * fan_out];
             let biases = &p[off + fan_in * fan_out..off + fan_in * fan_out + fan_out];
+            // audit:allow(P005): acts starts with the input pushed just above the loop
             let x = acts.last().expect("at least input present");
             let act = if l + 1 == n_layers {
                 Activation::Identity
