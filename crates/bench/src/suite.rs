@@ -24,6 +24,7 @@ use rand::SeedableRng;
 use simnet::channel::{Channel, Medium, MediumConfig, RadioConfig, TransferOutcome, TransferSpec};
 use simnet::contact::ContactPredictor;
 use simnet::geom::Vec2;
+use simnet::grid::EncounterGrid;
 use simnet::loss::LossModel;
 use simnet::trace::MobilityTrace;
 use simworld::bev::{self, BevConfig, Pose};
@@ -569,7 +570,8 @@ fn crossing_trace() -> MobilityTrace {
     MobilityTrace::new(10.0, vec![a, b])
 }
 
-fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
+fn bench_simnet(c: &mut Criterion, opts: &SuiteOpts) {
+    let reference = opts.reference;
     let ch = Channel::new(RadioConfig::default(), LossModel::distance_default());
     c.bench_function("simnet/channel_transfer_0.6MB", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
@@ -595,9 +597,46 @@ fn bench_simnet(c: &mut Criterion, _opts: &SuiteOpts) {
     // walks a real in-range window instead of early-exiting.
     let route_a = trace.future(0, 25.0, 0.5, 60);
     let route_b = trace.future(1, 25.0, 0.5, 60);
+    // `--reference` times the retained two-pass estimate the fused
+    // single-pass version is proptested bit-identical against.
     c.bench_function("simnet/contact_estimate_60pt", |b| {
-        b.iter(|| predictor.estimate(&route_a, &route_b, 0.5));
+        if reference {
+            b.iter(|| predictor.estimate_reference(&route_a, &route_b, 0.5));
+        } else {
+            b.iter(|| predictor.estimate(&route_a, &route_b, 0.5));
+        }
     });
+    // Encounter discovery at fleet scale: the spatial-hash grid against
+    // the retained all-pairs sweep (`--reference`), over parked lattice
+    // fleets where every node has a handful of radio neighbors. The two
+    // arms return byte-identical encounter lists (pinned by proptest);
+    // the diff is pure discovery cost — O(local density) vs O(n²).
+    {
+        let mut g = c.benchmark_group("simnet");
+        g.sample_size(10);
+        g.measurement_time(if opts.smoke {
+            Duration::from_millis(80)
+        } else {
+            Duration::from_secs(4)
+        });
+        for (label, n) in [("encounters_1k", 1_000usize), ("encounters_10k", 10_000)] {
+            let trace = grid_trace(n, 1.0);
+            let active: Vec<usize> = (0..n).collect();
+            g.bench_function(label, |b| {
+                if reference {
+                    b.iter(|| trace.encounters_at(0.25, 150.0, &active).len());
+                } else {
+                    let mut grid = EncounterGrid::new();
+                    let mut out = Vec::new();
+                    b.iter(|| {
+                        grid.encounters_into(&trace, 0.25, 150.0, &active, &mut out);
+                        out.len()
+                    });
+                }
+            });
+        }
+        g.finish();
+    }
     // The per-window bookkeeping of the shared medium under saturating
     // load: 64 contenders across 8 cells, 40 windows of share / collision
     // queries plus registration and booking — the serial portion of every
@@ -630,6 +669,10 @@ struct ProbeAlgo {
     /// Streaming payload bytes; sessions re-request while delivered.
     bytes: usize,
     greedy: bool,
+    /// Opt out of every pairing (priority −∞): no session ever opens, so a
+    /// run times frame matching — discovery, route sampling, estimation —
+    /// in isolation.
+    decline: bool,
 }
 
 impl CollabAlgorithm for ProbeAlgo {
@@ -673,6 +716,14 @@ impl CollabAlgorithm for ProbeAlgo {
 
     fn session_close(&mut self, _sent: u32, ctx: &mut SessionCtx<'_>) -> f64 {
         ctx.elapsed()
+    }
+
+    fn pair_priority(&self, _i: usize, _j: usize, _est: &simnet::contact::ContactEstimate) -> f64 {
+        if self.decline {
+            f64::NEG_INFINITY
+        } else {
+            0.0
+        }
     }
 
     fn mean_eval_loss(&self, _eval: &[()]) -> f64 {
@@ -725,13 +776,49 @@ fn bench_runtime(c: &mut Criterion, opts: &SuiteOpts) {
         g.bench_function(format!("event_loop_{n}nodes"), |b| {
             b.iter(|| {
                 let mut algo =
-                    ProbeAlgo { n, params: ParamVec::zeros(1), bytes: 20_000, greedy: false };
+                    ProbeAlgo { n, params: ParamVec::zeros(1), bytes: 20_000, greedy: false, decline: false };
                 let run = if reference {
                     rt.run_reference(&mut algo, &trace, &[])
                 } else {
                     rt.run(&mut algo, &trace, &[])
                 };
                 run.map_or(0, |m| m.sessions)
+            });
+        });
+    }
+    // Frame matching in isolation: a declining probe never opens a
+    // session, and a zero pair cooldown means every frame re-runs full
+    // encounter discovery, route sampling, and contact estimation over
+    // the 256-node fleet. Both engines share the grid + route-cache
+    // discovery path, so the `--reference` diff (frame loop vs event
+    // scheduler) stays within noise like the other runtime/ cells.
+    {
+        let n = 256usize;
+        let seconds = 20.0;
+        let trace = grid_trace(n, seconds);
+        let cfg = RuntimeConfig {
+            duration: seconds,
+            eval_every: seconds,
+            pair_cooldown: 0.0,
+            seed: 9,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::new(cfg);
+        g.bench_function("frame_match_256", |b| {
+            b.iter(|| {
+                let mut algo = ProbeAlgo {
+                    n,
+                    params: ParamVec::zeros(1),
+                    bytes: 20_000,
+                    greedy: false,
+                    decline: true,
+                };
+                let run = if reference {
+                    rt.run_reference(&mut algo, &trace, &[])
+                } else {
+                    rt.run(&mut algo, &trace, &[])
+                };
+                run.map_or(0, |m| m.train_iterations)
             });
         });
     }
@@ -761,7 +848,7 @@ fn bench_runtime(c: &mut Criterion, opts: &SuiteOpts) {
         g.bench_function("contended_16pairs", |b| {
             b.iter(|| {
                 let mut algo =
-                    ProbeAlgo { n: 32, params: ParamVec::zeros(1), bytes: 2_000_000, greedy: true };
+                    ProbeAlgo { n: 32, params: ParamVec::zeros(1), bytes: 2_000_000, greedy: true, decline: false };
                 rt.run(&mut algo, &trace, &[]).map_or(0, |m| m.bytes_delivered)
             });
         });

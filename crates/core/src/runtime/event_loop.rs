@@ -28,7 +28,8 @@ use rand::{RngExt, SeedableRng};
 use simnet::channel::{Channel, Medium, TransferOutcome, TransferSpec, DEAD_LINK_ATTEMPTS};
 use simnet::contact::{ContactEstimate, ContactPredictor};
 use simnet::geom::Vec2;
-use simnet::trace::MobilityTrace;
+use simnet::grid::EncounterGrid;
+use simnet::trace::{Encounter, MobilityTrace, RouteCache};
 
 /// A forcibly closed session that keeps requesting transfers gets each fed
 /// an instant failure; after this many the runtime abandons the protocol
@@ -67,6 +68,9 @@ pub(super) fn run<A: CollabAlgorithm>(
         medium: cfg.contention.clone().map(Medium::new),
         sessions: Vec::new(),
         active: (0..n).collect(),
+        grid: EncounterGrid::new(),
+        encounters: Vec::new(),
+        routes: RouteCache::new(n, cfg.route_share_samples),
     };
     el.queue.push(0.0, Event::Frame);
     while let Some(t) = el.queue.peek_time() {
@@ -221,6 +225,14 @@ struct EventLoop<'a, A: CollabAlgorithm> {
     sessions: Vec<Live<A::Session>>,
     /// The full node roster (every node participates in matching).
     active: Vec<usize>,
+    /// Spatial-hash encounter discovery — bit-identical to the all-pairs
+    /// sweep ([`MobilityTrace::encounters_at`]), O(local density) per frame.
+    grid: EncounterGrid,
+    /// Reused encounter list the grid refills each frame.
+    encounters: Vec<Encounter>,
+    /// Per-frame shared-route cache: each agent's future route is sampled
+    /// at most once per frame, however many candidate pairs it appears in.
+    routes: RouteCache,
 }
 
 impl<A: CollabAlgorithm> EventLoop<'_, A> {
@@ -286,8 +298,24 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
 
         // Pair matching (identical to the reference loop, with the dense
         // cooldown matrix replaced by the triangular PairCooldown).
+        // Encounters come from the spatial hash — bit-identical to the
+        // all-pairs sweep — and each agent's shared route is interpolated
+        // at most once per frame through the route cache.
+        self.routes.begin_frame();
+        let stats = self.grid.encounters_into(
+            self.trace,
+            t,
+            self.cfg.radio.range_m,
+            &self.active,
+            &mut self.encounters,
+        );
+        if self.cfg.obs.enabled() {
+            self.cfg.obs.add("net.encounter.candidates", stats.candidates);
+            self.cfg.obs.add("net.encounter.cells", stats.cells);
+        }
         let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
-        for e in self.trace.encounters_at(t, self.cfg.radio.range_m, &self.active) {
+        for k in 0..self.encounters.len() {
+            let e = self.encounters[k];
             let (i, j) = (e.a, e.b);
             if self.busy_until[i] > t || self.busy_until[j] > t {
                 continue;
@@ -295,9 +323,8 @@ impl<A: CollabAlgorithm> EventLoop<'_, A> {
             if self.cooldown.get(i, j) > t {
                 continue;
             }
-            let fut_i = self.trace.future(i, t, self.dt, self.cfg.route_share_samples);
-            let fut_j = self.trace.future(j, t, self.dt, self.cfg.route_share_samples);
-            let est = self.predictor.estimate(&fut_i, &fut_j, self.dt);
+            let (fut_i, fut_j) = self.routes.pair(self.trace, i, j, t, self.dt);
+            let est = self.predictor.estimate(fut_i, fut_j, self.dt);
             let score = algo.pair_priority(i, j, &est);
             if !score.is_finite() {
                 continue; // method opted out of this pairing

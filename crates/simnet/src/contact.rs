@@ -67,7 +67,71 @@ impl ContactPredictor {
     /// `z = min(duration / reference_time, 1)` — longer-than-needed contacts
     /// saturate at 1. `p` is the mean per-packet delivery probability (with
     /// retransmissions) along the in-range portion of the predicted routes.
+    ///
+    /// Single-pass: each pair distance is computed once, feeding both the
+    /// separation check ([`ContactPredictor::contact_duration`]'s job) and
+    /// the delivery-probability accumulator, with the `f32`/`f64` op order
+    /// of [`ContactPredictor::estimate_reference`] preserved exactly — the
+    /// proptests in `tests/properties.rs` pin the two bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the routes have different lengths.
     pub fn estimate(&self, route_a: &[Vec2], route_b: &[Vec2], dt: f64) -> ContactEstimate {
+        assert_eq!(route_a.len(), route_b.len(), "route sample counts must match");
+        let len = route_a.len();
+        // One sweep accumulates the in-range delivery probabilities in the
+        // reference's exact f64 addition order while scanning for the first
+        // separation. `prev_*` snapshots the accumulators *before* each
+        // sample so the never-separate case can retroactively honor the
+        // reference's `take(in_range_frames)` window, which may stop one
+        // sample short of the full route.
+        let mut p_sum = 0.0f64;
+        let mut n = 0usize;
+        let mut prev_p_sum = 0.0f64;
+        let mut prev_n = 0usize;
+        let mut sep: Option<usize> = None;
+        for (k, (pa, pb)) in route_a.iter().zip(route_b).enumerate() {
+            let d = pa.distance(*pb);
+            if d > self.range_m {
+                sep = Some(k);
+                break;
+            }
+            prev_p_sum = p_sum;
+            prev_n = n;
+            p_sum += self.loss.delivery_prob(d, self.max_retx) as f64;
+            n += 1;
+        }
+        let (duration, window) = match sep {
+            Some(k) => (k as f64 * dt, k),
+            None => (len.saturating_sub(1) as f64 * dt, len),
+        };
+        let z = (duration / self.reference_time).min(1.0);
+        // The reference derives its averaging window from `duration / dt`,
+        // whose f64 floor can land on `window - 1` (rounding) or, after
+        // separation, re-admit any in-range sample inside the window. Select
+        // the matching accumulator snapshot; on any window this sweep did
+        // not materialize (degenerate `dt`, re-entrant routes), defer to the
+        // reference itself rather than approximate it.
+        let in_range_frames = ((duration / dt).floor() as usize + 1).min(len);
+        let (p_sum, n) = if in_range_frames >= window.min(len) {
+            if sep.is_some() && in_range_frames > window + 1 {
+                return self.estimate_reference(route_a, route_b, dt);
+            }
+            (p_sum, n)
+        } else if in_range_frames + 1 == window.min(len) {
+            (prev_p_sum, prev_n)
+        } else {
+            return self.estimate_reference(route_a, route_b, dt);
+        };
+        let p = if n == 0 { 0.0 } else { p_sum / n as f64 };
+        ContactEstimate { duration, z, p }
+    }
+
+    /// The retained two-pass reference arm for [`ContactPredictor::estimate`]:
+    /// a [`ContactPredictor::contact_duration`] sweep followed by a second
+    /// delivery-probability sweep over the in-range window. Kept verbatim as
+    /// the spec the fused single-pass version is proptested against.
+    pub fn estimate_reference(&self, route_a: &[Vec2], route_b: &[Vec2], dt: f64) -> ContactEstimate {
         let duration = self.contact_duration(route_a, route_b, dt);
         let z = (duration / self.reference_time).min(1.0);
         let in_range_frames = ((duration / dt).floor() as usize + 1).min(route_a.len());

@@ -14,6 +14,8 @@
 //!   rate, encounter detection within radio range.
 //! * [`contact`] — contact-duration prediction and delivery-probability
 //!   estimation from shared future routes (the 184-byte assist messages).
+//! * [`grid`] — spatial-hash encounter discovery, bit-identical to the
+//!   all-pairs sweep it replaces on the runtime hot path.
 //!
 //! All randomness is caller-seeded; the crate never touches a global RNG.
 
@@ -23,6 +25,7 @@
 pub mod channel;
 pub mod contact;
 pub mod geom;
+pub mod grid;
 pub mod loss;
 pub mod profiles;
 pub mod trace;
@@ -30,5 +33,6 @@ pub mod trace;
 pub use channel::{Channel, RadioConfig, TransferOutcome};
 pub use contact::{ContactEstimate, ContactPredictor};
 pub use geom::Vec2;
+pub use grid::{EncounterGrid, GridStats};
 pub use loss::LossModel;
-pub use trace::{AgentId, Encounter, MobilityTrace};
+pub use trace::{AgentId, Encounter, MobilityTrace, RouteCache};

@@ -117,6 +117,159 @@ impl MobilityTrace {
     pub fn future(&self, agent: AgentId, t: f64, dt: f64, n: usize) -> Vec<Vec2> {
         (0..n).map(|k| self.position(agent, t + k as f64 * dt)).collect()
     }
+
+    /// Buffer-reusing [`MobilityTrace::future`]: refills `out` with the same
+    /// `n` samples. Returns whether `out` had to reallocate — a caller
+    /// holding a warm buffer sized for its `route_share_samples` expects
+    /// `false` on every frame after the first (the zero-steady-state
+    /// allocation regression tests count exactly this signal).
+    pub fn future_into(&self, agent: AgentId, t: f64, dt: f64, n: usize, out: &mut Vec<Vec2>) -> bool {
+        let cap = out.capacity();
+        out.clear();
+        out.extend((0..n).map(|k| self.position(agent, t + k as f64 * dt)));
+        out.capacity() > cap
+    }
+
+    /// Buffer-reusing [`MobilityTrace::encounters_at`]: refills `out` with
+    /// the byte-identical encounter list via the same all-pairs sweep.
+    /// Returns whether `out` had to reallocate. For the spatial-hash
+    /// discovery path both runtime engines use, see
+    /// [`crate::grid::EncounterGrid`]; this method keeps the buffer-reuse
+    /// API available on the reference sweep itself.
+    pub fn encounters_into(
+        &self,
+        t: f64,
+        range_m: f32,
+        active: &[AgentId],
+        out: &mut Vec<Encounter>,
+    ) -> bool {
+        let cap = out.capacity();
+        out.clear();
+        let pos: Vec<(AgentId, Vec2)> =
+            active.iter().map(|&a| (a, self.position(a, t))).collect();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d = pos[i].1.distance(pos[j].1);
+                if d <= range_m {
+                    out.push(Encounter { a: pos[i].0, b: pos[j].0, distance: d });
+                }
+            }
+        }
+        out.capacity() > cap
+    }
+}
+
+/// Per-frame cache of shared future routes.
+///
+/// The runtime engines evaluate [`crate::contact::ContactPredictor`] on
+/// every candidate encounter pair, and an agent in a dense cell appears in
+/// many pairs per frame. Without a cache its route is resampled (one
+/// [`MobilityTrace::position`] interpolation per sample) for every pair;
+/// with one it is sampled **at most once per frame** into a flat reusable
+/// arena, and later pairs borrow the filled slice.
+///
+/// Frames are delimited by [`RouteCache::begin_frame`], which bumps an
+/// epoch instead of clearing anything — a slot is valid only if its
+/// per-agent epoch mark matches the current epoch, so invalidation is O(1)
+/// and the arena bytes are reused as-is.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    /// Samples per cached route (`route_share_samples`), the arena stride.
+    samples: usize,
+    /// Current frame epoch; starts at 1 so a zeroed `seen` never matches.
+    epoch: u64,
+    /// `seen[agent]` = epoch the agent's route was cached in.
+    seen: Vec<u64>,
+    /// `slot[agent]` = arena slot index holding that route.
+    slot: Vec<u32>,
+    /// Flat arena: slot `s` owns `buf[s * samples .. (s + 1) * samples]`.
+    buf: Vec<Vec2>,
+    /// Slots handed out this frame (arena high-water within the epoch).
+    used: usize,
+    /// Whether the last `begin_frame`…`pair` span reallocated the arena.
+    grew: bool,
+}
+
+impl RouteCache {
+    /// A cache for `n_agents` agents sharing `samples`-point routes. The
+    /// arena starts empty and grows to the per-frame working set, then
+    /// stays warm.
+    pub fn new(n_agents: usize, samples: usize) -> Self {
+        Self {
+            samples,
+            epoch: 1,
+            seen: vec![0; n_agents],
+            slot: vec![0; n_agents],
+            buf: Vec::new(),
+            used: 0,
+            grew: false,
+        }
+    }
+
+    /// Starts a new frame: every cached route becomes stale in O(1).
+    pub fn begin_frame(&mut self) {
+        self.epoch += 1;
+        self.used = 0;
+        self.grew = false;
+    }
+
+    /// Whether the arena reallocated since the last [`RouteCache::begin_frame`]
+    /// (a warm cache at steady fleet density never does).
+    pub fn grew(&self) -> bool {
+        self.grew
+    }
+
+    /// The shared future routes of agents `a` and `b` at time `t`, each
+    /// sampled at most once this frame (bit-identical to
+    /// [`MobilityTrace::future`] with `n = samples`).
+    ///
+    /// # Panics
+    /// Panics (debug) if `a == b`; the two slices must be disjoint.
+    pub fn pair(
+        &mut self,
+        trace: &MobilityTrace,
+        a: AgentId,
+        b: AgentId,
+        t: f64,
+        dt: f64,
+    ) -> (&[Vec2], &[Vec2]) {
+        debug_assert!(a != b, "route pair needs two distinct agents");
+        let sa = self.fill(trace, a, t, dt);
+        let sb = self.fill(trace, b, t, dt);
+        let stride = self.samples;
+        let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+        let lo_off = lo * stride;
+        let hi_off = hi * stride;
+        let (head, tail) = self.buf.split_at(hi_off);
+        let lo_end = lo_off + stride;
+        let lo_slice = &head[lo_off..lo_end];
+        let hi_slice = &tail[..stride];
+        if sa < sb { (lo_slice, hi_slice) } else { (hi_slice, lo_slice) }
+    }
+
+    /// Ensures `agent`'s route is cached this frame; returns its slot.
+    fn fill(&mut self, trace: &MobilityTrace, agent: AgentId, t: f64, dt: f64) -> usize {
+        if self.seen[agent] == self.epoch {
+            return self.slot[agent] as usize;
+        }
+        let s = self.used;
+        self.used += 1;
+        let need = self.used * self.samples;
+        if need > self.buf.len() {
+            if need > self.buf.capacity() {
+                self.grew = true;
+            }
+            self.buf.resize(need, Vec2::ZERO);
+        }
+        let off = s * self.samples;
+        let end = off + self.samples;
+        for (k, cell) in self.buf[off..end].iter_mut().enumerate() {
+            *cell = trace.position(agent, t + k as f64 * dt);
+        }
+        self.seen[agent] = self.epoch;
+        self.slot[agent] = s as u32;
+        s
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +334,77 @@ mod tests {
     #[should_panic(expected = "same number of frames")]
     fn ragged_series_panics() {
         let _ = MobilityTrace::new(2.0, vec![vec![Vec2::ZERO; 3], vec![Vec2::ZERO; 4]]);
+    }
+
+    #[test]
+    fn future_into_matches_future_and_reuses_the_buffer() {
+        let tr = two_agent_trace();
+        let mut buf = Vec::with_capacity(5);
+        for t in [0.0, 0.3, 7.0] {
+            let grew = tr.future_into(1, t, 1.0, 5, &mut buf);
+            assert!(!grew, "pre-sized buffer must not grow at t={t}");
+            let fresh = tr.future(1, t, 1.0, 5);
+            assert_eq!(buf.len(), fresh.len());
+            for (a, b) in buf.iter().zip(&fresh) {
+                assert_eq!((a.x.to_bits(), a.y.to_bits()), (b.x.to_bits(), b.y.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn encounters_into_matches_encounters_at() {
+        let tr = two_agent_trace();
+        let mut buf = Vec::new();
+        for (t, range) in [(0.0, 500.0), (10.0, 500.0), (10.0, 50.0)] {
+            let first = tr.encounters_into(t, range, &[0, 1], &mut buf);
+            assert_eq!(buf, tr.encounters_at(t, range, &[0, 1]));
+            // Same query again into the warm buffer: identical and no growth.
+            assert!(!tr.encounters_into(t, range, &[0, 1], &mut buf) || first);
+        }
+    }
+
+    #[test]
+    fn route_cache_matches_future_bit_for_bit() {
+        let tr = two_agent_trace();
+        let mut cache = RouteCache::new(tr.n_agents(), 5);
+        cache.begin_frame();
+        let (ra, rb) = cache.pair(&tr, 0, 1, 0.25, 1.0);
+        let (ra, rb) = (ra.to_vec(), rb.to_vec());
+        let fa = tr.future(0, 0.25, 1.0, 5);
+        let fb = tr.future(1, 0.25, 1.0, 5);
+        for (got, want) in ra.iter().zip(&fa).chain(rb.iter().zip(&fb)) {
+            assert_eq!((got.x.to_bits(), got.y.to_bits()), (want.x.to_bits(), want.y.to_bits()));
+        }
+        // Order of the pair must not matter for contents.
+        let (rb2, ra2) = cache.pair(&tr, 1, 0, 0.25, 1.0);
+        assert_eq!(ra, ra2);
+        assert_eq!(rb, rb2);
+    }
+
+    #[test]
+    fn route_cache_warm_frames_do_not_reallocate() {
+        let tr = two_agent_trace();
+        let mut cache = RouteCache::new(tr.n_agents(), 8);
+        cache.begin_frame();
+        let _ = cache.pair(&tr, 0, 1, 0.0, 0.5);
+        assert!(cache.grew(), "cold frame fills the arena");
+        for f in 1..5 {
+            cache.begin_frame();
+            let _ = cache.pair(&tr, 0, 1, f as f64 * 0.5, 0.5);
+            let _ = cache.pair(&tr, 1, 0, f as f64 * 0.5, 0.5);
+            assert!(!cache.grew(), "warm frame {f} reallocated the route arena");
+        }
+    }
+
+    #[test]
+    fn route_cache_invalidates_on_new_frame() {
+        let tr = two_agent_trace();
+        let mut cache = RouteCache::new(tr.n_agents(), 3);
+        cache.begin_frame();
+        let first = cache.pair(&tr, 0, 1, 0.0, 1.0).1.to_vec();
+        cache.begin_frame();
+        let second = cache.pair(&tr, 0, 1, 2.0, 1.0).1.to_vec();
+        assert_ne!(first[0].x.to_bits(), second[0].x.to_bits(), "stale route survived the epoch bump");
+        assert_eq!(second, tr.future(1, 2.0, 1.0, 3));
     }
 }
